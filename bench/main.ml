@@ -1,0 +1,591 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (section 7), plus ablations called out in DESIGN.md.
+
+   Usage:
+     dune exec bench/main.exe                 -- run everything
+     dune exec bench/main.exe -- fig1         -- one experiment
+     dune exec bench/main.exe -- fig13 --scale 0.1
+   Experiments: fig1 fig13 breakeven fig14 ablation-gba ablation-chain
+                ablation-backend bechamel
+
+   Absolute numbers differ from the paper (different machine, language and
+   runtime); the claims under test are the *shapes*: who wins, by roughly
+   what factor, and where the crossovers fall.  EXPERIMENTS.md records
+   paper-vs-measured for each experiment. *)
+
+module I = Expr.Infix
+
+let scale = ref 1.0
+
+let scaled n = max 1 (int_of_float (float_of_int n *. !scale))
+
+(* Median-of-runs timing.  A full major collection before each sample
+   keeps one backend's allocation debt (e.g. LINQ materializing groups)
+   from being charged to the next measurement. *)
+let time_ms ?(runs = 3) f =
+  let samples =
+    List.init runs (fun _ ->
+        Gc.full_major ();
+        let t0 = Unix.gettimeofday () in
+        ignore (Sys.opaque_identity (f ()));
+        1000.0 *. (Unix.gettimeofday () -. t0))
+  in
+  match List.sort compare samples with
+  | [] -> assert false
+  | s -> List.nth s (List.length s / 2)
+
+let row fmt = Printf.printf fmt
+
+let header title = Printf.printf "\n=== %s ===\n" title
+
+let native = Steno.native_available ()
+
+let require_native name f =
+  if native then f ()
+  else Printf.printf "(%s skipped: native backend unavailable)\n" name
+
+(* Shared synthetic inputs. *)
+let mixture_of_gaussians n =
+  (* Two-component 1-D mixture, as in the paper's Group benchmark. *)
+  let rng = Random.State.make [| 2011 |] in
+  let gauss mean sigma =
+    let u1 = Random.State.float rng 1.0 +. 1e-12 in
+    let u2 = Random.State.float rng 1.0 in
+    mean +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+  in
+  Array.init n (fun _ ->
+      if Random.State.bool rng then gauss 0.3 0.1 else gauss 0.7 0.05)
+
+let uniform_floats n =
+  Array.init n (fun i -> float_of_int (i mod 1000) /. 997.0)
+
+(* The four microbenchmark queries of Fig. 13. *)
+
+let sum_query xs = Query.sum_float (Query.of_array Ty.Float xs)
+
+let sum_hand xs () =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length xs - 1 do
+    acc := !acc +. xs.(i)
+  done;
+  !acc
+
+let sumsq_query xs =
+  Query.of_array Ty.Float xs
+  |> Query.select (fun x -> I.(x *. x))
+  |> Query.sum_float
+
+let sumsq_hand xs () =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length xs - 1 do
+    let x = xs.(i) in
+    acc := !acc +. (x *. x)
+  done;
+  !acc
+
+let cart_query xs ys =
+  Query.of_array Ty.Float xs
+  |> Query.select_many (fun x ->
+         Query.of_array Ty.Float ys |> Query.select (fun y -> I.(x *. y)))
+  |> Query.sum_float
+
+let cart_hand xs ys () =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length xs - 1 do
+    for j = 0 to Array.length ys - 1 do
+      acc := !acc +. (xs.(i) *. ys.(j))
+    done
+  done;
+  !acc
+
+let bins = 64
+
+let bin_expr x =
+  Expr.Prim2
+    ( Prim.Max_int,
+      Expr.int 0,
+      Expr.Prim2
+        ( Prim.Min_int,
+          Expr.int (bins - 1),
+          Expr.Prim1 (Prim.Truncate, I.(x *. Expr.float (float_of_int bins)))
+        ) )
+
+let group_query xs =
+  (* Binned histogram, written as the paper's GroupBy with a counting
+     result selector: the LINQ backend interprets it directly (building
+     each group's bag); Steno's specialization pass (§4.3) rewrites it to
+     a GroupByAggregate sink holding one count per key. *)
+  Query.of_array Ty.Float xs
+  |> Query.group_by bin_expr
+  |> Query.select (fun g ->
+         Expr.Pair (Expr.Fst g, Expr.Array_length (Expr.Snd g)))
+
+let group_hand xs () =
+  (* Hand-optimized equivalent: single pass over a dictionary of counts
+     (the key set is not statically known to a general GroupBy). *)
+  let counts = Hashtbl.create 64 in
+  for i = 0 to Array.length xs - 1 do
+    let b = int_of_float (xs.(i) *. float_of_int bins) in
+    let b = if b < 0 then 0 else if b >= bins then bins - 1 else b in
+    match Hashtbl.find_opt counts b with
+    | Some cell -> incr cell
+    | None -> Hashtbl.replace counts b (ref 1)
+  done;
+  counts
+
+(* One Fig. 13 style row: LINQ / Steno+comp / Steno / hand. *)
+type quantities = {
+  linq : float;
+  steno_incl : float;
+  steno_excl : float;
+  hand : float;
+}
+
+let print_quantities name q =
+  row "%-8s %10.1f %14.1f %12.1f %10.1f   | %5.1fx speedup, %+5.1f%% vs hand\n"
+    name q.linq q.steno_incl q.steno_excl q.hand (q.linq /. q.steno_excl)
+    (100.0 *. ((q.steno_excl /. q.hand) -. 1.0))
+
+let quantities_header () =
+  row "%-8s %10s %14s %12s %10s\n" "query" "LINQ(ms)" "Steno+comp(ms)"
+    "Steno(ms)" "hand(ms)"
+
+let measure_scalar_quantities (type s) ?(runs = 3) (sq : s Query.sq)
+    (hand : unit -> 'h) : quantities =
+  Steno.clear_cache ();
+  let linq = Steno.prepare_scalar ~backend:Steno.Linq sq in
+  let t_linq = time_ms ~runs (fun () -> Steno.run_scalar linq) in
+  let t_incl =
+    time_ms ~runs (fun () ->
+        Steno.clear_cache ();
+        Steno.scalar ~backend:Steno.Native sq)
+  in
+  let p = Steno.prepare_scalar ~backend:Steno.Native sq in
+  let t_excl = time_ms ~runs (fun () -> Steno.run_scalar p) in
+  let t_hand = time_ms ~runs hand in
+  { linq = t_linq; steno_incl = t_incl; steno_excl = t_excl; hand = t_hand }
+
+let measure_query_quantities ?(runs = 3) q hand : quantities =
+  Steno.clear_cache ();
+  let linq = Steno.prepare ~backend:Steno.Linq q in
+  let t_linq = time_ms ~runs (fun () -> Steno.run linq) in
+  let t_incl =
+    time_ms ~runs (fun () ->
+        Steno.clear_cache ();
+        Steno.to_array ~backend:Steno.Native q)
+  in
+  let p = Steno.prepare ~backend:Steno.Native q in
+  let t_excl = time_ms ~runs (fun () -> Steno.run p) in
+  let t_hand = time_ms ~runs hand in
+  { linq = t_linq; steno_incl = t_incl; steno_excl = t_excl; hand = t_hand }
+
+(* ------------------------------------------------------------------ *)
+
+let fig1 () =
+  header "Figure 1: sum of squares of 10^7 doubles";
+  require_native "fig1" @@ fun () ->
+  let n = scaled 10_000_000 in
+  let xs = uniform_floats n in
+  let q = sumsq_query xs in
+  let quantities = measure_scalar_quantities q (sumsq_hand xs) in
+  row "n = %d\n" n;
+  row "LINQ .Sum()   %8.1f ms   (1.00; paper 1.00)\n" quantities.linq;
+  row "for loop      %8.1f ms   (%.3f of LINQ; paper 0.135)\n" quantities.hand
+    (quantities.hand /. quantities.linq);
+  row "Steno .Sum()  %8.1f ms   (%.3f of LINQ; paper 0.136)\n"
+    quantities.steno_excl
+    (quantities.steno_excl /. quantities.linq);
+  row "speedup over LINQ: %.1fx (paper: 7.4x)\n"
+    (quantities.linq /. quantities.steno_excl)
+
+let fig13 () =
+  header "Figure 13: sequential microbenchmarks";
+  require_native "fig13" @@ fun () ->
+  let n = scaled 10_000_000 in
+  row "Sum/SumSq/Group over %d doubles; Cart over %d x %d\n" n (scaled 100_000)
+    1000;
+  quantities_header ();
+  let xs = uniform_floats n in
+  print_quantities "Sum" (measure_scalar_quantities (sum_query xs) (sum_hand xs));
+  print_quantities "SumSq"
+    (measure_scalar_quantities (sumsq_query xs) (sumsq_hand xs));
+  let cx = uniform_floats (scaled 100_000) in
+  let cy = uniform_floats 1000 in
+  print_quantities "Cart"
+    (measure_scalar_quantities (cart_query cx cy) (cart_hand cx cy));
+  let gs = mixture_of_gaussians n in
+  print_quantities "Group"
+    (measure_query_quantities (group_query gs) (group_hand gs));
+  row
+    "(paper speedups: Sum 3.3x, SumSq 7.4x, Cart ~12x, Group 14.1x; paper\n\
+    \ overhead vs hand: Sum +53%%, others < 3%%.  Larger factors here come\n\
+    \ from float boxing in the iterator pipeline; see EXPERIMENTS.md.)\n"
+
+let breakeven () =
+  header "Section 7.1: one-off optimization cost and break-even input size";
+  require_native "breakeven" @@ fun () ->
+  let costs =
+    List.map
+      (fun k ->
+        Steno.clear_cache ();
+        let q =
+          Query.sum_float
+            (Query.of_array Ty.Float [| 1.0 |]
+            |> Query.select (fun x -> I.(x *. Expr.float (float_of_int k))))
+        in
+        let p = Steno.prepare_scalar ~backend:Steno.Native q in
+        (Steno.info_scalar p).Steno.compile_ms)
+      [ 1; 2; 3; 4; 5 ]
+  in
+  let compile_ms = List.fold_left ( +. ) 0.0 costs /. 5.0 in
+  row "mean compile+load cost: %.1f ms (paper: 69 ms)\n" compile_ms;
+  let n = scaled 10_000_000 in
+  let xs = uniform_floats n in
+  let q = sum_query xs in
+  let t_linq = time_ms (fun () -> Steno.scalar ~backend:Steno.Linq q) in
+  let p = Steno.prepare_scalar ~backend:Steno.Native q in
+  let t_steno = time_ms (fun () -> Steno.run_scalar p) in
+  let per_elem_gain = (t_linq -. t_steno) /. float_of_int n in
+  let breakeven_n = compile_ms /. per_elem_gain in
+  row "Sum of %d doubles: LINQ %.1f ms, Steno %.1f ms\n" n t_linq t_steno;
+  row "break-even input size for Sum: %.1e doubles (paper: ~1.2e7)\n"
+    breakeven_n
+
+let fig14 () =
+  header "Figure 14: distributed k-means, dimension sweep (N x D constant)";
+  require_native "fig14" @@ fun () ->
+  let budget = scaled 4_000_000 in
+  let k = 10 in
+  let parts = 8 in
+  let cluster = Dryad.create () in
+  row "total input: %d doubles (paper: 1e9), k = %d, %d partitions\n" budget k
+    parts;
+  row
+    "(the distance computation is a user-defined function, as in the\n\
+    \ paper's DryadLINQ job: the work per element grows with D while the\n\
+    \ per-element iterator overhead is fixed)\n";
+  row "%6s %10s %16s %14s %9s\n" "dim" "points" "unoptimized(ms)"
+    "Steno-opt(ms)" "speedup";
+  List.iter
+    (fun d ->
+      let n = max (k * 4) (budget / d) in
+      let rng = Random.State.make [| d |] in
+      let points =
+        Array.init n (fun _ ->
+            Array.init d (fun _ -> Random.State.float rng 100.0))
+      in
+      let ds = Dataset.of_array ~parts points in
+      let centroids = Array.init k (fun j -> Array.copy points.(j * (n / k))) in
+      let iteration backend () =
+        Kmeans.iterate cluster ~backend ~distance:Kmeans.Udf ~centroids ds
+      in
+      let t_linq = time_ms ~runs:3 (iteration Steno.Linq) in
+      let t_steno = time_ms ~runs:3 (iteration Steno.Native) in
+      row "%6d %10d %16.1f %14.1f %8.2fx\n" d n t_linq t_steno
+        (t_linq /. t_steno))
+    [ 4; 10; 30; 100; 300; 1000 ];
+  row
+    "(paper: 1.9x at D=10 falling toward 1x at D=1000 as the distance\n\
+    \ computation dominates)\n"
+
+let ablation_gba () =
+  header "Ablation (section 4.3): GroupByAggregate specialization on vs off";
+  require_native "ablation-gba" @@ fun () ->
+  let n = scaled 4_000_000 in
+  let xs = mixture_of_gaussians n in
+  let q = group_query xs in
+  let with_flag flag f =
+    Specialize.enabled := flag;
+    Fun.protect ~finally:(fun () -> Specialize.enabled := true) f
+  in
+  row "QUIL with pass on:  %s\n" (with_flag true (fun () -> Steno.quil q));
+  row "QUIL with pass off: %s\n" (with_flag false (fun () -> Steno.quil q));
+  let measure flag =
+    with_flag flag (fun () ->
+        Steno.clear_cache ();
+        let p = Steno.prepare ~backend:Steno.Native q in
+        time_ms (fun () -> Steno.run p))
+  in
+  let t_on = measure true in
+  let t_off = measure false in
+  row "specialized (GroupByAggregate): %8.1f ms\n" t_on;
+  row "unspecialized (GroupBy + count): %8.1f ms\n" t_off;
+  row "specialization speedup: %.2fx (memory: O(keys) vs O(elements))\n"
+    (t_off /. t_on)
+
+let ablation_chain () =
+  header "Ablation (section 2): per-element overhead vs operator chain length";
+  require_native "ablation-chain" @@ fun () ->
+  let n = scaled 2_000_000 in
+  let xs = Array.init n (fun i -> i) in
+  row "%6s %12s %12s %12s %18s\n" "ops" "LINQ(ms)" "Fused(ms)" "Native(ms)"
+    "LINQ ns/elem/op";
+  List.iter
+    (fun ops ->
+      let q =
+        let rec add k q =
+          if k = 0 then q
+          else add (k - 1) (Query.select (fun x -> I.(x + Expr.int 0)) q)
+        in
+        Query.sum_int (add ops (Query.of_array Ty.Int xs))
+      in
+      let t_linq = time_ms (fun () -> Steno.scalar ~backend:Steno.Linq q) in
+      let t_fused = time_ms (fun () -> Steno.scalar ~backend:Steno.Fused q) in
+      let p = Steno.prepare_scalar ~backend:Steno.Native q in
+      let t_native = time_ms (fun () -> Steno.run_scalar p) in
+      row "%6d %12.1f %12.1f %12.1f %18.2f\n" ops t_linq t_fused t_native
+        (1e6 *. t_linq /. float_of_int (n * max 1 ops)))
+    [ 0; 1; 2; 4; 8; 16 ];
+  row
+    "(iterator cost grows linearly with chain length; the fused loop stays\n\
+    \ flat - the multiplied overhead of section 2)\n"
+
+let ablation_backend () =
+  header "Ablation: backend comparison on the Fig. 13 queries";
+  require_native "ablation-backend" @@ fun () ->
+  let n = scaled 4_000_000 in
+  let xs = uniform_floats n in
+  let cases =
+    [
+      ("Sum", fun b -> ignore (Steno.scalar ~backend:b (sum_query xs)));
+      ("SumSq", fun b -> ignore (Steno.scalar ~backend:b (sumsq_query xs)));
+      ( "Cart",
+        let cx = uniform_floats (scaled 50_000) in
+        let cy = uniform_floats 1000 in
+        fun b -> ignore (Steno.scalar ~backend:b (cart_query cx cy)) );
+      ( "Group",
+        let gs = mixture_of_gaussians n in
+        fun b -> ignore (Steno.to_array ~backend:b (group_query gs)) );
+    ]
+  in
+  row "%-8s %12s %12s %12s\n" "query" "LINQ(ms)" "Fused(ms)" "Native(ms)";
+  List.iter
+    (fun (name, run) ->
+      run Steno.Native;
+      let t b = time_ms (fun () -> run b) in
+      row "%-8s %12.1f %12.1f %12.1f\n" name (t Steno.Linq) (t Steno.Fused)
+        (t Steno.Native))
+    cases;
+  row
+    "(Fused removes iterator state machines but keeps closure calls;\n\
+    \ Native removes those too - the gap is the cost of not generating code)\n"
+
+let ablation_join () =
+  header "Ablation: equi-join strategy (hash join vs nested loop, section 5)";
+  require_native "ablation-join" @@ fun () ->
+  let pairs xs = Query.of_array (Ty.Pair (Ty.Int, Ty.Int)) xs in
+  row "%10s %10s %16s %14s\n" "outer" "inner" "nested-loop(ms)" "hash-join(ms)";
+  List.iter
+    (fun (no, ni) ->
+      let left = pairs (Array.init (scaled no) (fun i -> (i * 7) mod 997, i)) in
+      let right = pairs (Array.init (scaled ni) (fun i -> (i * 13) mod 997, i)) in
+      let joined =
+        left
+        |> Query.join ~inner:right
+             ~outer_key:(fun l -> Expr.Fst l)
+             ~inner_key:(fun r -> Expr.Fst r)
+             ~result:(fun l r -> I.(Expr.Snd l + Expr.Snd r))
+        |> Query.sum_int
+      in
+      let measure flag =
+        Canon.hash_join_enabled := flag;
+        Fun.protect ~finally:(fun () -> Canon.hash_join_enabled := true)
+        @@ fun () ->
+        Steno.clear_cache ();
+        let p = Steno.prepare_scalar ~backend:Steno.Native joined in
+        time_ms (fun () -> Steno.run_scalar p)
+      in
+      let t_nested = measure false in
+      let t_hash = measure true in
+      row "%10d %10d %16.1f %14.1f\n" (scaled no) (scaled ni) t_nested t_hash)
+    [ 1_000, 1_000; 4_000, 4_000; 16_000, 4_000 ];
+  row "(the nested loop is quadratic; the hash join builds once and probes\n\
+    \ per outer element - the trade-off section 5 points at)\n"
+
+let ablation_sorted_group () =
+  header "Ablation (section 4.3): sorted one-pass vs hashed GroupByAggregate";
+  require_native "ablation-sorted" @@ fun () ->
+  let n = scaled 4_000_000 in
+  let xs = Array.init n (fun i -> (i * 131) mod 1024) in
+  let q =
+    Query.of_array Ty.Int xs
+    |> Query.order_by (fun x -> I.(x mod Expr.int 1024))
+    |> Query.group_by_agg
+         ~key:(fun x -> I.(x mod Expr.int 1024))
+         ~seed:(Expr.int 0)
+         ~step:(fun acc x -> I.(acc + x))
+  in
+  let measure flag =
+    Canon.sorted_group_enabled := flag;
+    Fun.protect ~finally:(fun () -> Canon.sorted_group_enabled := true)
+    @@ fun () ->
+    Steno.clear_cache ();
+    let p = Steno.prepare ~backend:Steno.Native q in
+    time_ms (fun () -> Steno.run p)
+  in
+  let t_sorted = measure true in
+  let t_hash = measure false in
+  row "one-pass sorted sink: %8.1f ms\n" t_sorted;
+  row "hash-table sink:      %8.1f ms\n" t_hash;
+  row "(both include the sort; the sorted sink keeps O(1) aggregation\n\
+    \ state - the paper's note on aggregating key sets larger than\n\
+    \ memory)\n"
+
+let ablation_early_exit () =
+  header "Ablation: early-exit loop generation (Take / First / Any)";
+  require_native "ablation-early-exit" @@ fun () ->
+  let n = scaled 10_000_000 in
+  let xs = Array.init n (fun i -> i) in
+  let src = Query.of_array Ty.Int xs in
+  let cases =
+    [
+      ( "take 100 + sum",
+        fun b ->
+          ignore (Steno.scalar ~backend:b (Query.sum_int (Query.take 100 src)))
+      );
+      ("first", fun b -> ignore (Steno.scalar ~backend:b (Query.first src)));
+      ( "exists (early hit)",
+        fun b ->
+          ignore
+            (Steno.scalar ~backend:b
+               (Query.exists (fun x -> I.(x = Expr.int 5)) src)) );
+      ( "exists (no hit)",
+        fun b ->
+          ignore
+            (Steno.scalar ~backend:b
+               (Query.exists (fun x -> I.(x = Expr.int (-1))) src)) );
+    ]
+  in
+  row "%-20s %12s %12s\n" "query" "LINQ(ms)" "Native(ms)";
+  List.iter
+    (fun (name, run) ->
+      run Steno.Native;
+      let t b = time_ms (fun () -> run b) in
+      row "%-20s %12.3f %12.3f\n" name (t Steno.Linq) (t Steno.Native))
+    cases;
+  row "(early-exit queries cost O(answer position), not O(n): the generated\n\
+    \ loop breaks with a local exception once the result is determined)\n"
+
+let par_scaling () =
+  header "Section 6: multiprocessor scaling of a split aggregate (Agg_i / Agg*)";
+  require_native "par" @@ fun () ->
+  let n = scaled 8_000_000 in
+  let xs = uniform_floats n in
+  (* A compute-bound kernel, so the curve shows parallel scaling rather
+     than memory bandwidth. *)
+  let kernel x = I.(Expr.Prim1 (Prim.Sqrt, x) *. Expr.Prim1 (Prim.Sin, x)) in
+  let build part =
+    Query.of_array Ty.Float part
+    |> Query.select (fun x -> kernel x)
+    |> Query.sum_float
+  in
+  let p = Steno.prepare_scalar ~backend:Steno.Native (build xs) in
+  let t_seq = time_ms (fun () -> Steno.run_scalar p) in
+  row "sequential Steno: %8.1f ms over %d doubles\n" t_seq n;
+  row "available cores: %d%s\n"
+    (Domain.recommended_domain_count ())
+    (if Domain.recommended_domain_count () <= 1 then
+       " (single-core host: expect ~1x with per-domain overhead, not speedup)"
+     else "");
+  row "%8s %12s %9s\n" "workers" "parallel(ms)" "speedup";
+  List.iter
+    (fun workers ->
+      (* Partition once (DryadLINQ data lives pre-partitioned); measure
+         the per-iteration parallel execution. *)
+      let parts = Par.partition ~parts:workers xs in
+      let t =
+        time_ms (fun () ->
+            Par.scalar_per_partition ~backend:Steno.Native ~workers build
+              ~combine:( +. ) parts)
+      in
+      row "%8d %12.1f %8.2fx\n" workers t (t_seq /. t))
+    [ 1; 2; 4; 8 ];
+  row "(homomorphic prefix per partition, partial sums combined by Agg*)\n"
+
+(* A Bechamel microbenchmark suite over the Fig. 13 kernels, for
+   statistically grounded per-run estimates. *)
+let bechamel () =
+  header "Bechamel: Fig. 13 kernels (monotonic clock, OLS estimates)";
+  require_native "bechamel" @@ fun () ->
+  let open Bechamel in
+  let open Toolkit in
+  let n = scaled 1_000_000 in
+  let xs = uniform_floats n in
+  let p_sum = Steno.prepare_scalar ~backend:Steno.Native (sum_query xs) in
+  let p_sumsq = Steno.prepare_scalar ~backend:Steno.Native (sumsq_query xs) in
+  let l_sum = Steno.prepare_scalar ~backend:Steno.Linq (sum_query xs) in
+  let l_sumsq = Steno.prepare_scalar ~backend:Steno.Linq (sumsq_query xs) in
+  let tests =
+    Test.make_grouped ~name:"fig13" ~fmt:"%s %s"
+      [
+        Test.make ~name:"sum-hand" (Staged.stage (sum_hand xs));
+        Test.make ~name:"sum-steno"
+          (Staged.stage (fun () -> Steno.run_scalar p_sum));
+        Test.make ~name:"sum-linq"
+          (Staged.stage (fun () -> Steno.run_scalar l_sum));
+        Test.make ~name:"sumsq-hand" (Staged.stage (sumsq_hand xs));
+        Test.make ~name:"sumsq-steno"
+          (Staged.stage (fun () -> Steno.run_scalar p_sumsq));
+        Test.make ~name:"sumsq-linq"
+          (Staged.stage (fun () -> Steno.run_scalar l_sumsq));
+      ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:20 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun instance ->
+      let results = Analyze.all ols instance raw in
+      let names = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) results []) in
+      List.iter
+        (fun name ->
+          let result = Hashtbl.find results name in
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> row "%-24s %12.3f ms/run\n" name (est /. 1e6)
+          | Some _ | None -> row "%-24s (no estimate)\n" name)
+        names)
+    instances
+
+let experiments =
+  [
+    "fig1", fig1;
+    "fig13", fig13;
+    "breakeven", breakeven;
+    "fig14", fig14;
+    "ablation-gba", ablation_gba;
+    "ablation-chain", ablation_chain;
+    "ablation-backend", ablation_backend;
+    "ablation-join", ablation_join;
+    "ablation-sorted", ablation_sorted_group;
+    "ablation-early-exit", ablation_early_exit;
+    "par", par_scaling;
+    "bechamel", bechamel;
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let rec parse = function
+    | [] -> []
+    | "--scale" :: v :: rest ->
+      scale := float_of_string v;
+      parse rest
+    | x :: rest -> x :: parse rest
+  in
+  let named =
+    match parse (List.tl args) with
+    | [] -> List.map fst experiments
+    | picks -> picks
+  in
+  Printf.printf "Steno benchmark harness (scale = %.2f, native = %b)\n" !scale
+    native;
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+        Printf.printf "unknown experiment %S; available: %s\n" name
+          (String.concat ", " (List.map fst experiments)))
+    named

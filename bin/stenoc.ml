@@ -1,0 +1,347 @@
+(* stenoc: inspect and run Steno's optimization pipeline on a gallery of
+   demo queries.
+
+     stenoc list
+     stenoc show <query>            print chain, QUIL and generated code
+     stenoc run <query> [-b BACKEND] [-n SIZE]
+     stenoc bench <query> [-n SIZE]
+*)
+
+module I = Expr.Infix
+
+type demo =
+  | Collection : {
+      name : string;
+      descr : string;
+      elem : 'a Ty.t;
+      build : int -> 'a Query.t;
+    }
+      -> demo
+  | Scalar : {
+      name : string;
+      descr : string;
+      ty : 's Ty.t;
+      build : int -> 's Query.sq;
+    }
+      -> demo
+
+let float_input n = Array.init n (fun i -> float_of_int (i mod 1000) /. 997.0)
+
+let int_input n = Array.init n (fun i -> (i * 37) mod 1009)
+
+let demos =
+  [
+    Collection
+      {
+        name = "even-squares";
+        descr = "where (x mod 2 = 0) |> select (x * x) - the paper's intro query";
+        elem = Ty.Int;
+        build =
+          (fun n ->
+            Query.of_array Ty.Int (int_input n)
+            |> Query.where (fun x -> I.(x mod Expr.int 2 = Expr.int 0))
+            |> Query.select (fun x -> I.(x * x)));
+      };
+    Scalar
+      {
+        name = "sumsq";
+        descr = "sum of squares of doubles (Fig. 1)";
+        ty = Ty.Float;
+        build =
+          (fun n ->
+            Query.of_array Ty.Float (float_input n)
+            |> Query.select (fun x -> I.(x *. x))
+            |> Query.sum_float);
+      };
+    Scalar
+      {
+        name = "cart";
+        descr = "sum over a Cartesian product (nested loops, section 5)";
+        ty = Ty.Float;
+        build =
+          (fun n ->
+            Query.of_array Ty.Float (float_input (max 1 (n / 100)))
+            |> Query.select_many (fun x ->
+                   Query.of_array Ty.Float (float_input 100)
+                   |> Query.select (fun y -> I.(x *. y)))
+            |> Query.sum_float);
+      };
+    Collection
+      {
+        name = "histogram";
+        descr = "GroupBy + count: auto-specialized to GroupByAggregate (4.3)";
+        elem = Ty.Pair (Ty.Int, Ty.Int);
+        build =
+          (fun n ->
+            Query.of_array Ty.Int (int_input n)
+            |> Query.group_by (fun x -> I.(x mod Expr.int 16))
+            |> Query.select (fun g ->
+                   Expr.Pair (Expr.Fst g, Expr.Array_length (Expr.Snd g))));
+      };
+    Collection
+      {
+        name = "join";
+        descr = "equi-join: specialized to a hash join";
+        elem = Ty.Pair (Ty.Int, Ty.Int);
+        build =
+          (fun n ->
+            let pairs xs = Query.of_array (Ty.Pair (Ty.Int, Ty.Int)) xs in
+            let left = pairs (Array.init n (fun i -> i mod 101, i)) in
+            let right =
+              pairs (Array.init (max 1 (n / 2)) (fun i -> i mod 101, i * 2))
+            in
+            left
+            |> Query.join ~inner:right
+                 ~outer_key:(fun l -> Expr.Fst l)
+                 ~inner_key:(fun r -> Expr.Fst r)
+                 ~result:(fun l r -> Expr.Pair (Expr.Snd l, Expr.Snd r)));
+      };
+    Collection
+      {
+        name = "top5";
+        descr = "filter |> sort descending |> take 5";
+        elem = Ty.Int;
+        build =
+          (fun n ->
+            Query.of_array Ty.Int (int_input n)
+            |> Query.where (fun x -> I.(x mod Expr.int 3 = Expr.int 0))
+            |> Query.order_by ~order:Query.Descending (fun x -> x)
+            |> Query.take 5);
+      };
+    Scalar
+      {
+        name = "closest";
+        descr = "nested scalar subquery: argmin distance (k-means kernel)";
+        ty = Ty.Int;
+        build =
+          (fun n ->
+            let pts = float_input (max 8 n) in
+            let c = Expr.capture (Ty.Array Ty.Float) pts in
+            Query.range ~start:0 ~count:(min 64 (max 8 n))
+            |> Query.min_by (fun j ->
+                   Expr.let_ "d" I.(c.%(j) -. Expr.float 0.5) (fun d -> I.(d *. d))));
+      };
+    Scalar
+      {
+        name = "exists";
+        descr = "early-exit aggregate: stops at the first witness";
+        ty = Ty.Bool;
+        build =
+          (fun n ->
+            Query.of_array Ty.Int (int_input n)
+            |> Query.exists (fun x -> I.(x = Expr.int 1000)));
+      };
+  ]
+
+let demo_name = function
+  | Collection { name; _ } | Scalar { name; _ } -> name
+
+let demo_descr = function
+  | Collection { descr; _ } | Scalar { descr; _ } -> descr
+
+let find name =
+  match List.find_opt (fun d -> demo_name d = name) demos with
+  | Some d -> Ok d
+  | None ->
+    Error
+      (Printf.sprintf "unknown query %S; try: %s" name
+         (String.concat ", " (List.map demo_name demos)))
+
+let backend_of_string = function
+  | "linq" -> Ok Steno.Linq
+  | "fused" -> Ok Steno.Fused
+  | "native" -> Ok Steno.Native
+  | s -> Error (Printf.sprintf "unknown backend %S (linq|fused|native)" s)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, 1000.0 *. (Unix.gettimeofday () -. t0))
+
+(* Commands. *)
+
+let cmd_list () =
+  List.iter
+    (fun d -> Printf.printf "%-14s %s\n" (demo_name d) (demo_descr d))
+    demos;
+  0
+
+let cmd_show name n =
+  match find name with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok (Collection { build; _ }) ->
+    let q = build n in
+    Format.printf "chain: %a@." Query.pp q;
+    Printf.printf "QUIL:  %s\n\n%s" (Steno.quil q) (Steno.generated_source q);
+    0
+  | Ok (Scalar { build; _ }) ->
+    let sq = build n in
+    Format.printf "chain: %a@." Query.pp_sq sq;
+    Printf.printf "QUIL:  %s\n\n%s" (Steno.quil_scalar sq)
+      (Steno.generated_source_scalar sq);
+    0
+
+let preview : type a. a Ty.t -> a array -> string =
+ fun ty arr ->
+  let n = Array.length arr in
+  let shown = min n 10 in
+  let items =
+    Array.to_list (Array.sub arr 0 shown)
+    |> List.map (fun v -> Format.asprintf "%a" (Ty.pp_value ty) v)
+  in
+  Printf.sprintf "[%s%s] (%d elements)" (String.concat "; " items)
+    (if n > shown then "; ..." else "")
+    n
+
+let cmd_run name backend n =
+  match find name, backend_of_string backend with
+  | Error e, _ | _, Error e ->
+    prerr_endline e;
+    1
+  | Ok demo, Ok b -> (
+    match demo with
+    | Collection { elem; build; _ } ->
+      let p, t_prep = time (fun () -> Steno.prepare ~backend:b (build n)) in
+      let result, t_run = time (fun () -> Steno.run p) in
+      Printf.printf "%s\nprepare: %.1f ms, run: %.1f ms\n" (preview elem result)
+        t_prep t_run;
+      0
+    | Scalar { ty; build; _ } ->
+      let p, t_prep =
+        time (fun () -> Steno.prepare_scalar ~backend:b (build n))
+      in
+      let result, t_run = time (fun () -> Steno.run_scalar p) in
+      Format.printf "%a@." (Ty.pp_value ty) result;
+      Printf.printf "prepare: %.1f ms, run: %.1f ms\n" t_prep t_run;
+      0)
+
+let cmd_bench name n =
+  match find name with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok demo ->
+    let backends =
+      if Steno.native_available () then
+        [ "linq", Steno.Linq; "fused", Steno.Fused; "native", Steno.Native ]
+      else [ "linq", Steno.Linq; "fused", Steno.Fused ]
+    in
+    let median f =
+      let samples = List.init 5 (fun _ -> snd (time f)) in
+      List.nth (List.sort compare samples) 2
+    in
+    List.iter
+      (fun (bname, b) ->
+        let t =
+          match demo with
+          | Collection { build; _ } ->
+            let p = Steno.prepare ~backend:b (build n) in
+            median (fun () -> ignore (Steno.run p))
+          | Scalar { build; _ } ->
+            let p = Steno.prepare_scalar ~backend:b (build n) in
+            median (fun () -> ignore (Steno.run_scalar p))
+        in
+        Printf.printf "%-8s %10.2f ms\n" bname t)
+      backends;
+    0
+
+let cmd_eval src backend n =
+  (* Evaluate a textual query against synthetic inputs:
+     xs : int array, fs : float array, pairs : (int * float) array. *)
+  match backend_of_string backend with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok b -> (
+    let lang_inputs : Elab.inputs =
+      [
+        "xs", Elab.Input (Ty.Int, int_input n);
+        "fs", Elab.Input (Ty.Float, float_input n);
+        ( "pairs",
+          Elab.Input
+            ( Ty.Pair (Ty.Int, Ty.Float),
+              Array.init n (fun i -> i mod 97, float_of_int i /. 7.0) ) );
+      ]
+    in
+    match Lang.run ~backend:b ~inputs:lang_inputs src with
+    | result ->
+      print_endline (Lang.result_to_string result);
+      0
+    | exception Lang.Error (msg, pos) ->
+      Printf.eprintf "error at offset %d: %s\n" pos msg;
+      1)
+
+let cmd_explain src n =
+  let lang_inputs : Elab.inputs =
+    [
+      "xs", Elab.Input (Ty.Int, int_input n);
+      "fs", Elab.Input (Ty.Float, float_input n);
+    ]
+  in
+  match Lang.explain ~inputs:lang_inputs src with
+  | s ->
+    print_endline s;
+    0
+  | exception Lang.Error (msg, pos) ->
+    Printf.eprintf "error at offset %d: %s\n" pos msg;
+    1
+
+(* Command line. *)
+
+open Cmdliner
+
+let size =
+  Arg.(value & opt int 1_000_000 & info [ "n"; "size" ] ~doc:"Input size.")
+
+let query_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY")
+
+let backend_arg =
+  Arg.(
+    value
+    & opt string "native"
+    & info [ "b"; "backend" ] ~doc:"Backend: linq, fused or native.")
+
+let list_cmd =
+  Cmd.v (Cmd.info "list" ~doc:"List the demo queries.")
+    Term.(const cmd_list $ const ())
+
+let show_cmd =
+  Cmd.v
+    (Cmd.info "show"
+       ~doc:"Print a query's operator chain, QUIL sentence and generated code.")
+    Term.(const cmd_show $ query_arg $ size)
+
+let run_cmd =
+  Cmd.v (Cmd.info "run" ~doc:"Run a demo query on a chosen backend.")
+    Term.(const cmd_run $ query_arg $ backend_arg $ size)
+
+let bench_cmd =
+  Cmd.v (Cmd.info "bench" ~doc:"Compare backends on a demo query.")
+    Term.(const cmd_bench $ query_arg $ size)
+
+let src_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY_TEXT")
+
+let eval_cmd =
+  Cmd.v
+    (Cmd.info "eval"
+       ~doc:
+         "Evaluate a textual query, e.g. 'from x in xs where x % 2 = 0 \
+          select x * x' (inputs: xs, fs, pairs).")
+    Term.(const cmd_eval $ src_arg $ backend_arg $ size)
+
+let explain_cmd =
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Show the QUIL sentence and generated code for a textual query.")
+    Term.(const cmd_explain $ src_arg $ size)
+
+let () =
+  let doc = "Steno: automatic optimization of declarative queries" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "stenoc" ~doc ~version:"1.0.0")
+          [ list_cmd; show_cmd; run_cmd; bench_cmd; eval_cmd; explain_cmd ]))

@@ -1,0 +1,43 @@
+(* The textual front end: write queries in the comprehension syntax the
+   paper starts from, and watch them go through the whole pipeline —
+   parse, elaborate, specialize, canonicalize, generate, compile, run.
+
+   Run with: dune exec examples/textual.exe *)
+
+let inputs : Elab.inputs =
+  [
+    "orders",
+    Elab.Input
+      ( Ty.Pair (Ty.Int, Ty.Float),
+        (* (customer id, amount) *)
+        Array.init 50_000 (fun i ->
+            (i * 7919) mod 100, float_of_int ((i * 37) mod 500) /. 10.0) );
+    "xs", Elab.Input (Ty.Int, Array.init 1000 (fun i -> i));
+  ]
+
+let show src =
+  Printf.printf "query>  %s\n" src;
+  (match Lang.parse src with
+  | prog -> Format.printf "parsed: %a@." Surface.pp_program prog
+  | exception Lang.Error (_, _) -> ());
+  match Lang.run ~inputs src with
+  | result -> Printf.printf "result: %s\n\n" (Lang.result_to_string result)
+  | exception Lang.Error (msg, pos) ->
+    Printf.printf "  error at offset %d: %s\n\n" pos msg
+
+let () =
+  show "from x in xs where x % 7 = 0 take 5 select x * x";
+  show "sum(from x in xs where x % 2 = 0 select x)";
+  (* Group-by with a counting selector: the specialization pass turns the
+     GroupBy into a GroupByAggregate automatically. *)
+  show
+    "from g in (from o in orders group o by fst o % 10) \
+     orderby 0 - count g select (fst g, count g)";
+  (* Embedded scalar subquery: becomes a nested query (section 5). *)
+  show "from x in xs take 4 select sum(from y in range(0, x) select y * y)";
+  (* Multiple generators: SelectMany. *)
+  show
+    "sum(from x in xs take 50 from y in range(0, x % 5) select x * y)";
+  (* Explain shows what Steno generated. *)
+  let src = "sum(from x in xs where x % 2 = 0 select x * x)" in
+  Printf.printf "explain> %s\n%s\n" src (Lang.explain ~inputs src)

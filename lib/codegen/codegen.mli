@@ -1,0 +1,49 @@
+(** The Steno code generator: a deterministic pushdown automaton over QUIL
+    that emits type-specialized, inlined, loop-based imperative code
+    (sections 4 and 5 of the paper).
+
+    Each QUIL symbol drives one transition:
+    - [Src] opens a loop and pushes a fresh (α, µ, ω) insertion-point
+      triple (Fig. 5 / Fig. 9);
+    - [Trans]/[Pred] insert element-wise code at µ (Fig. 6);
+    - [Agg]/[Sink] declare reduction state at α and update it at µ
+      (Fig. 7);
+    - a [Sink] followed by more operators materializes the intermediate
+      collection and opens a new loop over it at ω (the SINKING state);
+    - nested queries recurse, and a nested collection [Ret] splices the
+      outer continuation into the nested loop body (Fig. 11), while a
+      nested scalar [Ret] binds the aggregate into the nested postlude
+      (Fig. 10);
+    - the final [Ret] stores the query result (Fig. 8) — a collection
+      result is materialized into an array, per footnote 3 of the paper.
+
+    The emitted program is a self-contained OCaml module referencing only
+    [Stdlib]:
+    {v
+exception Steno_result of Stdlib.Obj.t
+let __query (__env : Stdlib.Obj.t array) : Stdlib.Obj.t = ...
+let () = Stdlib.raise (Steno_result (Stdlib.Obj.repr __query))
+    v}
+    Captured values arrive through [__env] (section 3.3); an empty-input
+    seedless aggregate raises [Failure empty_sequence_message]. *)
+
+exception Invalid_chain of string
+(** The chain does not satisfy the QUIL grammar (Fig. 4). *)
+
+type output = {
+  source : string;  (** Complete OCaml source of the plugin module. *)
+  table : Expr.Capture_table.t;
+      (** Capture slots registered while printing, in slot order; use
+          {!Expr.Capture_table.to_env} to build the runtime argument. *)
+  symbols : string;  (** The QUIL sentence, for diagnostics. *)
+}
+
+val generate : Quil.chain -> output
+
+val empty_sequence_message : string
+(** Payload of the [Failure] raised by generated code when a
+    [require_nonempty] aggregate sees no elements. *)
+
+val body_only : output -> string
+(** The generated query function body without the module wrapper, for
+    display and tests. *)

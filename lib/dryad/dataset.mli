@@ -1,0 +1,27 @@
+(** A distributed dataset: the unit of data in the simulated cluster.
+
+    As in DryadLINQ, a large collection is divided into partitions and a
+    query executes in parallel on each partition (section 6 of the
+    paper).  Here every partition is an in-memory array owned by the
+    simulated cluster; vertex code only ever sees one partition at a
+    time, which is the property that makes per-vertex Steno optimization
+    valid. *)
+
+type 'a t
+
+val of_partitions : 'a array array -> 'a t
+
+val of_array : parts:int -> 'a array -> 'a t
+(** Range-partition an array into [parts] near-equal contiguous chunks. *)
+
+val generate : parts:int -> per_partition:int -> (part:int -> int -> 'a) -> 'a t
+(** [generate ~parts ~per_partition f] builds partition [p] as
+    [[| f ~part:p 0; ...; f ~part:p (per_partition - 1) |]] — the analog
+    of loading a partitioned input without materializing it centrally. *)
+
+val partitions : 'a t -> 'a array array
+val num_partitions : 'a t -> int
+val total_length : 'a t -> int
+
+val collect : 'a t -> 'a array
+(** Gather all partitions to the "master", in partition order. *)

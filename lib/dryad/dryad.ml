@@ -1,0 +1,167 @@
+type metrics = {
+  mutable stages : int;
+  mutable vertices : int;
+  mutable exchanged : int;
+  mutable gathered : int;
+}
+
+type cluster = {
+  workers : int;
+  m : metrics;
+}
+
+let create ?workers () =
+  let workers =
+    Option.value workers ~default:(Domain_pool.recommended_workers ())
+  in
+  { workers; m = { stages = 0; vertices = 0; exchanged = 0; gathered = 0 } }
+
+let workers c = c.workers
+
+let metrics c = c.m
+
+let reset_metrics c =
+  c.m.stages <- 0;
+  c.m.vertices <- 0;
+  c.m.exchanged <- 0;
+  c.m.gathered <- 0
+
+let run_stage c f parts =
+  c.m.stages <- c.m.stages + 1;
+  c.m.vertices <- c.m.vertices + Array.length parts;
+  Domain_pool.map_array ~workers:c.workers f parts
+
+let map_partitions c f ds =
+  Dataset.of_partitions (run_stage c f (Dataset.partitions ds))
+
+(* Compile the shared plugin once before fanning out, so concurrent
+   vertices hit the query cache instead of racing to compile. *)
+let prewarm ?backend prepare parts =
+  if Array.length parts > 0 then ignore (prepare ?backend parts.(0))
+
+let apply_query c ?backend build ds =
+  let parts = Dataset.partitions ds in
+  prewarm ?backend (fun ?backend p -> Steno.prepare ?backend (build p)) parts;
+  Dataset.of_partitions
+    (run_stage c (fun part -> Steno.to_array ?backend (build part)) parts)
+
+let apply_scalar c ?backend build ds =
+  let parts = Dataset.partitions ds in
+  prewarm ?backend
+    (fun ?backend p -> Steno.prepare_scalar ?backend (build p))
+    parts;
+  run_stage c (fun part -> Steno.scalar ?backend (build part)) parts
+
+let exchange c ~parts ~key ds =
+  if parts <= 0 then invalid_arg "Dryad.exchange: parts must be positive";
+  (* Stage 1: each source vertex buckets its elements by destination. *)
+  let bucketed =
+    run_stage c
+      (fun part ->
+        let buckets = Array.make parts [] in
+        Array.iter
+          (fun x ->
+            let d = ((key x mod parts) + parts) mod parts in
+            buckets.(d) <- x :: buckets.(d))
+          part;
+        Array.map (fun l -> Array.of_list (List.rev l)) buckets)
+      (Dataset.partitions ds)
+  in
+  c.m.exchanged <- c.m.exchanged + Dataset.total_length ds;
+  (* Stage 2: each destination vertex concatenates its incoming chunks. *)
+  let dests =
+    run_stage c
+      (fun chunks -> Array.concat (Array.to_list chunks))
+      (Array.init parts (fun d -> Array.map (fun b -> b.(d)) bucketed))
+  in
+  Dataset.of_partitions dests
+
+let gather c ds =
+  c.m.gathered <- c.m.gathered + Dataset.total_length ds;
+  Dataset.collect ds
+
+let sort_by c ?(sample_rate = 16) ~key ds =
+  let parts = Dataset.num_partitions ds in
+  if parts <= 1 then
+    map_partitions c
+      (fun part ->
+        let out = Array.copy part in
+        Array.sort (fun a b -> compare (key a) (key b)) out;
+        out)
+      ds
+  else begin
+    (* Stage 1: sample each partition and gather the sample keys. *)
+    let samples =
+      run_stage c
+        (fun part ->
+          let n = Array.length part in
+          let step = max 1 sample_rate in
+          Array.init ((n + step - 1) / step) (fun i -> key part.(i * step)))
+        (Dataset.partitions ds)
+    in
+    let all = Array.concat (Array.to_list samples) in
+    c.m.gathered <- c.m.gathered + Array.length all;
+    Array.sort compare all;
+    (* Range boundaries: parts-1 evenly spaced sample quantiles. *)
+    let boundaries =
+      Array.init (parts - 1) (fun i ->
+          if Array.length all = 0 then None
+          else Some all.((i + 1) * Array.length all / parts))
+    in
+    let route x =
+      let k = key x in
+      (* First partition whose upper boundary admits k. *)
+      let rec go lo hi =
+        if lo >= hi then lo
+        else
+          let mid = (lo + hi) / 2 in
+          match boundaries.(mid) with
+          | Some b when compare k b <= 0 -> go lo mid
+          | Some _ -> go (mid + 1) hi
+          | None -> lo
+      in
+      go 0 (parts - 1)
+    in
+    let redistributed = exchange c ~parts ~key:route ds in
+    map_partitions c
+      (fun part ->
+        let out = Array.copy part in
+        Array.sort (fun a b -> compare (key a) (key b)) out;
+        out)
+      redistributed
+  end
+
+let reduce_partials c ~combine ds =
+  let all = gather c ds in
+  let merged = Lookup.Agg.create ~seed:None () in
+  Array.iter
+    (fun (k, s) ->
+      Lookup.Agg.update merged k (function
+        | None -> Some s
+        | Some cur -> Some (combine cur s)))
+    all;
+  Array.map
+    (fun (k, s) ->
+      match s with
+      | Some s -> k, s
+      | None -> assert false)
+    (Lookup.Agg.entries merged)
+
+let group_agg_exchange c ~parts ~combine ds =
+  let redistributed = exchange c ~parts ~key:(fun (k, _) -> Hashtbl.hash k) ds in
+  map_partitions c
+    (fun part ->
+      let merged = Lookup.Agg.create ~seed:None () in
+      Array.iter
+        (fun (k, s) ->
+          Lookup.Agg.update merged k (function
+            | None -> Some s
+            | Some cur -> Some (combine cur s)))
+        part;
+      Array.map
+        (fun (k, s) ->
+          match s with
+          | Some s -> k, s
+          | None -> assert false)
+        (Lookup.Agg.entries merged))
+    redistributed

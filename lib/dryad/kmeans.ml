@@ -1,0 +1,96 @@
+module I = Expr.Infix
+
+type distance =
+  | Expression
+  | Udf
+
+let dims centroids =
+  if Array.length centroids = 0 then invalid_arg "Kmeans: no centroids";
+  Array.length centroids.(0)
+
+(* The squared-distance scalar query from point [p] to centroid [j], as a
+   pure expression-level fold over the dimensions. *)
+let expression_distance ~flat ~d p j =
+  Query.range ~start:0 ~count:d
+  |> Query.aggregate ~seed:(Expr.float 0.0) ~step:(fun acc i ->
+         Expr.let_ "dx"
+           I.(p.%(i) -. flat.%(I.(j * Expr.int d) + i))
+           (fun dx -> I.(acc +. (dx *. dx))))
+
+let assignment_query ~distance ~centroids part =
+  let k = Array.length centroids in
+  let d = dims centroids in
+  let flat_arr = Array.concat (Array.to_list centroids) in
+  let flat = Expr.capture (Ty.Array Ty.Float) flat_arr in
+  let vec_add =
+    Expr.capture
+      (Ty.Func (Ty.Array Ty.Float, Ty.Func (Ty.Array Ty.Float, Ty.Array Ty.Float)))
+      (fun a b -> Array.mapi (fun i x -> x +. b.(i)) a)
+  in
+  let zero_vec = Expr.capture (Ty.Array Ty.Float) (Array.make d 0.0) in
+  let dist_udf =
+    Expr.capture
+      (Ty.Func (Ty.Array Ty.Float, Ty.Func (Ty.Int, Ty.Float)))
+      (fun p j ->
+        let s = ref 0.0 in
+        let base = j * d in
+        for i = 0 to d - 1 do
+          let dx = Array.unsafe_get p i -. Array.unsafe_get flat_arr (base + i) in
+          s := !s +. (dx *. dx)
+        done;
+        !s)
+  in
+  Query.of_array (Ty.Array Ty.Float) part
+  |> Query.select_sq (fun p ->
+         (* (cluster, distance, point) of the nearest centroid. *)
+         (match distance with
+         | Expression ->
+           Query.range ~start:0 ~count:k
+           |> Query.select_sq (fun j ->
+                  expression_distance ~flat ~d p j
+                  |> Query.map_scalar (fun dist -> Expr.Triple (j, dist, p)))
+         | Udf ->
+           Query.range ~start:0 ~count:k
+           |> Query.select (fun j ->
+                  Expr.Triple (j, Expr.Apply (Expr.Apply (dist_udf, p), j), p)))
+         |> Query.min_by (fun t -> Expr.Proj3_2 t))
+  |> Query.group_by_agg
+       ~key:(fun t -> Expr.Proj3_1 t)
+       ~seed:(Expr.Pair (zero_vec, Expr.int 0))
+       ~step:(fun acc t ->
+         Expr.Pair
+           ( Expr.Apply (Expr.Apply (vec_add, Expr.Fst acc), Expr.Proj3_3 t),
+             I.(Expr.Snd acc + Expr.int 1) ))
+
+let iterate cluster ?backend ~distance ~centroids ds =
+  let partials =
+    Dryad.apply_query cluster ?backend
+      (assignment_query ~distance ~centroids)
+      ds
+  in
+  let merged =
+    Dryad.reduce_partials cluster
+      ~combine:(fun (s1, n1) (s2, n2) ->
+        Array.mapi (fun i x -> x +. s2.(i)) s1, n1 + n2)
+      partials
+  in
+  let next = Array.map Array.copy centroids in
+  Array.iter
+    (fun (j, (sums, count)) ->
+      if count > 0 then
+        next.(j) <- Array.map (fun s -> s /. float_of_int count) sums)
+    merged;
+  next
+
+let run cluster ?backend ?(distance = Expression) ~iterations ~k ds =
+  if k <= 0 then invalid_arg "Kmeans.run: k must be positive";
+  let n = Dataset.total_length ds in
+  if n = 0 then invalid_arg "Kmeans.run: empty dataset";
+  let all = Dataset.collect ds in
+  let centroids =
+    ref (Array.init k (fun j -> Array.copy all.(j * n / k)))
+  in
+  for _ = 1 to iterations do
+    centroids := iterate cluster ?backend ~distance ~centroids:!centroids ds
+  done;
+  !centroids

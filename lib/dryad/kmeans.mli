@@ -1,0 +1,55 @@
+(** Distributed k-means clustering — the paper's representative DryadLINQ
+    workload (section 7.2), packaged as a library so the example, the
+    Figure 14 benchmark and the tests share one implementation.
+
+    Each iteration is the two-step job of the paper:
+    + in parallel per partition: assign every point to its nearest
+      centroid (a nested query) and fold per-cluster partial vector sums
+      with the GroupByAggregate sink;
+    + merge the partials from all partitions ([Agg*]) and recompute the
+      centroids as means.
+
+    Points are dense [float array]s of dimension [d]. *)
+
+type distance =
+  | Expression
+      (** The squared distance is a pure expression-level nested query
+          (an [aggregate] over [range 0 d]): Steno fuses it into the
+          generated loop, so both the overhead {e and} the useful work are
+          declarative. *)
+  | Udf
+      (** The squared distance is a captured host function, as a
+          DryadLINQ user-defined function would be: opaque to the
+          optimizer, identical cost in all backends — the configuration
+          Figure 14 varies dimension against. *)
+
+val assignment_query :
+  distance:distance ->
+  centroids:float array array ->
+  float array array ->
+  (int * (float array * int)) Query.t
+(** The per-partition step-1 query over one partition's points: yields
+    per-cluster [(sum-vector, count)] partials.  All centroids must share
+    the points' dimension. *)
+
+val iterate :
+  Dryad.cluster ->
+  ?backend:Steno.backend ->
+  distance:distance ->
+  centroids:float array array ->
+  float array Dataset.t ->
+  float array array
+(** One full iteration over the cluster: returns the new centroids.
+    Clusters that attracted no points keep their previous centroid. *)
+
+val run :
+  Dryad.cluster ->
+  ?backend:Steno.backend ->
+  ?distance:distance ->
+  iterations:int ->
+  k:int ->
+  float array Dataset.t ->
+  float array array
+(** Run [iterations] rounds from deterministic initial centroids (evenly
+    spaced input points).  Raises [Invalid_argument] on an empty dataset
+    or non-positive [k]. *)

@@ -1,0 +1,149 @@
+exception Compilation_failed of string
+
+type timings = {
+  write_ms : float;
+  compile_ms : float;
+  load_ms : float;
+}
+
+type compiled = {
+  run : Obj.t array -> Obj.t;
+  timings : timings;
+  source_path : string;
+}
+
+let keep_artifacts = ref false
+
+let workdir_lazy =
+  lazy
+    (let dir =
+       Filename.concat
+         (Filename.get_temp_dir_name ())
+         (Printf.sprintf "steno-%d" (Unix.getpid ()))
+     in
+     (try Unix.mkdir dir 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+     at_exit (fun () ->
+         if not !keep_artifacts then
+           try
+             Sys.readdir dir
+             |> Array.iter (fun f -> Sys.remove (Filename.concat dir f));
+             Unix.rmdir dir
+           with Sys_error _ | Unix.Unix_error _ -> ());
+     dir)
+
+let workdir () = Lazy.force workdir_lazy
+
+let compiler_command =
+  lazy
+    (let candidates =
+       [ "ocamlfind ocamlopt -package ''"; "ocamlopt.opt"; "ocamlopt" ]
+     in
+     let works cmd =
+       Sys.command (Printf.sprintf "%s -version > /dev/null 2>&1" cmd) = 0
+     in
+     List.find_opt works [ "ocamlopt.opt"; "ocamlopt" ]
+     |> function
+     | Some c -> Some c
+     | None -> if works (List.nth candidates 0) then Some "ocamlfind ocamlopt" else None)
+
+let is_available () =
+  Dynlink.is_native && Lazy.force compiler_command <> None
+
+let next_plugin = Atomic.make 0
+
+(* Dynlink is not re-entrant; serialize loads across domains. *)
+let load_mutex = Mutex.create ()
+
+let now_ms () = Unix.gettimeofday () *. 1000.0
+
+(* The plugin's initializer raises [Steno_result fn]; Dynlink surfaces
+   initializer exceptions wrapped in [Library's_module_initializers_failed].
+   We verify the exception constructor's name before trusting the
+   payload. *)
+let extract_result (e : exn) : (Obj.t array -> Obj.t) option =
+  let r = Obj.repr e in
+  if Obj.is_block r && Obj.size r = 2 then begin
+    let slot = Obj.field r 0 in
+    if
+      Obj.is_block slot
+      && Obj.size slot >= 1
+      && Obj.tag (Obj.field slot 0) = Obj.string_tag
+      && (let name : string = Obj.obj (Obj.field slot 0) in
+          String.equal name "Steno_result"
+          || (String.length name > 13
+             && String.equal
+                  (String.sub name (String.length name - 13) 13)
+                  ".Steno_result"))
+    then Some (Obj.obj (Obj.field r 1))
+    else None
+  end
+  else None
+
+let run_command cmd =
+  let out_file = Filename.concat (workdir ()) "compile.log" in
+  let full = Printf.sprintf "%s > %s 2>&1" cmd (Filename.quote out_file) in
+  let status = Sys.command full in
+  let output =
+    try
+      let ic = open_in out_file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    with Sys_error _ -> ""
+  in
+  if status <> 0 then
+    raise
+      (Compilation_failed
+         (Printf.sprintf "command failed (%d): %s\n%s" status cmd output))
+
+let compile ~source =
+  let compiler =
+    match Lazy.force compiler_command with
+    | Some c -> c
+    | None -> raise (Compilation_failed "no native OCaml compiler on PATH")
+  in
+  let id = Atomic.fetch_and_add next_plugin 1 in
+  let modname = Printf.sprintf "steno_plugin_%d_%d" (Unix.getpid ()) id in
+  let dir = workdir () in
+  let ml = Filename.concat dir (modname ^ ".ml") in
+  let cmxs = Filename.concat dir (modname ^ ".cmxs") in
+  let t0 = now_ms () in
+  let oc = open_out ml in
+  output_string oc source;
+  close_out oc;
+  let t1 = now_ms () in
+  run_command
+    (Printf.sprintf "%s -shared -I %s %s -o %s" compiler (Filename.quote dir)
+       (Filename.quote ml) (Filename.quote cmxs));
+  let t2 = now_ms () in
+  let result = ref None in
+  Mutex.lock load_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock load_mutex) @@ fun () ->
+  (try
+     Dynlink.loadfile_private cmxs;
+     raise (Compilation_failed "plugin did not hand back a query function")
+   with
+  | Dynlink.Error (Dynlink.Library's_module_initializers_failed e) -> (
+    match extract_result e with
+    | Some fn -> result := Some fn
+    | None -> raise e)
+  | Dynlink.Error err ->
+    raise (Compilation_failed (Dynlink.error_message err)));
+  let t3 = now_ms () in
+  if not !keep_artifacts then begin
+    List.iter
+      (fun ext ->
+        try Sys.remove (Filename.concat dir (modname ^ ext))
+        with Sys_error _ -> ())
+      [ ".cmi"; ".cmx"; ".o"; ".cmxs"; ".ml" ]
+  end;
+  match !result with
+  | Some run ->
+    {
+      run;
+      timings =
+        { write_ms = t1 -. t0; compile_ms = t2 -. t1; load_ms = t3 -. t2 };
+      source_path = ml;
+    }
+  | None -> raise (Compilation_failed "no result extracted")

@@ -1,0 +1,51 @@
+(** Runtime native compilation and loading of generated query code
+    (section 3.3 of the paper).
+
+    The paper invokes the C# compiler on the generated class, loads the
+    resulting DLL, and patches captured variables in via reflection; this
+    module invokes [ocamlopt -shared] on the generated module, loads the
+    [.cmxs] with [Dynlink], and passes captured values through an
+    [Obj.t array] environment.
+
+    The generated plugin is self-contained (references only [Stdlib]) and
+    hands its compiled query function back to the host by raising a
+    [Steno_result] exception from its initializer — no shared interface
+    files are needed, which keeps plugin compilation hermetic.
+
+    Compilation has a deliberate, measurable one-off cost (tens of
+    milliseconds; section 7.1 reports 69 ms for the C# pipeline); use
+    {!timings} to account for it, and cache {!compiled} values across
+    invocations. *)
+
+exception Compilation_failed of string
+
+type timings = {
+  write_ms : float;  (** writing the source file *)
+  compile_ms : float;  (** [ocamlopt -shared] *)
+  load_ms : float;  (** [Dynlink.loadfile_private] + handshake *)
+}
+
+type compiled = {
+  run : Obj.t array -> Obj.t;
+      (** The query function: environment of captured values in slot
+          order to query result. *)
+  timings : timings;
+  source_path : string;  (** Kept for inspection; see {!keep_artifacts}. *)
+}
+
+val is_available : unit -> bool
+(** Whether a native compiler can be invoked ([ocamlfind ocamlopt] or
+    [ocamlopt] on PATH) and native dynlink is supported. *)
+
+val compile : source:string -> compiled
+(** Write, compile and load a generated plugin.  Raises
+    {!Compilation_failed} with the compiler's output on error.  Thread- and
+    domain-safe: each call uses a fresh module name. *)
+
+val keep_artifacts : bool ref
+(** When false (default), the temporary [.ml]/[.cmx]/[.cmxs] files are
+    deleted after loading; set to true to inspect generated code on
+    disk. *)
+
+val workdir : unit -> string
+(** The per-process scratch directory that plugins are built in. *)

@@ -1,0 +1,559 @@
+type 'a t = { enumerate : unit -> 'a Iterator.t }
+
+let get_enumerator t = t.enumerate ()
+
+let of_fun enumerate = { enumerate }
+
+let empty = { enumerate = (fun () -> Iterator.empty ()) }
+
+let of_array arr = { enumerate = (fun () -> Iterator.of_array arr) }
+
+let of_list l = { enumerate = (fun () -> Iterator.of_list l) }
+
+let of_seq seq = { enumerate = (fun () -> Iterator.of_seq seq) }
+
+let range start count =
+  if count < 0 then invalid_arg "Enumerable.range: negative count";
+  {
+    enumerate =
+      (fun () ->
+        let i = ref (start - 1) in
+        let stop = start + count - 1 in
+        {
+          Iterator.move_next =
+            (fun () ->
+              if !i < stop then begin
+                incr i;
+                true
+              end
+              else false);
+          current = (fun () -> !i);
+        });
+  }
+
+let repeat x count =
+  if count < 0 then invalid_arg "Enumerable.repeat: negative count";
+  {
+    enumerate =
+      (fun () ->
+        let remaining = ref count in
+        {
+          Iterator.move_next =
+            (fun () ->
+              if !remaining > 0 then begin
+                decr remaining;
+                true
+              end
+              else false);
+          current = (fun () -> x);
+        });
+  }
+
+let init n f =
+  if n < 0 then invalid_arg "Enumerable.init: negative count";
+  {
+    enumerate =
+      (fun () ->
+        let i = ref (-1) in
+        let cur = ref (Iterator.unsafe_dummy ()) in
+        {
+          Iterator.move_next =
+            (fun () ->
+              let j = !i + 1 in
+              if j < n then begin
+                i := j;
+                cur := f j;
+                true
+              end
+              else false);
+          current = (fun () -> !cur);
+        });
+  }
+
+(* Element-wise operators: each is a fresh state machine consuming the
+   upstream iterator through its two-call protocol. *)
+
+let select f src =
+  {
+    enumerate =
+      (fun () ->
+        let it = src.enumerate () in
+        let cur = ref (Iterator.unsafe_dummy ()) in
+        {
+          Iterator.move_next =
+            (fun () ->
+              if it.Iterator.move_next () then begin
+                cur := f (it.Iterator.current ());
+                true
+              end
+              else false);
+          current = (fun () -> !cur);
+        });
+  }
+
+let select_i f src =
+  {
+    enumerate =
+      (fun () ->
+        let it = src.enumerate () in
+        let idx = ref (-1) in
+        let cur = ref (Iterator.unsafe_dummy ()) in
+        {
+          Iterator.move_next =
+            (fun () ->
+              if it.Iterator.move_next () then begin
+                incr idx;
+                cur := f !idx (it.Iterator.current ());
+                true
+              end
+              else false);
+          current = (fun () -> !cur);
+        });
+  }
+
+let where p src =
+  {
+    enumerate =
+      (fun () ->
+        let it = src.enumerate () in
+        let cur = ref (Iterator.unsafe_dummy ()) in
+        let rec advance () =
+          if it.Iterator.move_next () then begin
+            let x = it.Iterator.current () in
+            if p x then begin
+              cur := x;
+              true
+            end
+            else advance ()
+          end
+          else false
+        in
+        { Iterator.move_next = advance; current = (fun () -> !cur) });
+  }
+
+let where_i p src =
+  {
+    enumerate =
+      (fun () ->
+        let it = src.enumerate () in
+        let idx = ref (-1) in
+        let cur = ref (Iterator.unsafe_dummy ()) in
+        let rec advance () =
+          if it.Iterator.move_next () then begin
+            incr idx;
+            let x = it.Iterator.current () in
+            if p !idx x then begin
+              cur := x;
+              true
+            end
+            else advance ()
+          end
+          else false
+        in
+        { Iterator.move_next = advance; current = (fun () -> !cur) });
+  }
+
+let take n src =
+  {
+    enumerate =
+      (fun () ->
+        let it = src.enumerate () in
+        let remaining = ref n in
+        {
+          Iterator.move_next =
+            (fun () ->
+              if !remaining > 0 && it.Iterator.move_next () then begin
+                decr remaining;
+                true
+              end
+              else false);
+          current = (fun () -> it.Iterator.current ());
+        });
+  }
+
+let skip n src =
+  {
+    enumerate =
+      (fun () ->
+        let it = src.enumerate () in
+        let to_skip = ref n in
+        let rec advance () =
+          if it.Iterator.move_next () then
+            if !to_skip > 0 then begin
+              decr to_skip;
+              advance ()
+            end
+            else true
+          else false
+        in
+        {
+          Iterator.move_next = advance;
+          current = (fun () -> it.Iterator.current ());
+        });
+  }
+
+let take_while p src =
+  {
+    enumerate =
+      (fun () ->
+        let it = src.enumerate () in
+        let stopped = ref false in
+        let cur = ref (Iterator.unsafe_dummy ()) in
+        {
+          Iterator.move_next =
+            (fun () ->
+              if !stopped then false
+              else if it.Iterator.move_next () then begin
+                let x = it.Iterator.current () in
+                if p x then begin
+                  cur := x;
+                  true
+                end
+                else begin
+                  stopped := true;
+                  false
+                end
+              end
+              else begin
+                stopped := true;
+                false
+              end);
+          current = (fun () -> !cur);
+        });
+  }
+
+let skip_while p src =
+  {
+    enumerate =
+      (fun () ->
+        let it = src.enumerate () in
+        let skipping = ref true in
+        let cur = ref (Iterator.unsafe_dummy ()) in
+        let rec advance () =
+          if it.Iterator.move_next () then begin
+            let x = it.Iterator.current () in
+            if !skipping && p x then advance ()
+            else begin
+              skipping := false;
+              cur := x;
+              true
+            end
+          end
+          else false
+        in
+        { Iterator.move_next = advance; current = (fun () -> !cur) });
+  }
+
+(* Nested operators: one inner iterator per outer element, exactly the
+   multiplied-overhead shape of section 5. *)
+
+let select_many f src =
+  {
+    enumerate =
+      (fun () ->
+        let outer = src.enumerate () in
+        let inner = ref None in
+        let cur = ref (Iterator.unsafe_dummy ()) in
+        let rec advance () =
+          match !inner with
+          | Some it when it.Iterator.move_next () ->
+            cur := it.Iterator.current ();
+            true
+          | Some _ ->
+            inner := None;
+            advance ()
+          | None ->
+            if outer.Iterator.move_next () then begin
+              inner := Some ((f (outer.Iterator.current ())).enumerate ());
+              advance ()
+            end
+            else false
+        in
+        { Iterator.move_next = advance; current = (fun () -> !cur) });
+  }
+
+let select_many_result f result src =
+  {
+    enumerate =
+      (fun () ->
+        let outer = src.enumerate () in
+        let inner = ref None in
+        let outer_cur = ref (Iterator.unsafe_dummy ()) in
+        let cur = ref (Iterator.unsafe_dummy ()) in
+        let rec advance () =
+          match !inner with
+          | Some it when it.Iterator.move_next () ->
+            cur := result !outer_cur (it.Iterator.current ());
+            true
+          | Some _ ->
+            inner := None;
+            advance ()
+          | None ->
+            if outer.Iterator.move_next () then begin
+              outer_cur := outer.Iterator.current ();
+              inner := Some ((f !outer_cur).enumerate ());
+              advance ()
+            end
+            else false
+        in
+        { Iterator.move_next = advance; current = (fun () -> !cur) });
+  }
+
+let append a b =
+  {
+    enumerate =
+      (fun () ->
+        let it = ref (a.enumerate ()) in
+        let on_second = ref false in
+        let rec advance () =
+          if !it.Iterator.move_next () then true
+          else if not !on_second then begin
+            on_second := true;
+            it := b.enumerate ();
+            advance ()
+          end
+          else false
+        in
+        {
+          Iterator.move_next = advance;
+          current = (fun () -> !it.Iterator.current ());
+        });
+  }
+
+let concat sources = select_many (fun s -> s) sources
+
+let zip f a b =
+  {
+    enumerate =
+      (fun () ->
+        let ita = a.enumerate () in
+        let itb = b.enumerate () in
+        let cur = ref (Iterator.unsafe_dummy ()) in
+        {
+          Iterator.move_next =
+            (fun () ->
+              if ita.Iterator.move_next () && itb.Iterator.move_next ()
+              then begin
+                cur := f (ita.Iterator.current ()) (itb.Iterator.current ());
+                true
+              end
+              else false);
+          current = (fun () -> !cur);
+        });
+  }
+
+let default_if_empty default src =
+  {
+    enumerate =
+      (fun () ->
+        let it = src.enumerate () in
+        let produced = ref false in
+        let defaulted = ref false in
+        {
+          Iterator.move_next =
+            (fun () ->
+              if it.Iterator.move_next () then begin
+                produced := true;
+                true
+              end
+              else if (not !produced) && not !defaulted then begin
+                defaulted := true;
+                true
+              end
+              else false);
+          current =
+            (fun () ->
+              if !defaulted then default else it.Iterator.current ());
+        });
+  }
+
+(* Eager drains. *)
+
+let fold f acc src = Iterator.fold f acc (src.enumerate ())
+
+let iter f src = Iterator.iter f (src.enumerate ())
+
+let to_list src = Iterator.to_list (src.enumerate ())
+
+let to_array src = Iterator.to_array (src.enumerate ())
+
+let to_seq src =
+  let rec node it () =
+    if it.Iterator.move_next () then
+      Seq.Cons (it.Iterator.current (), node it)
+    else Seq.Nil
+  in
+  fun () -> node (src.enumerate ()) ()
+
+(* Sink operators: materialize on first enumeration, then iterate the
+   intermediate collection (section 4.1, the Sink class). *)
+
+let sink_of_array src = of_fun (fun () -> Iterator.of_array (src ()))
+
+let reverse src =
+  sink_of_array (fun () ->
+      let arr = to_array src in
+      let n = Array.length arr in
+      Array.init n (fun i -> arr.(n - 1 - i)))
+
+let distinct src =
+  sink_of_array (fun () ->
+      let seen = Hashtbl.create 64 in
+      let buf = ref [] in
+      let n = ref 0 in
+      iter
+        (fun x ->
+          if not (Hashtbl.mem seen x) then begin
+            Hashtbl.replace seen x ();
+            buf := x :: !buf;
+            incr n
+          end)
+        src;
+      let arr = Array.of_list (List.rev !buf) in
+      arr)
+
+let sorted_by compare_key key src =
+  sink_of_array (fun () ->
+      let arr = to_array src in
+      (* Decorate with the original index to make the sort stable, matching
+         LINQ's OrderBy. *)
+      let decorated = Array.mapi (fun i x -> key x, i, x) arr in
+      Array.sort
+        (fun (k1, i1, _) (k2, i2, _) ->
+          let c = compare_key k1 k2 in
+          if c <> 0 then c else Int.compare i1 i2)
+        decorated;
+      Array.map (fun (_, _, x) -> x) decorated)
+
+let order_by key src = sorted_by compare key src
+
+let order_by_descending key src =
+  sorted_by (fun a b -> compare b a) key src
+
+
+
+let build_lookup key src =
+  fold (fun lookup x -> Lookup.put lookup (key x) x) (Lookup.create ()) src
+
+let group_by key src =
+  sink_of_array (fun () -> Lookup.groupings (build_lookup key src))
+
+let group_by_elem key elem src =
+  sink_of_array (fun () ->
+      let lookup =
+        fold
+          (fun lookup x -> Lookup.put lookup (key x) (elem x))
+          (Lookup.create ()) src
+      in
+      Lookup.groupings lookup)
+
+let group_by_result key result src =
+  sink_of_array (fun () ->
+      let groups = Lookup.groupings (build_lookup key src) in
+      Array.map (fun (k, values) -> result k values) groups)
+
+let join outer_key inner_key result outer inner =
+  of_fun (fun () ->
+      (* Hash join: index the inner side once, then stream the outer side. *)
+      let lookup = build_lookup inner_key inner in
+      let flattened =
+        select_many
+          (fun o ->
+            let matches = Lookup.find lookup (outer_key o) in
+            select (fun i -> result o i) (of_array matches))
+          outer
+      in
+      get_enumerator flattened)
+
+(* Aggregates. *)
+
+let aggregate seed f src = fold f seed src
+
+let aggregate_result seed f result src = result (fold f seed src)
+
+let reduce f src =
+  let it = src.enumerate () in
+  if not (it.Iterator.move_next ()) then raise Iterator.No_such_element;
+  let acc = ref (it.Iterator.current ()) in
+  while it.Iterator.move_next () do
+    acc := f !acc (it.Iterator.current ())
+  done;
+  !acc
+
+let sum_int src = fold (fun acc x -> acc + x) 0 src
+
+let sum_float src = fold (fun acc x -> acc +. x) 0.0 src
+
+let sum_by_int f src = fold (fun acc x -> acc + f x) 0 src
+
+let sum_by_float f src = fold (fun acc x -> acc +. f x) 0.0 src
+
+let count src = fold (fun acc _ -> acc + 1) 0 src
+
+let count_where p src =
+  fold (fun acc x -> if p x then acc + 1 else acc) 0 src
+
+let average src =
+  let total, n = fold (fun (t, n) x -> t +. x, n + 1) (0.0, 0) src in
+  if n = 0 then raise Iterator.No_such_element else total /. float_of_int n
+
+let min_elt src = reduce (fun a b -> if compare b a < 0 then b else a) src
+
+let max_elt src = reduce (fun a b -> if compare b a > 0 then b else a) src
+
+let min_by key src =
+  reduce (fun a b -> if compare (key b) (key a) < 0 then b else a) src
+
+let max_by key src =
+  reduce (fun a b -> if compare (key b) (key a) > 0 then b else a) src
+
+let any src = (src.enumerate ()).Iterator.move_next ()
+
+let exists p src =
+  let it = src.enumerate () in
+  let rec go () =
+    if it.Iterator.move_next () then p (it.Iterator.current ()) || go ()
+    else false
+  in
+  go ()
+
+let for_all p src = not (exists (fun x -> not (p x)) src)
+
+let contains x src = exists (fun y -> compare x y = 0) src
+
+let first src =
+  let it = src.enumerate () in
+  if it.Iterator.move_next () then it.Iterator.current ()
+  else raise Iterator.No_such_element
+
+let first_where p src = first (where p src)
+
+let first_opt src =
+  let it = src.enumerate () in
+  if it.Iterator.move_next () then Some (it.Iterator.current ()) else None
+
+let last src =
+  let it = src.enumerate () in
+  if not (it.Iterator.move_next ()) then raise Iterator.No_such_element;
+  let cur = ref (it.Iterator.current ()) in
+  while it.Iterator.move_next () do
+    cur := it.Iterator.current ()
+  done;
+  !cur
+
+let element_at n src =
+  if n < 0 then invalid_arg "Enumerable.element_at: negative index";
+  first (skip n src)
+
+let sequence_equal a b =
+  let ita = a.enumerate () in
+  let itb = b.enumerate () in
+  let rec go () =
+    match ita.Iterator.move_next (), itb.Iterator.move_next () with
+    | true, true ->
+      compare (ita.Iterator.current ()) (itb.Iterator.current ()) = 0
+      && go ()
+    | false, false -> true
+    | true, false | false, true -> false
+  in
+  go ()

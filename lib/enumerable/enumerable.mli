@@ -1,0 +1,134 @@
+(** Lazily-evaluated query operators over pull iterators: the LINQ substrate
+    (section 2 of the paper).
+
+    Every composable operator ([select], [where], [group_by], ...) returns a
+    new enumerable whose iterator is a state machine consuming the upstream
+    iterator, so a chain of [n] operators costs at least [2n] indirect calls
+    per element plus one more per lambda — the overhead structure that Steno
+    eliminates.  Aggregate operators ([sum], [count], [min], ...) are eager
+    and drain the upstream iterator with a fold loop.
+
+    Operator semantics follow .NET LINQ: lazy evaluation, stable [order_by],
+    [group_by] groups in first-appearance order. *)
+
+type 'a t
+(** An enumerable collection: a factory of fresh iterators, so the same
+    query value can be enumerated many times. *)
+
+val get_enumerator : 'a t -> 'a Iterator.t
+
+(** {1 Sources} *)
+
+val empty : 'a t
+val of_array : 'a array -> 'a t
+val of_list : 'a list -> 'a t
+val of_seq : 'a Seq.t -> 'a t
+
+val of_fun : (unit -> 'a Iterator.t) -> 'a t
+(** Wrap an arbitrary iterator factory. *)
+
+val range : int -> int -> int t
+(** [range start count] enumerates [start, start+1, ..., start+count-1].
+    Raises [Invalid_argument] if [count < 0]. *)
+
+val repeat : 'a -> int -> 'a t
+(** [repeat x count] enumerates [x] exactly [count] times. *)
+
+val init : int -> (int -> 'a) -> 'a t
+(** [init n f] enumerates [f 0, ..., f (n-1)]. *)
+
+(** {1 Element-wise (Trans / Pred) operators} *)
+
+val select : ('a -> 'b) -> 'a t -> 'b t
+val select_i : (int -> 'a -> 'b) -> 'a t -> 'b t
+val where : ('a -> bool) -> 'a t -> 'a t
+val where_i : (int -> 'a -> bool) -> 'a t -> 'a t
+val take : int -> 'a t -> 'a t
+val skip : int -> 'a t -> 'a t
+val take_while : ('a -> bool) -> 'a t -> 'a t
+val skip_while : ('a -> bool) -> 'a t -> 'a t
+
+(** {1 Nested operators} *)
+
+val select_many : ('a -> 'b t) -> 'a t -> 'b t
+(** Flatten one inner enumerable per outer element (the paper's fundamental
+    nested operator, section 5). *)
+
+val select_many_result : ('a -> 'b t) -> ('a -> 'b -> 'c) -> 'a t -> 'c t
+(** [select_many] with a result selector combining the outer and inner
+    elements. *)
+
+val join :
+  ('a -> 'k) -> ('b -> 'k) -> ('a -> 'b -> 'c) -> 'a t -> 'b t -> 'c t
+(** [join outer_key inner_key result outer inner] is the LINQ hash
+    equi-join: for each outer element, every inner element with an equal
+    key, in inner order. *)
+
+(** {1 Composition} *)
+
+val append : 'a t -> 'a t -> 'a t
+val concat : 'a t t -> 'a t
+val zip : ('a -> 'b -> 'c) -> 'a t -> 'b t -> 'c t
+val default_if_empty : 'a -> 'a t -> 'a t
+
+(** {1 Sink operators}
+
+    These materialize an intermediate collection on first enumeration
+    (lazily, like LINQ). *)
+
+val reverse : 'a t -> 'a t
+val distinct : 'a t -> 'a t
+
+val order_by : ('a -> 'k) -> 'a t -> 'a t
+(** Stable ascending sort by key (polymorphic comparison on ['k]). *)
+
+val order_by_descending : ('a -> 'k) -> 'a t -> 'a t
+
+val group_by : ('a -> 'k) -> 'a t -> ('k * 'a array) t
+(** Groups in first-appearance order of keys; values in source order. *)
+
+val group_by_elem : ('a -> 'k) -> ('a -> 'e) -> 'a t -> ('k * 'e array) t
+(** GroupBy with an element selector applied to each value. *)
+
+val group_by_result : ('a -> 'k) -> ('k -> 'a array -> 'r) -> 'a t -> 'r t
+(** GroupBy with a result selector applied to each (key, group) — the form
+    whose aggregating instances the GroupByAggregate specialization
+    (section 4.3) targets. *)
+
+(** {1 Aggregate (eager) operators} *)
+
+val aggregate : 's -> ('s -> 'a -> 's) -> 'a t -> 's
+val aggregate_result : 's -> ('s -> 'a -> 's) -> ('s -> 'r) -> 'a t -> 'r
+
+val reduce : ('a -> 'a -> 'a) -> 'a t -> 'a
+(** Seedless aggregate; raises [Iterator.No_such_element] on empty input. *)
+
+val sum_int : int t -> int
+val sum_float : float t -> float
+val sum_by_int : ('a -> int) -> 'a t -> int
+val sum_by_float : ('a -> float) -> 'a t -> float
+val average : float t -> float
+val count : 'a t -> int
+val count_where : ('a -> bool) -> 'a t -> int
+val min_elt : 'a t -> 'a
+val max_elt : 'a t -> 'a
+val min_by : ('a -> 'k) -> 'a t -> 'a
+val max_by : ('a -> 'k) -> 'a t -> 'a
+val any : 'a t -> bool
+val exists : ('a -> bool) -> 'a t -> bool
+val for_all : ('a -> bool) -> 'a t -> bool
+val contains : 'a -> 'a t -> bool
+val first : 'a t -> 'a
+val first_where : ('a -> bool) -> 'a t -> 'a
+val first_opt : 'a t -> 'a option
+val last : 'a t -> 'a
+val element_at : int -> 'a t -> 'a
+val sequence_equal : 'a t -> 'a t -> bool
+
+(** {1 Conversions} *)
+
+val to_array : 'a t -> 'a array
+val to_list : 'a t -> 'a list
+val to_seq : 'a t -> 'a Seq.t
+val iter : ('a -> unit) -> 'a t -> unit
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc

@@ -1,0 +1,78 @@
+type 'a t = {
+  move_next : unit -> bool;
+  current : unit -> 'a;
+}
+
+exception No_such_element
+
+(* The dummy seeds the [current] field of a state machine before the first
+   element arrives, avoiding a per-element [option] allocation that .NET's
+   typed instance fields do not incur.  Safe because the protocol guarantees
+   [current] is only read after a successful [move_next] stored a real
+   element. *)
+let unsafe_dummy () : 'a = Obj.magic 0
+
+let empty () = { move_next = (fun () -> false); current = (fun () -> raise No_such_element) }
+
+let of_array arr =
+  let n = Array.length arr in
+  let i = ref (-1) in
+  let cur = ref (unsafe_dummy ()) in
+  {
+    move_next =
+      (fun () ->
+        let j = !i + 1 in
+        if j < n then begin
+          i := j;
+          cur := Array.get arr j;
+          true
+        end
+        else false);
+    current = (fun () -> !cur);
+  }
+
+let of_list l =
+  let rest = ref l in
+  let cur = ref (unsafe_dummy ()) in
+  {
+    move_next =
+      (fun () ->
+        match !rest with
+        | [] -> false
+        | x :: tl ->
+          cur := x;
+          rest := tl;
+          true);
+    current = (fun () -> !cur);
+  }
+
+let of_seq seq =
+  let rest = ref seq in
+  let cur = ref (unsafe_dummy ()) in
+  {
+    move_next =
+      (fun () ->
+        match !rest () with
+        | Seq.Nil -> false
+        | Seq.Cons (x, tl) ->
+          cur := x;
+          rest := tl;
+          true);
+    current = (fun () -> !cur);
+  }
+
+let fold f acc it =
+  let acc = ref acc in
+  while it.move_next () do
+    acc := f !acc (it.current ())
+  done;
+  !acc
+
+let iter f it =
+  while it.move_next () do
+    f (it.current ())
+  done
+
+let to_list it = List.rev (fold (fun acc x -> x :: acc) [] it)
+
+let to_array it = Array.of_list (to_list it)

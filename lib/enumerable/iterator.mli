@@ -1,0 +1,45 @@
+(** Pull iterators in the style of .NET's [IEnumerator<T>] (section 2 of the
+    paper).
+
+    An iterator exposes two separate operations, [move_next] and [current],
+    each behind its own indirect (closure) call — deliberately mirroring the
+    two virtual calls per element per operator that the paper identifies as
+    the core overhead of LINQ execution.  Composable operators are
+    implemented as state machines that consume an upstream iterator and
+    yield (possibly transformed) elements downstream. *)
+
+type 'a t = {
+  move_next : unit -> bool;
+      (** Advance to the next element; [false] when exhausted. *)
+  current : unit -> 'a;
+      (** The element at the current position.  Unspecified before the first
+          [move_next] or after exhaustion. *)
+}
+
+exception No_such_element
+(** Raised by terminal operators that require a non-empty sequence
+    (the analog of .NET's [InvalidOperationException]). *)
+
+val empty : unit -> 'a t
+
+val of_array : 'a array -> 'a t
+(** Iterate over an array by index (the generic, non-type-specialized
+    access path). *)
+
+val of_list : 'a list -> 'a t
+val of_seq : 'a Seq.t -> 'a t
+
+val unsafe_dummy : unit -> 'a
+(** An arbitrary bit-pattern used to seed the mutable [current] slot of a
+    state machine before the first element is produced.  .NET iterators
+    keep the current element in an instance field of the element type,
+    which needs no initial value; this is the OCaml equivalent.  The value
+    must never escape: every reader is guarded by the state machine. *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** Drain the iterator through the [move_next]/[current] protocol. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val to_list : 'a t -> 'a list
+val to_array : 'a t -> 'a array

@@ -1,0 +1,649 @@
+type 'a var = {
+  id : int;
+  name : string;
+  var_ty : 'a Ty.t;
+}
+
+type _ t =
+  | Var : 'a var -> 'a t
+  | Const_unit : unit t
+  | Const_bool : bool -> bool t
+  | Const_int : int -> int t
+  | Const_float : float -> float t
+  | Const_string : string -> string t
+  | Capture : 'a Ty.t * 'a -> 'a t
+  | If : bool t * 'a t * 'a t -> 'a t
+  | Let : 'a var * 'a t * 'b t -> 'b t
+  | Pair : 'a t * 'b t -> ('a * 'b) t
+  | Fst : ('a * 'b) t -> 'a t
+  | Snd : ('a * 'b) t -> 'b t
+  | Triple : 'a t * 'b t * 'c t -> ('a * 'b * 'c) t
+  | Proj3_1 : ('a * 'b * 'c) t -> 'a t
+  | Proj3_2 : ('a * 'b * 'c) t -> 'b t
+  | Proj3_3 : ('a * 'b * 'c) t -> 'c t
+  | Prim1 : ('a, 'b) Prim.t1 * 'a t -> 'b t
+  | Prim2 : ('a, 'b, 'c) Prim.t2 * 'a t * 'b t -> 'c t
+  | Array_get : 'a array t * int t -> 'a t
+  | Array_length : 'a array t -> int t
+  | Apply : ('a -> 'b) t * 'a t -> 'b t
+
+type ('a, 'b) lam = { param : 'a var; body : 'b t }
+type ('a, 'b, 'c) lam2 = { param1 : 'a var; param2 : 'b var; body2 : 'c t }
+
+let next_id = Atomic.make 0
+
+let fresh_var name var_ty = { id = Atomic.fetch_and_add next_id 1; name; var_ty }
+
+let lam name ty f =
+  let param = fresh_var name ty in
+  { param; body = f (Var param) }
+
+let lam2 name1 ty1 name2 ty2 f =
+  let param1 = fresh_var name1 ty1 in
+  let param2 = fresh_var name2 ty2 in
+  { param1; param2; body2 = f (Var param1) (Var param2) }
+
+let capture ty v = Capture (ty, v)
+let unit = Const_unit
+let bool b = Const_bool b
+let int n = Const_int n
+let float x = Const_float x
+let string s = Const_string s
+
+(* Typing: synthesized bottom-up; every leaf carries its type. *)
+let rec ty_of : type a. a t -> a Ty.t = function
+  | Var v -> v.var_ty
+  | Const_unit -> Ty.Unit
+  | Const_bool _ -> Ty.Bool
+  | Const_int _ -> Ty.Int
+  | Const_float _ -> Ty.Float
+  | Const_string _ -> Ty.String
+  | Capture (ty, _) -> ty
+  | If (_, a, _) -> ty_of a
+  | Let (_, _, body) -> ty_of body
+  | Pair (a, b) -> Ty.Pair (ty_of a, ty_of b)
+  | Fst a -> ( match ty_of a with Ty.Pair (ta, _) -> ta)
+  | Snd a -> ( match ty_of a with Ty.Pair (_, tb) -> tb)
+  | Triple (a, b, c) -> Ty.Triple (ty_of a, ty_of b, ty_of c)
+  | Proj3_1 a -> ( match ty_of a with Ty.Triple (ta, _, _) -> ta)
+  | Proj3_2 a -> ( match ty_of a with Ty.Triple (_, tb, _) -> tb)
+  | Proj3_3 a -> ( match ty_of a with Ty.Triple (_, _, tc) -> tc)
+  | Prim1 (p, a) -> ty_of_prim1 p (ty_of a)
+  | Prim2 (p, a, b) -> ty_of_prim2 p (ty_of a) (ty_of b)
+  | Array_get (arr, _) -> ( match ty_of arr with Ty.Array ty -> ty)
+  | Array_length _ -> Ty.Int
+  | Apply (f, _) -> ( match ty_of f with Ty.Func (_, tb) -> tb)
+
+and ty_of_prim1 : type a b. (a, b) Prim.t1 -> a Ty.t -> b Ty.t =
+ fun p _ ->
+  match p with
+  | Prim.Neg_int -> Ty.Int
+  | Prim.Neg_float -> Ty.Float
+  | Prim.Not -> Ty.Bool
+  | Prim.Abs_int -> Ty.Int
+  | Prim.Abs_float -> Ty.Float
+  | Prim.Sqrt -> Ty.Float
+  | Prim.Exp -> Ty.Float
+  | Prim.Log -> Ty.Float
+  | Prim.Sin -> Ty.Float
+  | Prim.Cos -> Ty.Float
+  | Prim.Float_of_int -> Ty.Float
+  | Prim.Truncate -> Ty.Int
+  | Prim.Round -> Ty.Int
+  | Prim.String_length -> Ty.Int
+
+and ty_of_prim2 : type a b c. (a, b, c) Prim.t2 -> a Ty.t -> b Ty.t -> c Ty.t =
+ fun p _ _ ->
+  match p with
+  | Prim.Add_int -> Ty.Int
+  | Prim.Sub_int -> Ty.Int
+  | Prim.Mul_int -> Ty.Int
+  | Prim.Div_int -> Ty.Int
+  | Prim.Mod_int -> Ty.Int
+  | Prim.Add_float -> Ty.Float
+  | Prim.Sub_float -> Ty.Float
+  | Prim.Mul_float -> Ty.Float
+  | Prim.Div_float -> Ty.Float
+  | Prim.Pow_float -> Ty.Float
+  | Prim.Min_int -> Ty.Int
+  | Prim.Max_int -> Ty.Int
+  | Prim.Min_float -> Ty.Float
+  | Prim.Max_float -> Ty.Float
+  | Prim.Eq -> Ty.Bool
+  | Prim.Ne -> Ty.Bool
+  | Prim.Lt -> Ty.Bool
+  | Prim.Le -> Ty.Bool
+  | Prim.Gt -> Ty.Bool
+  | Prim.Ge -> Ty.Bool
+  | Prim.And -> Ty.Bool
+  | Prim.Or -> Ty.Bool
+  | Prim.String_concat -> Ty.String
+
+let let_ name e f =
+  let v = fresh_var name (ty_of e) in
+  Let (v, e, f (Var v))
+
+(* Staging: walk the AST once, producing a closure over the runtime
+   environment.  The environment maps variable ids to values; the pairing
+   of id and type is sound because ids are globally unique and a binding is
+   only ever created for the variable that owns the id. *)
+
+type env = (int * Obj.t) list
+
+let env_lookup env id =
+  let rec go = function
+    | [] -> invalid_arg "Expr: free variable during evaluation"
+    | (i, v) :: rest -> if i = id then v else go rest
+  in
+  go env
+
+let rec compile : type a. a t -> env -> a = function
+  | Var v ->
+    let id = v.id in
+    fun env -> Obj.obj (env_lookup env id)
+  | Const_unit -> fun _ -> ()
+  | Const_bool b -> fun _ -> b
+  | Const_int n -> fun _ -> n
+  | Const_float x -> fun _ -> x
+  | Const_string s -> fun _ -> s
+  | Capture (_, v) -> fun _ -> v
+  | If (c, a, b) ->
+    let fc = compile c and fa = compile a and fb = compile b in
+    fun env -> if fc env then fa env else fb env
+  | Let (v, e, body) ->
+    let fe = compile e and fbody = compile body in
+    let id = v.id in
+    fun env -> fbody ((id, Obj.repr (fe env)) :: env)
+  | Pair (a, b) ->
+    let fa = compile a and fb = compile b in
+    fun env -> fa env, fb env
+  | Fst a ->
+    let fa = compile a in
+    fun env -> fst (fa env)
+  | Snd a ->
+    let fa = compile a in
+    fun env -> snd (fa env)
+  | Triple (a, b, c) ->
+    let fa = compile a and fb = compile b and fc = compile c in
+    fun env -> fa env, fb env, fc env
+  | Proj3_1 a ->
+    let fa = compile a in
+    fun env ->
+      let x, _, _ = fa env in
+      x
+  | Proj3_2 a ->
+    let fa = compile a in
+    fun env ->
+      let _, y, _ = fa env in
+      y
+  | Proj3_3 a ->
+    let fa = compile a in
+    fun env ->
+      let _, _, z = fa env in
+      z
+  | Prim2 (Prim.And, a, b) ->
+    (* Short-circuit, matching the generated code's use of [&&]. *)
+    let fa = compile a and fb = compile b in
+    fun env -> fa env && fb env
+  | Prim2 (Prim.Or, a, b) ->
+    let fa = compile a and fb = compile b in
+    fun env -> fa env || fb env
+  | Prim1 (p, a) ->
+    let f = Prim.eval1 p and fa = compile a in
+    fun env -> f (fa env)
+  | Prim2 (p, a, b) ->
+    let f = Prim.eval2 p and fa = compile a and fb = compile b in
+    fun env -> f (fa env) (fb env)
+  | Array_get (arr, i) ->
+    let farr = compile arr and fi = compile i in
+    fun env -> (farr env).(fi env)
+  | Array_length arr ->
+    let farr = compile arr in
+    fun env -> Array.length (farr env)
+  | Apply (f, a) ->
+    let ff = compile f and fa = compile a in
+    fun env -> ff env (fa env)
+
+let eval e = compile e []
+
+let stage { param; body } =
+  let f = compile body in
+  let id = param.id in
+  fun x -> f [ id, Obj.repr x ]
+
+let stage2 { param1; param2; body2 } =
+  let f = compile body2 in
+  let id1 = param1.id and id2 = param2.id in
+  fun x y -> f [ id1, Obj.repr x; id2, Obj.repr y ]
+
+module Open = struct
+  type nonrec env = env
+
+  let empty = []
+  let bind v x env = (v.id, Obj.repr x) :: env
+  let compile = compile
+
+  let compile_lam { param; body } =
+    let f = compile body in
+    let id = param.id in
+    fun env x -> f ((id, Obj.repr x) :: env)
+
+  let compile_lam2 { param1; param2; body2 } =
+    let f = compile body2 in
+    let id1 = param1.id and id2 = param2.id in
+    fun env x y -> f ((id1, Obj.repr x) :: (id2, Obj.repr y) :: env)
+end
+
+(* Analysis. *)
+
+let free_var_ids e =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let rec go : type a. int list -> a t -> unit =
+   fun bound e ->
+    match e with
+    | Var v ->
+      if (not (List.mem v.id bound)) && not (Hashtbl.mem seen v.id) then begin
+        Hashtbl.replace seen v.id ();
+        out := v.id :: !out
+      end
+    | Const_unit | Const_bool _ | Const_int _ | Const_float _
+    | Const_string _ | Capture _ ->
+      ()
+    | If (c, a, b) ->
+      go bound c;
+      go bound a;
+      go bound b
+    | Let (v, e1, body) ->
+      go bound e1;
+      go (v.id :: bound) body
+    | Pair (a, b) ->
+      go bound a;
+      go bound b
+    | Fst a -> go bound a
+    | Snd a -> go bound a
+    | Triple (a, b, c) ->
+      go bound a;
+      go bound b;
+      go bound c
+    | Proj3_1 a -> go bound a
+    | Proj3_2 a -> go bound a
+    | Proj3_3 a -> go bound a
+    | Prim1 (_, a) -> go bound a
+    | Prim2 (_, a, b) ->
+      go bound a;
+      go bound b
+    | Array_get (arr, i) ->
+      go bound arr;
+      go bound i
+    | Array_length arr -> go bound arr
+    | Apply (f, a) ->
+      go bound f;
+      go bound a
+  in
+  go [] e;
+  List.rev !out
+
+let rec size : type a. a t -> int = function
+  | Var _ | Const_unit | Const_bool _ | Const_int _ | Const_float _
+  | Const_string _ | Capture _ ->
+    1
+  | If (c, a, b) -> 1 + size c + size a + size b
+  | Let (_, e, body) -> 1 + size e + size body
+  | Pair (a, b) -> 1 + size a + size b
+  | Fst a -> 1 + size a
+  | Snd a -> 1 + size a
+  | Triple (a, b, c) -> 1 + size a + size b + size c
+  | Proj3_1 a -> 1 + size a
+  | Proj3_2 a -> 1 + size a
+  | Proj3_3 a -> 1 + size a
+  | Prim1 (_, a) -> 1 + size a
+  | Prim2 (_, a, b) -> 1 + size a + size b
+  | Array_get (arr, i) -> 1 + size arr + size i
+  | Array_length arr -> 1 + size arr
+  | Apply (f, a) -> 1 + size f + size a
+
+(* Simplification: bottom-up constant folding plus elimination of lets
+   binding atoms.  An expression with no variables, captures or host
+   applications is a compile-time constant; it folds when its type has a
+   literal form. *)
+
+let const_of_ty : type a. a Ty.t -> a -> a t option =
+ fun ty v ->
+  match ty with
+  | Ty.Unit -> Some Const_unit
+  | Ty.Bool -> Some (Const_bool v)
+  | Ty.Int -> Some (Const_int v)
+  | Ty.Float -> Some (Const_float v)
+  | Ty.String -> Some (Const_string v)
+  | Ty.Pair (_, _) -> None
+  | Ty.Triple (_, _, _) -> None
+  | Ty.Array _ -> None
+  | Ty.List _ -> None
+  | Ty.Option _ -> None
+  | Ty.Func (_, _) -> None
+
+let rec is_static : type a. a t -> bool = function
+  | Var _ | Capture _ | Apply _ -> false
+  | Const_unit | Const_bool _ | Const_int _ | Const_float _ | Const_string _
+    ->
+    true
+  | If (c, a, b) -> is_static c && is_static a && is_static b
+  | Let (_, e, body) -> is_static e && is_static body
+  | Pair (a, b) -> is_static a && is_static b
+  | Fst a -> is_static a
+  | Snd a -> is_static a
+  | Triple (a, b, c) -> is_static a && is_static b && is_static c
+  | Proj3_1 a -> is_static a
+  | Proj3_2 a -> is_static a
+  | Proj3_3 a -> is_static a
+  | Prim1 (_, a) -> is_static a
+  | Prim2 (_, a, b) -> is_static a && is_static b
+  | Array_get (arr, i) -> is_static arr && is_static i
+  | Array_length arr -> is_static arr
+
+let rec subst : type a b. a var -> a t -> b t -> b t =
+ fun v repl e ->
+  let sub : type c. c t -> c t = fun e -> subst v repl e in
+  match e with
+  | Var w -> (
+    if w.id <> v.id then e
+    else
+      match Ty.equal w.var_ty (ty_of repl) with
+      | Some Ty.Refl -> repl
+      | None -> e)
+  | Const_unit | Const_bool _ | Const_int _ | Const_float _ | Const_string _
+  | Capture _ ->
+    e
+  | If (c, a, b) -> If (sub c, sub a, sub b)
+  | Let (w, e1, body) ->
+    if w.id = v.id then Let (w, sub e1, body) else Let (w, sub e1, sub body)
+  | Pair (a, b) -> Pair (sub a, sub b)
+  | Fst a -> Fst (sub a)
+  | Snd a -> Snd (sub a)
+  | Triple (a, b, c) -> Triple (sub a, sub b, sub c)
+  | Proj3_1 a -> Proj3_1 (sub a)
+  | Proj3_2 a -> Proj3_2 (sub a)
+  | Proj3_3 a -> Proj3_3 (sub a)
+  | Prim1 (p, a) -> Prim1 (p, sub a)
+  | Prim2 (p, a, b) -> Prim2 (p, sub a, sub b)
+  | Array_get (arr, i) -> Array_get (sub arr, sub i)
+  | Array_length arr -> Array_length (sub arr)
+  | Apply (f, a) -> Apply (sub f, sub a)
+
+let is_atom : type a. a t -> bool = function
+  | Var _ | Const_unit | Const_bool _ | Const_int _ | Const_float _
+  | Const_string _ | Capture _ ->
+    true
+  | If _ | Let _ | Pair _ | Fst _ | Snd _ | Triple _ | Proj3_1 _ | Proj3_2 _
+  | Proj3_3 _ | Prim1 _ | Prim2 _ | Array_get _ | Array_length _ | Apply _ ->
+    false
+
+let rec simplify : type a. a t -> a t =
+ fun e ->
+  let fold : type b. b t -> b t =
+   fun e ->
+    if is_static e then
+      match const_of_ty (ty_of e) (eval e) with Some c -> c | None -> e
+    else e
+  in
+  match e with
+  | Var _ | Const_unit | Const_bool _ | Const_int _ | Const_float _
+  | Const_string _ | Capture _ ->
+    e
+  | If (c, a, b) -> (
+    match simplify c with
+    | Const_bool true -> simplify a
+    | Const_bool false -> simplify b
+    | c' -> fold (If (c', simplify a, simplify b)))
+  | Let (v, e1, body) ->
+    let e1' = simplify e1 in
+    if is_atom e1' then simplify (subst v e1' body)
+    else Let (v, e1', simplify body)
+  | Pair (a, b) -> Pair (simplify a, simplify b)
+  | Fst a -> (
+    match simplify a with Pair (x, _) -> x | a' -> fold (Fst a'))
+  | Snd a -> (
+    match simplify a with Pair (_, y) -> y | a' -> fold (Snd a'))
+  | Triple (a, b, c) -> Triple (simplify a, simplify b, simplify c)
+  | Proj3_1 a -> (
+    match simplify a with Triple (x, _, _) -> x | a' -> fold (Proj3_1 a'))
+  | Proj3_2 a -> (
+    match simplify a with Triple (_, y, _) -> y | a' -> fold (Proj3_2 a'))
+  | Proj3_3 a -> (
+    match simplify a with Triple (_, _, z) -> z | a' -> fold (Proj3_3 a'))
+  | Prim1 (p, a) -> fold (Prim1 (p, simplify a))
+  | Prim2 (p, a, b) -> fold (Prim2 (p, simplify a, simplify b))
+  | Array_get (arr, i) -> Array_get (simplify arr, simplify i)
+  | Array_length arr -> fold (Array_length (simplify arr))
+  | Apply (f, a) -> Apply (simplify f, simplify a)
+
+(* Alpha-equivalence: compare two expressions structurally, relating
+   bound variables positionally.  Types are erased for the comparison;
+   primitive operators compare by name, constants by value, captures by
+   physical equality of the value. *)
+let alpha_equal_open (pairs : (int * int) list) ea eb =
+  let rec go : type a b. (int * int) list -> a t -> b t -> bool =
+   fun env ea eb ->
+    match ea, eb with
+    | Var va, Var vb ->
+      let rec lookup = function
+        | [] -> va.id = vb.id
+        | (ia, ib) :: rest ->
+          if ia = va.id || ib = vb.id then ia = va.id && ib = vb.id
+          else lookup rest
+      in
+      lookup env
+    | Const_unit, Const_unit -> true
+    | Const_bool a, Const_bool b -> a = b
+    | Const_int a, Const_int b -> a = b
+    | Const_float a, Const_float b -> Float.equal a b
+    | Const_string a, Const_string b -> String.equal a b
+    | Capture (_, va), Capture (_, vb) -> Obj.repr va == Obj.repr vb
+    | If (ca, ta, fa), If (cb, tb, fb) ->
+      go env ca cb && go env ta tb && go env fa fb
+    | Let (va, ea1, ba), Let (vb, eb1, bb) ->
+      go env ea1 eb1 && go ((va.id, vb.id) :: env) ba bb
+    | Pair (a1, a2), Pair (b1, b2) -> go env a1 b1 && go env a2 b2
+    | Fst a, Fst b -> go env a b
+    | Snd a, Snd b -> go env a b
+    | Triple (a1, a2, a3), Triple (b1, b2, b3) ->
+      go env a1 b1 && go env a2 b2 && go env a3 b3
+    | Proj3_1 a, Proj3_1 b -> go env a b
+    | Proj3_2 a, Proj3_2 b -> go env a b
+    | Proj3_3 a, Proj3_3 b -> go env a b
+    | Prim1 (pa, a), Prim1 (pb, b) ->
+      String.equal (Prim.name1 pa) (Prim.name1 pb) && go env a b
+    | Prim2 (pa, a1, a2), Prim2 (pb, b1, b2) ->
+      String.equal (Prim.name2 pa) (Prim.name2 pb)
+      && go env a1 b1 && go env a2 b2
+    | Array_get (a1, a2), Array_get (b1, b2) -> go env a1 b1 && go env a2 b2
+    | Array_length a, Array_length b -> go env a b
+    | Apply (f1, a1), Apply (f2, a2) -> go env f1 f2 && go env a1 a2
+    | ( ( Var _ | Const_unit | Const_bool _ | Const_int _ | Const_float _
+        | Const_string _ | Capture _ | If _ | Let _ | Pair _ | Fst _ | Snd _
+        | Triple _ | Proj3_1 _ | Proj3_2 _ | Proj3_3 _ | Prim1 _ | Prim2 _
+        | Array_get _ | Array_length _ | Apply _ ),
+        _ ) ->
+      false
+  in
+  go pairs ea eb
+
+let alpha_equal_lam la lb =
+  alpha_equal_open [ la.param.id, lb.param.id ] la.body lb.body
+
+(* Capture environment. *)
+
+module Capture_table = struct
+  type entry = Entry : 'a Ty.t * 'a -> entry
+
+  type t = { mutable slots : entry list (* reversed *); mutable n : int }
+
+  let create () = { slots = []; n = 0 }
+
+  let register (type a) t (ty : a Ty.t) (v : a) =
+    let rec find i = function
+      | [] -> None
+      | Entry (ty', v') :: rest -> (
+        match Ty.equal ty ty' with
+        | Some Ty.Refl when v' == v -> Some (t.n - 1 - i)
+        | Some Ty.Refl | None -> find (i + 1) rest)
+    in
+    match find 0 t.slots with
+    | Some slot -> slot
+    | None ->
+      t.slots <- Entry (ty, v) :: t.slots;
+      t.n <- t.n + 1;
+      t.n - 1
+
+  let entries t = Array.of_list (List.rev t.slots)
+
+  let length t = t.n
+
+  let to_env t =
+    Array.map (fun (Entry (_, v)) -> Obj.repr v) (entries t)
+
+  let slot_name i = Printf.sprintf "__c%d" i
+
+  let slot_binding i (Entry (ty, _)) =
+    Printf.sprintf "let %s : %s = Stdlib.Obj.obj (Stdlib.Array.get __env %d) in"
+      (slot_name i) (Ty.to_string ty) i
+end
+
+(* Printing. *)
+
+type name_env = (int * string) list
+
+let name_env_empty = []
+
+let name_env_add v name env = (v.id, name) :: env
+
+let float_literal x =
+  (* Hexadecimal float literals are exact and are valid OCaml syntax. *)
+  if Float.is_integer x && Float.abs x < 1e16 then
+    Printf.sprintf "(%.1f)" x
+  else Printf.sprintf "(%h)" x
+
+let print ?captures env e =
+  let lookup env id =
+    match List.assoc_opt id env with
+    | Some name -> name
+    | None -> invalid_arg "Expr.print: free variable with no assigned name"
+  in
+  let fresh_local = ref 0 in
+  let rec go : type a. name_env -> a t -> string =
+   fun env e ->
+    match e with
+    | Var v -> lookup env v.id
+    | Const_unit -> "()"
+    | Const_bool b -> string_of_bool b
+    | Const_int n -> if n < 0 then Printf.sprintf "(%d)" n else string_of_int n
+    | Const_float x -> float_literal x
+    | Const_string s -> Printf.sprintf "%S" s
+    | Capture (ty, v) -> (
+      match captures with
+      | Some table -> Capture_table.slot_name (Capture_table.register table ty v)
+      | None -> invalid_arg "Expr.print: capture without a capture table")
+    (* Sub-expressions are rendered in left-to-right order with explicit
+       lets, so capture slots are assigned in reading order (OCaml
+       evaluates function arguments right to left). *)
+    | If (c, a, b) ->
+      let sc = go env c in
+      let sa = go env a in
+      let sb = go env b in
+      Printf.sprintf "(if %s then %s else %s)" sc sa sb
+    | Let (v, e1, body) ->
+      let name = Printf.sprintf "__l%d" !fresh_local in
+      incr fresh_local;
+      let se = go env e1 in
+      let sbody = go ((v.id, name) :: env) body in
+      Printf.sprintf "(let %s = %s in %s)" name se sbody
+    | Pair (a, b) ->
+      let sa = go env a in
+      let sb = go env b in
+      Printf.sprintf "(%s, %s)" sa sb
+    | Fst a -> Printf.sprintf "(Stdlib.fst %s)" (go env a)
+    | Snd a -> Printf.sprintf "(Stdlib.snd %s)" (go env a)
+    | Triple (a, b, c) ->
+      let sa = go env a in
+      let sb = go env b in
+      let sc = go env c in
+      Printf.sprintf "(%s, %s, %s)" sa sb sc
+    | Proj3_1 a ->
+      Printf.sprintf "(let (__x, _, _) = %s in __x)" (go env a)
+    | Proj3_2 a ->
+      Printf.sprintf "(let (_, __x, _) = %s in __x)" (go env a)
+    | Proj3_3 a ->
+      Printf.sprintf "(let (_, _, __x) = %s in __x)" (go env a)
+    | Prim1 (p, a) -> Prim.print1 p (go env a)
+    | Prim2 (p, a, b) ->
+      let sa = go env a in
+      let sb = go env b in
+      Prim.print2 p sa sb
+    | Array_get (arr, i) ->
+      let sarr = go env arr in
+      let si = go env i in
+      Printf.sprintf "(Stdlib.Array.unsafe_get %s %s)" sarr si
+    | Array_length arr ->
+      Printf.sprintf "(Stdlib.Array.length %s)" (go env arr)
+    | Apply (f, a) ->
+      let sf = go env f in
+      let sa = go env a in
+      Printf.sprintf "(%s %s)" sf sa
+  in
+  go env e
+
+let pp_debug fmt e =
+  let rec go : type a. Format.formatter -> a t -> unit =
+   fun fmt e ->
+    match e with
+    | Var v -> Format.fprintf fmt "%s#%d" v.name v.id
+    | Const_unit -> Format.pp_print_string fmt "()"
+    | Const_bool b -> Format.pp_print_bool fmt b
+    | Const_int n -> Format.pp_print_int fmt n
+    | Const_float x -> Format.fprintf fmt "%g" x
+    | Const_string s -> Format.fprintf fmt "%S" s
+    | Capture (ty, _) -> Format.fprintf fmt "<capture:%s>" (Ty.to_string ty)
+    | If (c, a, b) ->
+      Format.fprintf fmt "(if %a %a %a)" go c go a go b
+    | Let (v, e1, body) ->
+      Format.fprintf fmt "(let %s#%d %a %a)" v.name v.id go e1 go body
+    | Pair (a, b) -> Format.fprintf fmt "(pair %a %a)" go a go b
+    | Fst a -> Format.fprintf fmt "(fst %a)" go a
+    | Snd a -> Format.fprintf fmt "(snd %a)" go a
+    | Triple (a, b, c) ->
+      Format.fprintf fmt "(triple %a %a %a)" go a go b go c
+    | Proj3_1 a -> Format.fprintf fmt "(proj3_1 %a)" go a
+    | Proj3_2 a -> Format.fprintf fmt "(proj3_2 %a)" go a
+    | Proj3_3 a -> Format.fprintf fmt "(proj3_3 %a)" go a
+    | Prim1 (p, a) -> Format.fprintf fmt "(%s %a)" (Prim.name1 p) go a
+    | Prim2 (p, a, b) ->
+      Format.fprintf fmt "(%s %a %a)" (Prim.name2 p) go a go b
+    | Array_get (arr, i) -> Format.fprintf fmt "(get %a %a)" go arr go i
+    | Array_length arr -> Format.fprintf fmt "(length %a)" go arr
+    | Apply (f, a) -> Format.fprintf fmt "(apply %a %a)" go f go a
+  in
+  go fmt e
+
+module Infix = struct
+  let ( + ) a b = Prim2 (Prim.Add_int, a, b)
+  let ( - ) a b = Prim2 (Prim.Sub_int, a, b)
+  let ( * ) a b = Prim2 (Prim.Mul_int, a, b)
+  let ( / ) a b = Prim2 (Prim.Div_int, a, b)
+  let ( mod ) a b = Prim2 (Prim.Mod_int, a, b)
+  let ( +. ) a b = Prim2 (Prim.Add_float, a, b)
+  let ( -. ) a b = Prim2 (Prim.Sub_float, a, b)
+  let ( *. ) a b = Prim2 (Prim.Mul_float, a, b)
+  let ( /. ) a b = Prim2 (Prim.Div_float, a, b)
+  let ( ** ) a b = Prim2 (Prim.Pow_float, a, b)
+  let ( = ) a b = Prim2 (Prim.Eq, a, b)
+  let ( <> ) a b = Prim2 (Prim.Ne, a, b)
+  let ( < ) a b = Prim2 (Prim.Lt, a, b)
+  let ( <= ) a b = Prim2 (Prim.Le, a, b)
+  let ( > ) a b = Prim2 (Prim.Gt, a, b)
+  let ( >= ) a b = Prim2 (Prim.Ge, a, b)
+  let ( && ) a b = Prim2 (Prim.And, a, b)
+  let ( || ) a b = Prim2 (Prim.Or, a, b)
+  let not a = Prim1 (Prim.Not, a)
+  let ( .%() ) arr i = Array_get (arr, i)
+end

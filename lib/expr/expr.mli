@@ -1,0 +1,216 @@
+(** Typed expression trees: the lambda language of Steno queries.
+
+    LINQ queries carry their predicates and transformations as expression
+    trees that the query provider can inspect at run time (section 3.1 of
+    the paper).  This module is the OCaml analog: a GADT-typed AST rich
+    enough to (i) evaluate directly (for the unoptimized LINQ backend),
+    (ii) stage into closures (the analog of compiling a lambda to a
+    delegate), and (iii) print as OCaml source with the lambda inlined
+    (the Steno native backend).
+
+    Run-time values enter an expression through {!capture}, which records
+    the value together with its {!Ty.t}; code generation later assigns all
+    captures to environment slots (section 3.3). *)
+
+type 'a var = private {
+  id : int;  (** globally unique *)
+  name : string;  (** base name for diagnostics; printing renames *)
+  var_ty : 'a Ty.t;
+}
+
+type _ t =
+  | Var : 'a var -> 'a t
+  | Const_unit : unit t
+  | Const_bool : bool -> bool t
+  | Const_int : int -> int t
+  | Const_float : float -> float t
+  | Const_string : string -> string t
+  | Capture : 'a Ty.t * 'a -> 'a t
+  | If : bool t * 'a t * 'a t -> 'a t
+  | Let : 'a var * 'a t * 'b t -> 'b t
+  | Pair : 'a t * 'b t -> ('a * 'b) t
+  | Fst : ('a * 'b) t -> 'a t
+  | Snd : ('a * 'b) t -> 'b t
+  | Triple : 'a t * 'b t * 'c t -> ('a * 'b * 'c) t
+  | Proj3_1 : ('a * 'b * 'c) t -> 'a t
+  | Proj3_2 : ('a * 'b * 'c) t -> 'b t
+  | Proj3_3 : ('a * 'b * 'c) t -> 'c t
+  | Prim1 : ('a, 'b) Prim.t1 * 'a t -> 'b t
+  | Prim2 : ('a, 'b, 'c) Prim.t2 * 'a t * 'b t -> 'c t
+  | Array_get : 'a array t * int t -> 'a t
+  | Array_length : 'a array t -> int t
+  | Apply : ('a -> 'b) t * 'a t -> 'b t
+      (** Application of a captured host function: opaque to optimization,
+          like a non-expression delegate in LINQ. *)
+
+type ('a, 'b) lam = { param : 'a var; body : 'b t }
+type ('a, 'b, 'c) lam2 = { param1 : 'a var; param2 : 'b var; body2 : 'c t }
+
+(** {1 Construction} *)
+
+val fresh_var : string -> 'a Ty.t -> 'a var
+
+val lam : string -> 'a Ty.t -> ('a t -> 'b t) -> ('a, 'b) lam
+(** [lam name ty f] builds a one-parameter lambda in higher-order abstract
+    style: [f] receives the parameter as an expression. *)
+
+val lam2 :
+  string ->
+  'a Ty.t ->
+  string ->
+  'b Ty.t ->
+  ('a t -> 'b t -> 'c t) ->
+  ('a, 'b, 'c) lam2
+
+val let_ : string -> 'a t -> ('a t -> 'b t) -> 'b t
+(** [let_ name e f] binds [e] once and uses it via the variable given to
+    [f]; the type of the variable is synthesized from [e]. *)
+
+val capture : 'a Ty.t -> 'a -> 'a t
+
+val unit : unit t
+val bool : bool -> bool t
+val int : int -> int t
+val float : float -> float t
+val string : string -> string t
+
+(** {1 Typing} *)
+
+val ty_of : 'a t -> 'a Ty.t
+(** Synthesize the type representation of an expression.  Total: every
+    leaf carries its type. *)
+
+(** {1 Evaluation} *)
+
+val eval : 'a t -> 'a
+(** Evaluate a closed expression.  Raises [Invalid_argument] on a free
+    variable. *)
+
+val stage : ('a, 'b) lam -> 'a -> 'b
+(** Compile a lambda to a closure by walking the AST once (the analog of
+    LINQ compiling an expression tree to a delegate): after staging, each
+    call performs one indirect call per node and no AST dispatch. *)
+
+val stage2 : ('a, 'b, 'c) lam2 -> 'a -> 'b -> 'c
+
+(** {1 Open-expression compilation}
+
+    Interpreting a nested query requires compiling expressions whose free
+    variables are bound per outer element (section 5.2: the nested query
+    refers to the current element of the outer query).  [Open.compile]
+    walks the AST once; the resulting closure is applied to a binding
+    environment each time. *)
+
+module Open : sig
+  type env
+
+  val empty : env
+  val bind : 'a var -> 'a -> env -> env
+  val compile : 'a t -> env -> 'a
+  val compile_lam : ('a, 'b) lam -> env -> 'a -> 'b
+  val compile_lam2 : ('a, 'b, 'c) lam2 -> env -> 'a -> 'b -> 'c
+end
+
+(** {1 Analysis and transformation} *)
+
+val free_var_ids : 'a t -> int list
+(** Ids of variables occurring free, each listed once, in first-occurrence
+    order. *)
+
+val simplify : 'a t -> 'a t
+(** Constant folding and trivial-let elimination.  Captures are not
+    folded (their values are only fixed at invocation time). *)
+
+val subst : 'a var -> 'a t -> 'b t -> 'b t
+(** Capture-avoiding substitution of a variable (ids are globally unique,
+    so shadowing cannot occur). *)
+
+val alpha_equal_lam : ('a, 'k) lam -> ('b, 'j) lam -> bool
+(** Structural equality of two lambdas up to renaming of their parameters
+    (and of internal lets).  Captured values compare by physical equality;
+    used by optimization passes to recognize that two selectors compute
+    the same key. *)
+
+val size : 'a t -> int
+(** Number of AST nodes, for diagnostics and cost heuristics. *)
+
+(** {1 Capture environment}
+
+    Code generation assigns each captured value an index in the [Obj.t
+    array] environment passed to a compiled query — the analog of the
+    paper's placeholder instance fields set by reflection (section 3.3).
+    Slots are assigned in printing order, so re-extracting from a
+    structurally identical query yields an aligned environment. *)
+
+module Capture_table : sig
+  type entry = Entry : 'a Ty.t * 'a -> entry
+  type t
+
+  val create : unit -> t
+
+  val register : t -> 'a Ty.t -> 'a -> int
+  (** Slot index for this capture; physically equal values of equal type
+      share a slot. *)
+
+  val entries : t -> entry array
+  val length : t -> int
+
+  val to_env : t -> Obj.t array
+  (** The runtime environment to pass to a compiled query. *)
+
+  val slot_name : int -> string
+  (** Identifier generated code binds for slot [i]. *)
+
+  val slot_binding : int -> entry -> string
+  (** [slot_binding i entry] is the OCaml line binding slot [i] from the
+      environment array, e.g.
+      ["let __c0 : (float array) = Stdlib.Obj.obj (Stdlib.Array.get __env 0) in"]. *)
+end
+
+(** {1 Printing} *)
+
+type name_env
+(** Maps variable ids to the OCaml identifiers chosen by the code
+    generator. *)
+
+val name_env_empty : name_env
+val name_env_add : 'a var -> string -> name_env -> name_env
+
+val print : ?captures:Capture_table.t -> name_env -> 'a t -> string
+(** [print env e] renders [e] as a self-delimiting OCaml expression.  Free
+    variables are looked up in [env] (raises [Invalid_argument] when
+    missing).  [Capture] nodes are registered in [captures] and rendered
+    as slot identifiers; without a table a capture raises. *)
+
+val pp_debug : Format.formatter -> 'a t -> unit
+(** Compact dump for diagnostics and tests. *)
+
+(** {1 Infix sugar}
+
+    Open [Expr.Infix] locally to write expression bodies with ordinary
+    operator syntax.  The operators shadow [Stdlib]'s, as is conventional
+    for embedded DSLs. *)
+
+module Infix : sig
+  val ( + ) : int t -> int t -> int t
+  val ( - ) : int t -> int t -> int t
+  val ( * ) : int t -> int t -> int t
+  val ( / ) : int t -> int t -> int t
+  val ( mod ) : int t -> int t -> int t
+  val ( +. ) : float t -> float t -> float t
+  val ( -. ) : float t -> float t -> float t
+  val ( *. ) : float t -> float t -> float t
+  val ( /. ) : float t -> float t -> float t
+  val ( ** ) : float t -> float t -> float t
+  val ( = ) : 'a t -> 'a t -> bool t
+  val ( <> ) : 'a t -> 'a t -> bool t
+  val ( < ) : 'a t -> 'a t -> bool t
+  val ( <= ) : 'a t -> 'a t -> bool t
+  val ( > ) : 'a t -> 'a t -> bool t
+  val ( >= ) : 'a t -> 'a t -> bool t
+  val ( && ) : bool t -> bool t -> bool t
+  val ( || ) : bool t -> bool t -> bool t
+  val not : bool t -> bool t
+  val ( .%() ) : 'a array t -> int t -> 'a t
+  (** [arr.%(i)] is array indexing. *)
+end

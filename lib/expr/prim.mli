@@ -1,0 +1,62 @@
+(** Primitive operators of the expression language.
+
+    Each primitive knows how to evaluate itself and how to print itself as
+    OCaml source.  Primitives are the only leaves of computation other than
+    constants, variables and captured values, so adding a primitive here
+    extends both the interpreter (LINQ and fused backends) and the code
+    generator (native backend) at once. *)
+
+type ('a, 'b) t1 =
+  | Neg_int : (int, int) t1
+  | Neg_float : (float, float) t1
+  | Not : (bool, bool) t1
+  | Abs_int : (int, int) t1
+  | Abs_float : (float, float) t1
+  | Sqrt : (float, float) t1
+  | Exp : (float, float) t1
+  | Log : (float, float) t1
+  | Sin : (float, float) t1
+  | Cos : (float, float) t1
+  | Float_of_int : (int, float) t1
+  | Truncate : (float, int) t1
+  | Round : (float, int) t1
+  | String_length : (string, int) t1
+
+type ('a, 'b, 'c) t2 =
+  | Add_int : (int, int, int) t2
+  | Sub_int : (int, int, int) t2
+  | Mul_int : (int, int, int) t2
+  | Div_int : (int, int, int) t2
+  | Mod_int : (int, int, int) t2
+  | Add_float : (float, float, float) t2
+  | Sub_float : (float, float, float) t2
+  | Mul_float : (float, float, float) t2
+  | Div_float : (float, float, float) t2
+  | Pow_float : (float, float, float) t2
+  | Min_int : (int, int, int) t2
+  | Max_int : (int, int, int) t2
+  | Min_float : (float, float, float) t2
+  | Max_float : (float, float, float) t2
+  | Eq : ('a, 'a, bool) t2
+  | Ne : ('a, 'a, bool) t2
+  | Lt : ('a, 'a, bool) t2
+  | Le : ('a, 'a, bool) t2
+  | Gt : ('a, 'a, bool) t2
+  | Ge : ('a, 'a, bool) t2
+  | And : (bool, bool, bool) t2
+  | Or : (bool, bool, bool) t2
+  | String_concat : (string, string, string) t2
+
+val eval1 : ('a, 'b) t1 -> 'a -> 'b
+val eval2 : ('a, 'b, 'c) t2 -> 'a -> 'b -> 'c
+
+val print1 : ('a, 'b) t1 -> string -> string
+(** [print1 p arg] renders the application of [p] to the already-rendered,
+    self-delimiting operand [arg] as a self-delimiting OCaml expression. *)
+
+val print2 : ('a, 'b, 'c) t2 -> string -> string -> string
+
+val name1 : ('a, 'b) t1 -> string
+(** Stable name for diagnostics and QUIL dumps. *)
+
+val name2 : ('a, 'b, 'c) t2 -> string

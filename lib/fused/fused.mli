@@ -1,0 +1,26 @@
+(** In-process closure fusion: the backend you get {e without} invoking a
+    compiler at run time.
+
+    Executes a query as a single push-based fold — no iterators, no
+    per-operator state machines — but element-processing code remains a
+    chain of staged closures rather than straight-line native code, so it
+    sits between the LINQ baseline and Steno native compilation (this is
+    the trade-off the paper alludes to in section 9: a library cannot
+    inline across closure boundaries without generating code).
+
+    Used by the benchmarks as the [Fused] ablation backend and by the unit
+    tests as a third independent implementation of query semantics. *)
+
+type 'a folder = { fold : 'b. ('b -> 'a -> 'b) -> 'b -> 'b }
+
+val stage : 'a Query.t -> Expr.Open.env -> 'a folder
+(** Stage once (all lambdas compiled to closures); fold per run. *)
+
+val stage_sq : 's Query.sq -> Expr.Open.env -> 's
+
+val materialize : 'a folder -> 'a array
+(** Collect the folded elements into an array, in order. *)
+
+val run_sq : 's Query.sq -> 's
+val to_array : 'a Query.t -> 'a array
+val to_list : 'a Query.t -> 'a list

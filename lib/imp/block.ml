@@ -1,0 +1,50 @@
+type t = { mutable rev_items : item list }
+
+and item =
+  | Line of string
+  | Inline of t
+  | Indented of t
+
+let create () = { rev_items = [] }
+
+let line t s = t.rev_items <- Line s :: t.rev_items
+
+let linef t fmt = Printf.ksprintf (line t) fmt
+
+let inline t =
+  let child = create () in
+  t.rev_items <- Inline child :: t.rev_items;
+  child
+
+let indented t =
+  let child = create () in
+  t.rev_items <- Indented child :: t.rev_items;
+  child
+
+let rec is_empty t =
+  List.for_all
+    (function
+      | Line _ -> false
+      | Inline b | Indented b -> is_empty b)
+    t.rev_items
+
+let render ?(indent = 0) t =
+  let buf = Buffer.create 1024 in
+  let pad n = String.make (2 * n) ' ' in
+  let rec go level t =
+    List.iter
+      (function
+        | Line s ->
+          Buffer.add_string buf (pad level);
+          Buffer.add_string buf s;
+          Buffer.add_char buf '\n'
+        | Inline b -> go level b
+        | Indented b ->
+          go (level + 1) b;
+          (* Close the delimited body as a unit expression. *)
+          Buffer.add_string buf (pad (level + 1));
+          Buffer.add_string buf "()\n")
+      (List.rev t.rev_items)
+  in
+  go indent t;
+  Buffer.contents buf

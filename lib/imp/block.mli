@@ -1,0 +1,42 @@
+(** Mutable statement blocks with insertion points.
+
+    The paper's code generator keeps the program as a linked list of
+    statements with three insertion pointers — loop prelude [α], loop body
+    [µ], loop postlude [ω] (Fig. 5) — arranged in a stack for nested
+    queries (Fig. 9).  A {!t} is one such insertion point: a growable
+    sequence of lines and sub-blocks.  Appending to a block inserts at
+    that point regardless of what has been appended to enclosing or
+    following blocks, which is exactly the pointer behaviour the paper
+    relies on.
+
+    Two kinds of sub-block exist because OCaml is scoped where C# is not:
+    an {e inline} sub-block shares the scope of its parent (a [let]
+    appended there is visible to statements appended to the parent
+    afterwards), while an {e indented} sub-block is a delimited unit body
+    (a [for]/[if] body), closed with [()] at render time. *)
+
+type t
+
+val create : unit -> t
+
+val line : t -> string -> unit
+(** Append one statement.  Statements must be self-terminating OCaml
+    ("[let x = e in]", "[e;]"), so that concatenation in block order forms
+    a valid unit-typed sequence. *)
+
+val linef : t -> ('a, unit, string, unit) format4 -> 'a
+
+val inline : t -> t
+(** Append and return a sub-block sharing the parent's scope. *)
+
+val indented : t -> t
+(** Append and return a delimited sub-block (one indent level deeper,
+    closed with a final [()] when rendered). *)
+
+val render : ?indent:int -> t -> string
+(** Render the block as OCaml source.  The caller is responsible for the
+    surrounding function header; the rendered block is a unit-typed
+    statement sequence {e without} a trailing [()] (append one, or a
+    result expression, yourself). *)
+
+val is_empty : t -> bool

@@ -1,0 +1,27 @@
+(** Elaboration: type-check the untyped surface AST against the types of
+    the bound input collections and produce a typed {!Query.t} — the role
+    the C# compiler's overload resolution plays for LINQ comprehensions.
+
+    Multiple [from] generators desugar to SelectMany over pairs; [group e
+    by k] to GroupBy; a scalar aggregate applied directly inside a
+    [select] or [where] body becomes a nested scalar subquery (section 5
+    of the paper), possibly post-processed with [Map_scalar] when the
+    aggregate is embedded in a larger expression. *)
+
+exception Type_error of string * int  (** message, position *)
+
+type input = Input : 'a Ty.t * 'a array -> input
+
+type inputs = (string * input) list
+
+type packed_query = Packed_query : 'a Ty.t * 'a Query.t -> packed_query
+
+type packed_scalar = Packed_scalar : 's Ty.t * 's Query.sq -> packed_scalar
+
+type packed_program =
+  | Pgm_collection of packed_query
+  | Pgm_scalar of packed_scalar
+
+val query : inputs -> Surface.query -> packed_query
+val scalar : inputs -> Surface.scalar -> packed_scalar
+val program : inputs -> Surface.program -> packed_program

@@ -1,0 +1,43 @@
+exception Error of string * int
+
+let parse src =
+  try Parser.program src with
+  | Lexer.Lex_error (m, p) -> raise (Error (m, p))
+  | Parser.Parse_error (m, p) -> raise (Error (m, p))
+
+let elaborate ~inputs src =
+  let prog = parse src in
+  try Elab.program inputs prog
+  with Elab.Type_error (m, p) -> raise (Error (m, p))
+
+type result =
+  | Res_collection : 'a Ty.t * 'a array -> result
+  | Res_scalar : 's Ty.t * 's -> result
+
+let run ?backend ~inputs src =
+  match elaborate ~inputs src with
+  | Elab.Pgm_collection (Elab.Packed_query (ty, q)) ->
+    Res_collection (ty, Steno.to_array ?backend q)
+  | Elab.Pgm_scalar (Elab.Packed_scalar (ty, sq)) ->
+    Res_scalar (ty, Steno.scalar ?backend sq)
+
+let explain ~inputs src =
+  match elaborate ~inputs src with
+  | Elab.Pgm_collection (Elab.Packed_query (_, q)) ->
+    Printf.sprintf "QUIL: %s\n\n%s" (Steno.quil q) (Steno.generated_source q)
+  | Elab.Pgm_scalar (Elab.Packed_scalar (_, sq)) ->
+    Printf.sprintf "QUIL: %s\n\n%s" (Steno.quil_scalar sq)
+      (Steno.generated_source_scalar sq)
+
+let result_to_string ?(max_items = 20) = function
+  | Res_scalar (ty, v) -> Format.asprintf "%a" (Ty.pp_value ty) v
+  | Res_collection (ty, arr) ->
+    let n = Array.length arr in
+    let shown = min n max_items in
+    let items =
+      Array.to_list (Array.sub arr 0 shown)
+      |> List.map (fun v -> Format.asprintf "%a" (Ty.pp_value ty) v)
+    in
+    Printf.sprintf "[%s%s] (%d elements)" (String.concat "; " items)
+      (if n > shown then "; ..." else "")
+      n

@@ -1,0 +1,27 @@
+(** The textual front end, end to end: parse a query string, elaborate it
+    against the provided inputs, and execute it on a chosen backend.
+
+    {[
+      let inputs = [ "xs", Elab.Input (Ty.Int, [| 1; 2; 3; 4 |]) ] in
+      Lang.run ~inputs "from x in xs where x % 2 = 0 select x * x"
+    ]} *)
+
+exception Error of string * int
+(** Any front-end failure (lexing, parsing, elaboration), with the
+    position in the source string. *)
+
+val parse : string -> Surface.program
+(** Raises {!Error}. *)
+
+val elaborate : inputs:Elab.inputs -> string -> Elab.packed_program
+
+type result =
+  | Res_collection : 'a Ty.t * 'a array -> result
+  | Res_scalar : 's Ty.t * 's -> result
+
+val run : ?backend:Steno.backend -> inputs:Elab.inputs -> string -> result
+
+val explain : inputs:Elab.inputs -> string -> string
+(** The query's QUIL sentence and generated native code. *)
+
+val result_to_string : ?max_items:int -> result -> string

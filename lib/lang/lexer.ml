@@ -1,0 +1,128 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | KW of string
+  | OP of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | EOF
+
+exception Lex_error of string * int
+
+let keywords =
+  [
+    "from"; "in"; "where"; "select"; "group"; "by"; "orderby"; "asc"; "desc";
+    "take"; "skip"; "distinct"; "range"; "true"; "false"; "if"; "then";
+    "else"; "fst"; "snd"; "count"; "not";
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let out = ref [] in
+  let emit tok pos = out := (tok, pos) :: !out in
+  let i = ref 0 in
+  while !i < n do
+    let start = !i in
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_digit c then begin
+      let j = ref !i in
+      while !j < n && is_digit src.[!j] do
+        incr j
+      done;
+      let is_float =
+        !j < n && src.[!j] = '.' && not (!j + 1 < n && src.[!j + 1] = '.')
+      in
+      if is_float then begin
+        incr j;
+        while !j < n && is_digit src.[!j] do
+          incr j
+        done
+      end;
+      (* exponent *)
+      let has_exp = !j < n && (src.[!j] = 'e' || src.[!j] = 'E') in
+      if has_exp then begin
+        incr j;
+        if !j < n && (src.[!j] = '+' || src.[!j] = '-') then incr j;
+        while !j < n && is_digit src.[!j] do
+          incr j
+        done
+      end;
+      let text = String.sub src !i (!j - !i) in
+      if is_float || has_exp then
+        emit (FLOAT (float_of_string text)) start
+      else begin
+        match int_of_string_opt text with
+        | Some v -> emit (INT v) start
+        | None -> raise (Lex_error (Printf.sprintf "bad integer %S" text, start))
+      end;
+      i := !j
+    end
+    else if is_ident_start c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char src.[!j] do
+        incr j
+      done;
+      let text = String.sub src !i (!j - !i) in
+      if List.mem text keywords then emit (KW text) start
+      else emit (IDENT text) start;
+      i := !j
+    end
+    else if c = '"' then begin
+      let buf = Buffer.create 16 in
+      let j = ref (!i + 1) in
+      while !j < n && src.[!j] <> '"' do
+        Buffer.add_char buf src.[!j];
+        incr j
+      done;
+      if !j >= n then raise (Lex_error ("unterminated string", start));
+      emit (STRING (Buffer.contents buf)) start;
+      i := !j + 1
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      match two with
+      | "<=" | ">=" | "<>" | "&&" | "||" ->
+        emit (OP two) start;
+        i := !i + 2
+      | _ -> (
+        match c with
+        | '(' ->
+          emit LPAREN start;
+          incr i
+        | ')' ->
+          emit RPAREN start;
+          incr i
+        | ',' ->
+          emit COMMA start;
+          incr i
+        | '+' | '-' | '*' | '/' | '%' | '=' | '<' | '>' | '!' ->
+          emit (OP (String.make 1 c)) start;
+          incr i
+        | _ ->
+          raise (Lex_error (Printf.sprintf "unexpected character %C" c, start)))
+    end
+  done;
+  emit EOF n;
+  List.rev !out
+
+let describe = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT n -> Printf.sprintf "integer %d" n
+  | FLOAT x -> Printf.sprintf "float %g" x
+  | STRING s -> Printf.sprintf "string %S" s
+  | KW s -> Printf.sprintf "keyword %S" s
+  | OP s -> Printf.sprintf "operator %S" s
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | COMMA -> "','"
+  | EOF -> "end of input"

@@ -1,0 +1,23 @@
+(** Hand-written lexer for the textual query syntax. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | KW of string  (** from, in, where, select, group, by, orderby, ... *)
+  | OP of string  (** + - * / % = <> < <= > >= && || ! *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | EOF
+
+exception Lex_error of string * int  (** message, position *)
+
+val keywords : string list
+
+val tokenize : string -> (token * int) list
+(** Token stream with the starting offset of each token.  Raises
+    {!Lex_error} on an unexpected character or malformed literal. *)
+
+val describe : token -> string

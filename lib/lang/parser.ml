@@ -1,0 +1,294 @@
+exception Parse_error of string * int
+
+let aggregates = [ "sum"; "count"; "min"; "max"; "avg"; "any"; "first" ]
+
+(* Mutable token cursor. *)
+type state = {
+  mutable toks : (Lexer.token * int) list;
+}
+
+let peek st =
+  match st.toks with
+  | (t, p) :: _ -> t, p
+  | [] -> Lexer.EOF, 0
+
+let advance st =
+  match st.toks with
+  | _ :: rest -> st.toks <- rest
+  | [] -> ()
+
+let fail st what =
+  let t, p = peek st in
+  raise (Parse_error (Printf.sprintf "expected %s, found %s" what (Lexer.describe t), p))
+
+let eat st tok what =
+  let t, _ = peek st in
+  if t = tok then advance st else fail st what
+
+let eat_kw st kw = eat st (Lexer.KW kw) (Printf.sprintf "keyword %S" kw)
+
+let mk pos e = { Surface.e; pos }
+
+(* Expressions, precedence climbing. *)
+let rec parse_or st =
+  let lhs = parse_and st in
+  match peek st with
+  | Lexer.OP "||", p ->
+    advance st;
+    mk p (Surface.Binop ("||", lhs, parse_or st))
+  | _ -> lhs
+
+and parse_and st =
+  let lhs = parse_cmp st in
+  match peek st with
+  | Lexer.OP "&&", p ->
+    advance st;
+    mk p (Surface.Binop ("&&", lhs, parse_and st))
+  | _ -> lhs
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  match peek st with
+  | Lexer.OP (("=" | "<>" | "<" | "<=" | ">" | ">=") as op), p ->
+    advance st;
+    mk p (Surface.Binop (op, lhs, parse_add st))
+  | _ -> lhs
+
+and parse_add st =
+  let rec go lhs =
+    match peek st with
+    | Lexer.OP (("+" | "-") as op), p ->
+      advance st;
+      let rhs = parse_mul st in
+      go (mk p (Surface.Binop (op, lhs, rhs)))
+    | _ -> lhs
+  in
+  go (parse_mul st)
+
+and parse_mul st =
+  let rec go lhs =
+    match peek st with
+    | Lexer.OP (("*" | "/" | "%") as op), p ->
+      advance st;
+      let rhs = parse_unary st in
+      go (mk p (Surface.Binop (op, lhs, rhs)))
+    | _ -> lhs
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Lexer.OP "-", p ->
+    advance st;
+    mk p (Surface.Unop ("-", parse_unary st))
+  | Lexer.KW "not", p ->
+    advance st;
+    mk p (Surface.Unop ("not", parse_unary st))
+  | _ -> parse_atom st
+
+and parse_atom st =
+  match peek st with
+  | Lexer.INT n, p ->
+    advance st;
+    mk p (Surface.Int_lit n)
+  | Lexer.FLOAT x, p ->
+    advance st;
+    mk p (Surface.Float_lit x)
+  | Lexer.STRING s, p ->
+    advance st;
+    mk p (Surface.String_lit s)
+  | Lexer.KW "true", p ->
+    advance st;
+    mk p (Surface.Bool_lit true)
+  | Lexer.KW "false", p ->
+    advance st;
+    mk p (Surface.Bool_lit false)
+  | Lexer.KW "fst", p ->
+    advance st;
+    mk p (Surface.Fst_e (parse_atom st))
+  | Lexer.KW "snd", p ->
+    advance st;
+    mk p (Surface.Snd_e (parse_atom st))
+  | Lexer.KW "count", p -> (
+    advance st;
+    (* [count(from ...)] is the aggregate; [count g] is a group's size. *)
+    match st.toks with
+    | (Lexer.LPAREN, _) :: (Lexer.KW "from", _) :: _ ->
+      advance st;
+      let q = parse_query st in
+      eat st Lexer.RPAREN "')'";
+      mk p
+        (Surface.Scalar_of
+           { Surface.agg_name = "count"; agg_body = q; spos = p })
+    | _ -> mk p (Surface.Count_group (parse_atom st)))
+  | Lexer.KW "if", p ->
+    advance st;
+    let c = parse_or st in
+    eat_kw st "then";
+    let t = parse_or st in
+    eat_kw st "else";
+    let f = parse_or st in
+    mk p (Surface.If_e (c, t, f))
+  | Lexer.IDENT name, p when List.mem name aggregates -> (
+    (* Either an aggregate call over a query, or a plain variable. *)
+    advance st;
+    match peek st with
+    | Lexer.LPAREN, _ ->
+      advance st;
+      let q = parse_query st in
+      eat st Lexer.RPAREN "')'";
+      mk p (Surface.Scalar_of { Surface.agg_name = name; agg_body = q; spos = p })
+    | _ -> mk p (Surface.Var name))
+  | Lexer.IDENT name, p ->
+    advance st;
+    mk p (Surface.Var name)
+  | Lexer.LPAREN, p -> (
+    advance st;
+    let e1 = parse_or st in
+    match peek st with
+    | Lexer.COMMA, _ ->
+      advance st;
+      let e2 = parse_or st in
+      eat st Lexer.RPAREN "')'";
+      mk p (Surface.Pair_e (e1, e2))
+    | Lexer.RPAREN, _ ->
+      advance st;
+      e1
+    | _ -> fail st "')' or ','")
+  | _ -> fail st "an expression"
+
+(* Queries. *)
+and parse_source st =
+  match peek st with
+  | Lexer.KW "range", p ->
+    advance st;
+    eat st Lexer.LPAREN "'('";
+    let a = parse_or st in
+    eat st Lexer.COMMA "','";
+    let b = parse_or st in
+    eat st Lexer.RPAREN "')'";
+    ignore p;
+    Surface.Range_src (a, b)
+  | Lexer.IDENT name, _ ->
+    advance st;
+    Surface.Input name
+  | Lexer.KW ("fst" | "snd"), _ ->
+    (* An array-valued projection, e.g. [snd g] for a group's values. *)
+    Surface.Expr_src (parse_atom st)
+  | Lexer.LPAREN, _ -> (
+    (* '(' starts either a sub-query or a parenthesized array-valued
+       expression; the 'from' keyword disambiguates. *)
+    match st.toks with
+    | _ :: (Lexer.KW "from", _) :: _ ->
+      advance st;
+      let q = parse_query st in
+      eat st Lexer.RPAREN "')'";
+      Surface.Subquery q
+    | _ -> Surface.Expr_src (parse_atom st))
+  | _ -> fail st "a source (input name, range(...), a sub-query, or an \
+                  array expression)"
+
+and parse_query st =
+  let _, qpos = peek st in
+  eat_kw st "from";
+  let bind =
+    match peek st with
+    | Lexer.IDENT x, _ ->
+      advance st;
+      x
+    | _ -> fail st "a binder name"
+  in
+  eat_kw st "in";
+  let src = parse_source st in
+  let clauses = ref [] in
+  let finish = ref None in
+  let rec loop () =
+    match peek st with
+    | Lexer.KW "from", _ ->
+      advance st;
+      let x =
+        match peek st with
+        | Lexer.IDENT x, _ ->
+          advance st;
+          x
+        | _ -> fail st "a binder name"
+      in
+      eat_kw st "in";
+      let s = parse_source st in
+      clauses := Surface.From (x, s) :: !clauses;
+      loop ()
+    | Lexer.KW "where", _ ->
+      advance st;
+      clauses := Surface.Where_c (parse_or st) :: !clauses;
+      loop ()
+    | Lexer.KW "orderby", _ ->
+      advance st;
+      let e = parse_or st in
+      let dir =
+        match peek st with
+        | Lexer.KW "asc", _ ->
+          advance st;
+          `Asc
+        | Lexer.KW "desc", _ ->
+          advance st;
+          `Desc
+        | _ -> `Asc
+      in
+      clauses := Surface.Order_c (e, dir) :: !clauses;
+      loop ()
+    | Lexer.KW "take", _ ->
+      advance st;
+      clauses := Surface.Take_c (parse_or st) :: !clauses;
+      loop ()
+    | Lexer.KW "skip", _ ->
+      advance st;
+      clauses := Surface.Skip_c (parse_or st) :: !clauses;
+      loop ()
+    | Lexer.KW "distinct", _ ->
+      advance st;
+      clauses := Surface.Distinct_c :: !clauses;
+      loop ()
+    | Lexer.KW "select", _ ->
+      advance st;
+      finish := Some (Surface.Select_f (parse_or st))
+    | Lexer.KW "group", _ ->
+      advance st;
+      let e = parse_or st in
+      eat_kw st "by";
+      let k = parse_or st in
+      finish := Some (Surface.Group_f (e, k))
+    | _ -> fail st "a query clause (from/where/orderby/take/skip/distinct/select/group)"
+  in
+  loop ();
+  match !finish with
+  | Some finish ->
+    { Surface.bind; src; clauses = List.rev !clauses; finish; qpos }
+  | None -> fail st "select or group"
+
+let with_tokens src f =
+  let st = { toks = Lexer.tokenize src } in
+  let result = f st in
+  (match peek st with
+  | Lexer.EOF, _ -> ()
+  | t, p ->
+    raise (Parse_error (Printf.sprintf "trailing input: %s" (Lexer.describe t), p)));
+  result
+
+let program src =
+  with_tokens src (fun st ->
+      let aggregate_head =
+        match peek st with
+        | Lexer.IDENT name, p when List.mem name aggregates -> Some (name, p)
+        | Lexer.KW "count", p -> Some ("count", p)
+        | _ -> None
+      in
+      match aggregate_head with
+      | Some (name, p) ->
+        advance st;
+        eat st Lexer.LPAREN "'('";
+        let q = parse_query st in
+        eat st Lexer.RPAREN "')'";
+        Surface.Scalar_p { Surface.agg_name = name; agg_body = q; spos = p }
+      | None -> Surface.Collection_p (parse_query st))
+
+let parse_expr src = with_tokens src parse_or

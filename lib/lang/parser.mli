@@ -1,0 +1,24 @@
+(** Recursive-descent parser for the textual query syntax.
+
+    Grammar (aggregate names are ordinary identifiers applied to a
+    parenthesized query):
+
+    {v
+program := query | AGG '(' query ')'
+query   := 'from' ID 'in' source clause* finisher
+source  := ID | 'range' '(' expr ',' expr ')' | '(' query ')'
+clause  := 'from' ID 'in' source | 'where' expr
+         | 'orderby' expr ('asc'|'desc')? | 'take' expr | 'skip' expr
+         | 'distinct'
+finisher:= 'select' expr | 'group' expr 'by' expr
+expr    := usual precedence: || < && < comparisons < + - < * / % < unary
+atom    := literal | ID | '(' expr (',' expr)? ')' | 'fst' atom | 'snd' atom
+         | 'count' atom | 'if' expr 'then' expr 'else' expr
+         | AGG '(' query ')'
+AGG     := sum | count | min | max | avg | any | first
+    v} *)
+
+exception Parse_error of string * int  (** message, position *)
+
+val program : string -> Surface.program
+val parse_expr : string -> Surface.expr

@@ -1,0 +1,105 @@
+type pos = int
+
+type expr = {
+  e : expr_node;
+  pos : pos;
+}
+
+and expr_node =
+  | Var of string
+  | Int_lit of int
+  | Float_lit of float
+  | Bool_lit of bool
+  | String_lit of string
+  | Binop of string * expr * expr
+  | Unop of string * expr
+  | If_e of expr * expr * expr
+  | Pair_e of expr * expr
+  | Fst_e of expr
+  | Snd_e of expr
+  | Count_group of expr
+  | Scalar_of of scalar
+
+and source =
+  | Input of string
+  | Range_src of expr * expr
+  | Subquery of query
+  | Expr_src of expr
+
+and clause =
+  | From of string * source
+  | Where_c of expr
+  | Order_c of expr * [ `Asc | `Desc ]
+  | Take_c of expr
+  | Skip_c of expr
+  | Distinct_c
+
+and finisher =
+  | Select_f of expr
+  | Group_f of expr * expr
+
+and query = {
+  bind : string;
+  src : source;
+  clauses : clause list;
+  finish : finisher;
+  qpos : pos;
+}
+
+and scalar = {
+  agg_name : string;
+  agg_body : query;
+  spos : pos;
+}
+
+let rec pp_expr fmt { e; _ } =
+  match e with
+  | Var s -> Format.pp_print_string fmt s
+  | Int_lit n -> Format.pp_print_int fmt n
+  | Float_lit x -> Format.fprintf fmt "%g" x
+  | Bool_lit b -> Format.pp_print_bool fmt b
+  | String_lit s -> Format.fprintf fmt "%S" s
+  | Binop (op, a, b) -> Format.fprintf fmt "(%a %s %a)" pp_expr a op pp_expr b
+  | Unop (op, a) -> Format.fprintf fmt "(%s %a)" op pp_expr a
+  | If_e (c, t, f) ->
+    Format.fprintf fmt "(if %a then %a else %a)" pp_expr c pp_expr t pp_expr f
+  | Pair_e (a, b) -> Format.fprintf fmt "(%a, %a)" pp_expr a pp_expr b
+  | Fst_e a -> Format.fprintf fmt "(fst %a)" pp_expr a
+  | Snd_e a -> Format.fprintf fmt "(snd %a)" pp_expr a
+  | Count_group a -> Format.fprintf fmt "(count %a)" pp_expr a
+  | Scalar_of s -> pp_scalar fmt s
+
+and pp_source fmt = function
+  | Input s -> Format.pp_print_string fmt s
+  | Range_src (a, b) ->
+    Format.fprintf fmt "range(%a, %a)" pp_expr a pp_expr b
+  | Subquery q -> Format.fprintf fmt "(%a)" pp_query q
+  | Expr_src e -> pp_expr fmt e
+
+and pp_clause fmt = function
+  | From (x, s) -> Format.fprintf fmt "from %s in %a" x pp_source s
+  | Where_c e -> Format.fprintf fmt "where %a" pp_expr e
+  | Order_c (e, `Asc) -> Format.fprintf fmt "orderby %a" pp_expr e
+  | Order_c (e, `Desc) -> Format.fprintf fmt "orderby %a desc" pp_expr e
+  | Take_c e -> Format.fprintf fmt "take %a" pp_expr e
+  | Skip_c e -> Format.fprintf fmt "skip %a" pp_expr e
+  | Distinct_c -> Format.pp_print_string fmt "distinct"
+
+and pp_query fmt q =
+  Format.fprintf fmt "from %s in %a" q.bind pp_source q.src;
+  List.iter (fun c -> Format.fprintf fmt " %a" pp_clause c) q.clauses;
+  (match q.finish with
+  | Select_f e -> Format.fprintf fmt " select %a" pp_expr e
+  | Group_f (e, k) ->
+    Format.fprintf fmt " group %a by %a" pp_expr e pp_expr k)
+
+and pp_scalar fmt s =
+  Format.fprintf fmt "%s(%a)" s.agg_name pp_query s.agg_body
+
+type program =
+  | Collection_p of query
+  | Scalar_p of scalar
+
+let pp_program fmt = function
+  | Collection_p q -> pp_query fmt q
+  | Scalar_p s -> pp_scalar fmt s

@@ -1,0 +1,79 @@
+(** The surface syntax of textual queries: an untyped AST produced by the
+    parser and consumed by the elaborator.
+
+    The paper's queries are written in C# query-comprehension syntax and
+    desugared by the compiler (section 2); this mirrors that surface:
+
+    {v
+from x in xs where x % 2 = 0 select x * x
+sum(from x in xs select x * x)
+from x in xs from y in range(0, x) select x * 10 + y
+from g in (from x in xs group x by x % 3) select (fst g, count g)
+    v} *)
+
+type pos = int
+(** Character offset in the source string, for error reporting. *)
+
+type expr = {
+  e : expr_node;
+  pos : pos;
+}
+
+and expr_node =
+  | Var of string
+  | Int_lit of int
+  | Float_lit of float
+  | Bool_lit of bool
+  | String_lit of string
+  | Binop of string * expr * expr
+      (** Operator symbol as written; elaboration dispatches on operand
+          types ("+" becomes integer or float addition). *)
+  | Unop of string * expr
+  | If_e of expr * expr * expr
+  | Pair_e of expr * expr
+  | Fst_e of expr
+  | Snd_e of expr
+  | Count_group of expr
+      (** [count g]: the size of a group bound by [group ... by]. *)
+  | Scalar_of of scalar  (** A scalar subquery used as an expression. *)
+
+and source =
+  | Input of string  (** A named input collection bound at evaluation. *)
+  | Range_src of expr * expr
+  | Subquery of query
+  | Expr_src of expr
+      (** An array-valued expression, e.g. [snd g] to iterate a group's
+          values. *)
+
+and clause =
+  | From of string * source  (** An additional generator: SelectMany. *)
+  | Where_c of expr
+  | Order_c of expr * [ `Asc | `Desc ]
+  | Take_c of expr
+  | Skip_c of expr
+  | Distinct_c
+
+and finisher =
+  | Select_f of expr
+  | Group_f of expr * expr  (** [group e by k] *)
+
+and query = {
+  bind : string;
+  src : source;
+  clauses : clause list;
+  finish : finisher;
+  qpos : pos;
+}
+
+and scalar = {
+  agg_name : string;  (** sum, count, min, max, avg, any, first *)
+  agg_body : query;
+  spos : pos;
+}
+
+type program =
+  | Collection_p of query
+  | Scalar_p of scalar
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_program : Format.formatter -> program -> unit

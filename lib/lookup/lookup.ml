@@ -1,0 +1,102 @@
+(* Growable vector of values for one key. *)
+type 'v bag = {
+  mutable data : 'v array;
+  mutable len : int;
+}
+
+let bag_create v =
+  { data = Array.make 4 v; len = 1 }
+
+let bag_add bag v =
+  if bag.len = Array.length bag.data then begin
+    let grown = Array.make (2 * bag.len) bag.data.(0) in
+    Array.blit bag.data 0 grown 0 bag.len;
+    bag.data <- grown
+  end;
+  bag.data.(bag.len) <- v;
+  bag.len <- bag.len + 1
+
+let bag_contents bag = Array.sub bag.data 0 bag.len
+
+type ('k, 'v) t = {
+  table : ('k, 'v bag) Hashtbl.t;
+  mutable order : 'k list; (* keys in reverse first-appearance order *)
+  mutable nkeys : int;
+  mutable total : int;
+}
+
+let create ?(initial_capacity = 16) () =
+  { table = Hashtbl.create initial_capacity; order = []; nkeys = 0; total = 0 }
+
+let put t key value =
+  (match Hashtbl.find_opt t.table key with
+  | Some bag -> bag_add bag value
+  | None ->
+    Hashtbl.replace t.table key (bag_create value);
+    t.order <- key :: t.order;
+    t.nkeys <- t.nkeys + 1);
+  t.total <- t.total + 1;
+  t
+
+let length t = t.nkeys
+
+let total_count t = t.total
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some bag -> bag_contents bag
+  | None -> [||]
+
+let mem t key = Hashtbl.mem t.table key
+
+let keys t = Array.of_list (List.rev t.order)
+
+let groupings t = Array.map (fun k -> k, find t k) (keys t)
+
+let iter f t = Array.iter (fun k -> f k (find t k)) (keys t)
+
+let fold f acc t =
+  Array.fold_left (fun acc k -> f acc k (find t k)) acc (keys t)
+
+module Agg = struct
+  type ('k, 's) t = {
+    table : ('k, 's ref) Hashtbl.t;
+    mutable order : 'k list;
+    mutable nkeys : int;
+    seed : 's;
+  }
+
+  let create ?(initial_capacity = 16) ~seed () =
+    { table = Hashtbl.create initial_capacity; order = []; nkeys = 0; seed }
+
+  let update t key f =
+    match Hashtbl.find_opt t.table key with
+    | Some cell -> cell := f !cell
+    | None ->
+      Hashtbl.replace t.table key (ref (f t.seed));
+      t.order <- key :: t.order;
+      t.nkeys <- t.nkeys + 1
+
+  let find_opt t key =
+    match Hashtbl.find_opt t.table key with
+    | Some cell -> Some !cell
+    | None -> None
+
+  let length t = t.nkeys
+
+  let keys t = Array.of_list (List.rev t.order)
+
+  let entries t =
+    Array.map
+      (fun k ->
+        match Hashtbl.find_opt t.table k with
+        | Some cell -> k, !cell
+        | None -> assert false)
+      (keys t)
+
+  let combine a b merge =
+    Array.iter
+      (fun (k, s) -> update a k (fun cur -> merge cur s))
+      (entries b);
+    a
+end

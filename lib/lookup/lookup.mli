@@ -1,0 +1,65 @@
+(** Key-to-bag multimap: the [Lookup<K, T>] utility class of the paper
+    (Fig. 7b).
+
+    The GroupBy sink operator folds a collection into a lookup with
+    [put]; the groups are then enumerated in the order their keys first
+    appeared, matching LINQ's [GroupBy] ordering guarantee.  Keys are
+    compared with structural equality and hashed with the polymorphic
+    hash function. *)
+
+type ('k, 'v) t
+
+val create : ?initial_capacity:int -> unit -> ('k, 'v) t
+
+val put : ('k, 'v) t -> 'k -> 'v -> ('k, 'v) t
+(** [put lookup key value] appends [value] to the bag for [key] and returns
+    the updated lookup.  The paper's [Put] method likewise returns the
+    updated collection; the underlying storage is mutated in place. *)
+
+val length : ('k, 'v) t -> int
+(** Number of distinct keys. *)
+
+val total_count : ('k, 'v) t -> int
+(** Total number of stored values across all keys. *)
+
+val find : ('k, 'v) t -> 'k -> 'v array
+(** Values stored for a key, in insertion order; [| |] if the key is
+    absent. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+
+val keys : ('k, 'v) t -> 'k array
+(** Distinct keys in first-appearance order. *)
+
+val groupings : ('k, 'v) t -> ('k * 'v array) array
+(** All groups, keys in first-appearance order, values in insertion order. *)
+
+val iter : ('k -> 'v array -> unit) -> ('k, 'v) t -> unit
+
+val fold : ('acc -> 'k -> 'v array -> 'acc) -> 'acc -> ('k, 'v) t -> 'acc
+
+(** {1 Aggregating sink}
+
+    The GroupByAggregate specialization (section 4.3) stores one partial
+    aggregate per key instead of the bag of values. *)
+
+module Agg : sig
+  type ('k, 's) t
+
+  val create : ?initial_capacity:int -> seed:'s -> unit -> ('k, 's) t
+
+  val update : ('k, 's) t -> 'k -> ('s -> 's) -> unit
+  (** [update t key f] replaces the aggregate for [key] with [f current],
+      where [current] is the stored aggregate or the seed for a fresh
+      key. *)
+
+  val combine : ('k, 's) t -> ('k, 's) t -> ('s -> 's -> 's) -> ('k, 's) t
+  (** [combine a b merge] folds [b] into [a] (the distributed [Agg*]
+      combining step, section 6) and returns [a]. *)
+
+  val find_opt : ('k, 's) t -> 'k -> 's option
+  val length : ('k, 's) t -> int
+
+  val entries : ('k, 's) t -> ('k * 's) array
+  (** Key-aggregate pairs in first-appearance order. *)
+end

@@ -1,0 +1,38 @@
+let recommended_workers () = min (Domain.recommended_domain_count ()) 16
+
+let run (type r) ~workers ~tasks (f : int -> r) : r array =
+  if tasks = 0 then [||]
+  else begin
+    let workers = max 1 (min workers tasks) in
+    let results : r option array = Array.make tasks None in
+    let failure = Atomic.make None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < tasks && Atomic.get failure = None then begin
+          (match f i with
+          | r -> results.(i) <- Some r
+          | exception e ->
+            (* First failure wins; remaining tasks are abandoned. *)
+            ignore (Atomic.compare_and_set failure None (Some e)));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains =
+      List.init (workers - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join domains;
+    (match Atomic.get failure with Some e -> raise e | None -> ());
+    Array.map
+      (function
+        | Some r -> r
+        | None -> assert false)
+      results
+  end
+
+let map_array ~workers f arr =
+  run ~workers ~tasks:(Array.length arr) (fun i -> f arr.(i))

@@ -1,0 +1,16 @@
+(** A small fixed-size pool of OCaml domains: the thread-pool substrate
+    that PLINQ provides in the paper (section 6).
+
+    Tasks are indexed; workers pull indices from a shared atomic counter,
+    so imbalanced tasks still load-balance.  Exceptions in a task are
+    re-raised in the caller after all workers finish. *)
+
+val recommended_workers : unit -> int
+(** [Domain.recommended_domain_count], capped to a sane bound. *)
+
+val run : workers:int -> tasks:int -> (int -> 'r) -> 'r array
+(** [run ~workers ~tasks f] computes [f i] for every [0 <= i < tasks]
+    using at most [workers] domains (plus the caller, which also works),
+    and returns results in task order. *)
+
+val map_array : workers:int -> ('a -> 'b) -> 'a array -> 'b array

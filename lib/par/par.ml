@@ -1,0 +1,224 @@
+type 'a partitioned = 'a array array
+
+let partition ~parts arr =
+  if parts <= 0 then invalid_arg "Par.partition: parts must be positive";
+  let n = Array.length arr in
+  Array.init parts (fun p ->
+      let lo = p * n / parts in
+      let hi = (p + 1) * n / parts in
+      Array.sub arr lo (hi - lo))
+
+let concat parts = Array.concat (Array.to_list parts)
+
+let homomorphic_apply ?backend ?workers _ty build parts =
+  let workers =
+    Option.value workers ~default:(Domain_pool.recommended_workers ())
+  in
+  (* Compile once up front: every partition's query generates identical
+     source, so the parallel runs below are cache hits. *)
+  if Array.length parts > 0 then
+    ignore (Steno.prepare ?backend (build parts.(0)));
+  Domain_pool.map_array ~workers
+    (fun part -> Steno.to_array ?backend (build part))
+    parts
+
+let scalar_per_partition ?backend ?workers build ~combine parts =
+  let workers =
+    Option.value workers ~default:(Domain_pool.recommended_workers ())
+  in
+  if Array.length parts > 0 then
+    ignore (Steno.prepare_scalar ?backend (build parts.(0)));
+  let partials =
+    Domain_pool.map_array ~workers
+      (fun part ->
+        match Steno.scalar ?backend (build part) with
+        | s -> Some s
+        | exception Iterator.No_such_element -> None)
+      parts
+  in
+  let merged =
+    Array.fold_left
+      (fun acc p ->
+        match acc, p with
+        | None, x | x, None -> x
+        | Some a, Some b -> Some (combine a b))
+      None partials
+  in
+  match merged with
+  | Some s -> s
+  | None -> raise Iterator.No_such_element
+
+(* Homomorphism check: sinks reorder or deduplicate across elements, and
+   Take/Skip depend on global element positions. *)
+let rec is_homomorphic : type a. a Query.t -> bool = function
+  | Query.Of_array _ | Query.Range _ | Query.Repeat _ -> true
+  | Query.Select (q, _) -> is_homomorphic q
+  | Query.Select_i (_, _) | Query.Where_i (_, _) -> false
+  | Query.Select_q (q, _, _) -> is_homomorphic q
+  | Query.Where (q, _) -> is_homomorphic q
+  | Query.Where_q (q, _, _) -> is_homomorphic q
+  | Query.Take (_, _) | Query.Skip (_, _) -> false
+  | Query.Take_while (_, _) | Query.Skip_while (_, _) -> false
+  | Query.Select_many (q, _, _) -> is_homomorphic q
+  | Query.Select_many_result (q, _, _, _) -> is_homomorphic q
+  | Query.Join (outer, _, _, _, _) -> is_homomorphic outer
+  | Query.Group_by (_, _)
+  | Query.Group_by_elem (_, _, _)
+  | Query.Group_by_agg (_, _, _, _)
+  | Query.Order_by (_, _, _)
+  | Query.Distinct _ | Query.Rev _ ->
+    false
+  | Query.Materialize q -> is_homomorphic q
+
+type 's split =
+  | Split : {
+      source_ty : 'a Ty.t;
+      source : 'a array;
+      rebuild : 'a array -> 's Query.sq;
+      combine : 's -> 's -> 's;
+    }
+      -> 's split
+
+(* Locate the root captured-array source of a homomorphic prefix and build
+   a function that re-roots the query on a different array. *)
+type 'b rerooted =
+  | Rerooted : {
+      ty : 'a Ty.t;
+      arr : 'a array;
+      rebuild : 'a array -> 'b Query.t;
+    }
+      -> 'b rerooted
+
+let rec reroot : type b. b Query.t -> b rerooted option = function
+  | Query.Of_array (ty, Expr.Capture (_, arr)) ->
+    Some
+      (Rerooted
+         {
+           ty;
+           arr;
+           rebuild = (fun a -> Query.Of_array (ty, Expr.capture (Ty.Array ty) a));
+         })
+  | Query.Of_array (_, _) | Query.Range _ | Query.Repeat _ -> None
+  | Query.Select (q, lam) ->
+    Option.map
+      (fun (Rerooted r) ->
+        Rerooted
+          { r with rebuild = (fun a -> Query.Select (r.rebuild a, lam)) })
+      (reroot q)
+  | Query.Select_q (q, v, sq) ->
+    Option.map
+      (fun (Rerooted r) ->
+        Rerooted
+          { r with rebuild = (fun a -> Query.Select_q (r.rebuild a, v, sq)) })
+      (reroot q)
+  | Query.Where (q, lam) ->
+    Option.map
+      (fun (Rerooted r) ->
+        Rerooted { r with rebuild = (fun a -> Query.Where (r.rebuild a, lam)) })
+      (reroot q)
+  | Query.Where_q (q, v, sq) ->
+    Option.map
+      (fun (Rerooted r) ->
+        Rerooted
+          { r with rebuild = (fun a -> Query.Where_q (r.rebuild a, v, sq)) })
+      (reroot q)
+  | Query.Select_many (q, v, inner) ->
+    Option.map
+      (fun (Rerooted r) ->
+        Rerooted
+          {
+            r with
+            rebuild = (fun a -> Query.Select_many (r.rebuild a, v, inner));
+          })
+      (reroot q)
+  | Query.Select_many_result (q, v, inner, lam2) ->
+    Option.map
+      (fun (Rerooted r) ->
+        Rerooted
+          {
+            r with
+            rebuild =
+              (fun a -> Query.Select_many_result (r.rebuild a, v, inner, lam2));
+          })
+      (reroot q)
+  | Query.Take _ | Query.Skip _ | Query.Take_while _ | Query.Skip_while _
+  | Query.Select_i _ | Query.Where_i _ | Query.Join _ | Query.Group_by _
+  | Query.Group_by_elem _ | Query.Group_by_agg _ | Query.Order_by _
+  | Query.Distinct _ | Query.Rev _ ->
+    None
+  | Query.Materialize q ->
+    Option.map
+      (fun (Rerooted r) ->
+        Rerooted { r with rebuild = (fun a -> Query.Materialize (r.rebuild a)) })
+      (reroot q)
+
+let split_scalar (type s) (sq : s Query.sq) : s split option =
+  let mk (type a) (q : a Query.t) (wrap : a Query.t -> s Query.sq)
+      (combine : s -> s -> s) : s split option =
+    match reroot q with
+    | None -> None
+    | Some (Rerooted r) ->
+      Some
+        (Split
+           {
+             source_ty = r.ty;
+             source = r.arr;
+             rebuild = (fun a -> wrap (r.rebuild a));
+             combine;
+           })
+  in
+  match sq with
+  | Query.Sum_int q -> mk q (fun q -> Query.Sum_int q) ( + )
+  | Query.Sum_float q -> mk q (fun q -> Query.Sum_float q) ( +. )
+  | Query.Count q -> mk q (fun q -> Query.Count q) ( + )
+  | Query.Min q -> mk q (fun q -> Query.Min q) min
+  | Query.Max q -> mk q (fun q -> Query.Max q) max
+  | Query.Min_by (q, key) ->
+    let k = Expr.stage key in
+    mk q
+      (fun q -> Query.Min_by (q, key))
+      (fun a b -> if k b < k a then b else a)
+  | Query.Max_by (q, key) ->
+    let k = Expr.stage key in
+    mk q
+      (fun q -> Query.Max_by (q, key))
+      (fun a b -> if k b > k a then b else a)
+  | Query.Any q -> mk q (fun q -> Query.Any q) ( || )
+  | Query.Exists (q, lam) -> mk q (fun q -> Query.Exists (q, lam)) ( || )
+  | Query.For_all (q, lam) -> mk q (fun q -> Query.For_all (q, lam)) ( && )
+  | Query.Contains (q, v) -> mk q (fun q -> Query.Contains (q, v)) ( || )
+  (* Not associatively combinable without user-declared structure
+     (section 6 defers such knowledge to DryadLINQ's annotations). *)
+  | Query.Aggregate _ | Query.Aggregate_full _ | Query.Average _
+  | Query.First _ | Query.Last _ | Query.Element_at _ | Query.Map_scalar _ ->
+    None
+
+let scalar_auto ?backend ?workers ?parts sq =
+  match split_scalar sq with
+  | None -> Steno.scalar ?backend sq
+  | Some (Split { source; rebuild; combine; source_ty = _ }) ->
+    let workers =
+      Option.value workers ~default:(Domain_pool.recommended_workers ())
+    in
+    let parts = Option.value parts ~default:workers in
+    let parts = max 1 parts in
+    if Array.length source = 0 then Steno.scalar ?backend sq
+    else
+      scalar_per_partition ?backend ~workers rebuild ~combine
+        (partition ~parts source)
+
+let to_array_auto ?backend ?workers ?parts (q : 'a Query.t) : 'a array =
+  match reroot q with
+  | Some (Rerooted r) when is_homomorphic q ->
+    let workers =
+      Option.value workers ~default:(Domain_pool.recommended_workers ())
+    in
+    let parts = max 1 (Option.value parts ~default:workers) in
+    if Array.length r.arr = 0 then Steno.to_array ?backend q
+    else
+      let partitions = partition ~parts r.arr in
+      concat
+        (homomorphic_apply ?backend ~workers r.ty
+           (fun part -> r.rebuild part)
+           partitions)
+  | Some _ | None -> Steno.to_array ?backend q

@@ -1,0 +1,80 @@
+(** Multiprocessor query execution (section 6 of the paper).
+
+    A query over partitioned data executes in parallel when its operators
+    are homomorphic (apply to each element independently): the
+    homomorphic prefix runs on every partition as an independent subquery
+    — compiled once by Steno and reused, since partitions only differ in
+    the captured source array — and an associative trailing aggregation is
+    split into per-partition partial aggregations [Agg_i] combined by a
+    final [Agg*] (Fig. 12). *)
+
+type 'a partitioned = 'a array array
+
+val partition : parts:int -> 'a array -> 'a partitioned
+(** Split into [parts] contiguous chunks of near-equal size (at most one
+    element difference).  [parts] must be positive; empty chunks are
+    produced when there are fewer elements than parts. *)
+
+val concat : 'a partitioned -> 'a array
+
+(** {1 Explicit parallel operators} *)
+
+val homomorphic_apply :
+  ?backend:Steno.backend ->
+  ?workers:int ->
+  'a Ty.t ->
+  ('a array -> 'b Query.t) ->
+  'a partitioned ->
+  'b partitioned
+(** The paper's [HomomorphicApply] PLINQ operator: apply a compiled
+    subquery to each partition in parallel, yielding a new set of
+    partitions.  The query builder receives the partition's data; with the
+    [Native] backend the generated plugin is compiled once and shared by
+    all partitions (identical source, different capture environment). *)
+
+val scalar_per_partition :
+  ?backend:Steno.backend ->
+  ?workers:int ->
+  ('a array -> 's Query.sq) ->
+  combine:('s -> 's -> 's) ->
+  'a partitioned ->
+  's
+(** Per-partition partial aggregation plus an [Agg*] combining step.
+    Raises [Iterator.No_such_element] if every partition is empty and the
+    subquery requires a non-empty input. *)
+
+(** {1 Automatic splitting} *)
+
+val is_homomorphic : 'a Query.t -> bool
+(** True when every operator applies to each element independently
+    (Trans, Pred and nested operators — not sinks, not Take/Skip). *)
+
+type 's split =
+  | Split : {
+      source_ty : 'a Ty.t;
+      source : 'a array;
+      rebuild : 'a array -> 's Query.sq;
+          (** The per-partition subquery: the original query with its
+              source replaced by a partition. *)
+      combine : 's -> 's -> 's;  (** The [Agg*] operator. *)
+    }
+      -> 's split
+
+val split_scalar : 's Query.sq -> 's split option
+(** Analyze a scalar query: if it is a homomorphic prefix over a captured
+    array source followed by an associative aggregation, return the
+    partitioned execution plan.  [None] when the query cannot be split
+    (non-associative aggregate, non-homomorphic operator, or a computed
+    source). *)
+
+val scalar_auto :
+  ?backend:Steno.backend -> ?workers:int -> ?parts:int -> 's Query.sq -> 's
+(** Run a scalar query in parallel when {!split_scalar} finds a plan, and
+    sequentially otherwise. *)
+
+val to_array_auto :
+  ?backend:Steno.backend -> ?workers:int -> ?parts:int -> 'a Query.t -> 'a array
+(** Run a collection query in parallel when it is a homomorphic prefix
+    over a captured array source (per-partition results concatenate in
+    partition order, preserving the sequential result exactly);
+    sequentially otherwise. *)

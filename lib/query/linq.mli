@@ -1,0 +1,24 @@
+(** The unoptimized baseline: interpret a query as a chain of pull
+    iterators, exactly as LINQ-to-objects executes (section 2 of the
+    paper).
+
+    Staging happens once per query ([stage] walks the AST and compiles
+    every lambda to a closure — the analog of expression-tree-to-delegate
+    compilation); each run then pays the full iterator protocol: two
+    indirect calls per element per operator plus one per lambda, times the
+    nesting depth. *)
+
+val stage : 'a Query.t -> Expr.Open.env -> 'a Enumerable.t
+(** Build the iterator pipeline for a collection query.  The environment
+    supplies values for free variables (used by nested subqueries). *)
+
+val stage_sq : 's Query.sq -> Expr.Open.env -> 's
+(** Build the eager evaluator for a scalar query. *)
+
+val run : 'a Query.t -> 'a Enumerable.t
+(** [stage] applied to the empty environment. *)
+
+val run_sq : 's Query.sq -> 's
+
+val to_array : 'a Query.t -> 'a array
+val to_list : 'a Query.t -> 'a list

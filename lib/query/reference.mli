@@ -1,0 +1,12 @@
+(** Reference semantics: a deliberately naive, list-based evaluator used as
+    the oracle in differential tests.
+
+    Shares no operator code with the iterator pipeline ({!Linq}), the
+    fused backend, or generated native code, so agreement between backends
+    and this module is meaningful evidence of correctness. *)
+
+val eval : 'a Query.t -> Expr.Open.env -> 'a list
+val eval_sq : 's Query.sq -> Expr.Open.env -> 's
+
+val to_list : 'a Query.t -> 'a list
+val scalar : 's Query.sq -> 's

@@ -1,0 +1,167 @@
+type render = Expr.name_env -> Expr.Capture_table.t -> string
+
+type lam1 = {
+  bind1 : string -> Expr.name_env -> Expr.name_env;
+  body1 : render;
+}
+
+type lam2 = {
+  bind2 : string -> string -> Expr.name_env -> Expr.name_env;
+  body2 : render;
+}
+
+type src =
+  | Src_array of { elem_ty : string; array : render }
+  | Src_range of { start : render; count : render }
+  | Src_repeat of { value : render; count : render }
+
+type stateful_pred =
+  | Take_n of render
+  | Skip_n of render
+  | Take_while_p of lam1
+  | Skip_while_p of lam1
+
+type sink =
+  | Group_by_sink of { key : lam1 }
+  | Group_by_elem_sink of { key : lam1; elem : lam1 }
+  | Group_by_agg_sink of { key : lam1; seed : render; step : lam2 }
+  | Group_by_agg_sorted_sink of {
+      key : lam1;
+      key_default : string;
+      seed : render;
+      step : lam2;
+    }
+  | Order_by_sink of { key : lam1; descending : bool }
+  | Distinct_sink
+  | Reverse_sink
+  | To_array_sink
+
+type acc = {
+  seed : render;
+  step : accs:string list -> elem:string -> render;
+  first : (elem:string -> render) option;
+}
+
+type agg = {
+  accs : acc list;
+  first_element : bool;
+  require_nonempty : bool;
+  early_exit : (accs:string list -> render) option;
+  result : accs:string list -> render;
+}
+
+type op =
+  | Trans of lam1
+  | Trans_nested of nested_scalar
+  | Pred of lam1
+  | Pred_nested of nested_scalar
+  | Pred_stateful of stateful_pred
+  | Trans_idx of lam2
+  | Pred_idx of lam2
+  | Nested of nested
+  | Hash_join of hash_join
+  | Sink of sink
+  | Agg of agg
+
+and hash_join = {
+  join_inner : chain;
+  join_inner_key : lam1;
+  join_outer_key : lam1;
+  join_result : lam2;
+}
+
+and nested = {
+  bind_outer : string -> Expr.name_env -> Expr.name_env;
+  inner : chain;
+  result2 : lam2 option;
+}
+
+and nested_scalar = {
+  bind_outer_s : string -> Expr.name_env -> Expr.name_env;
+  inner_s : chain;
+}
+
+and chain = {
+  src : src;
+  ops : op list;
+}
+
+let returns_scalar chain =
+  match List.rev chain.ops with
+  | Agg _ :: _ -> true
+  | _ -> false
+
+(* Grammar check, mirroring the FSM of Fig. 4: Agg may only be the last
+   symbol before Ret; everything else may chain freely. *)
+let rec validate chain =
+  let rec go = function
+    | [] -> Ok ()
+    | Agg _ :: (_ :: _ as rest) ->
+      Error
+        (Printf.sprintf
+           "Agg must be the penultimate symbol (followed only by Ret), but \
+            %d operators follow it"
+           (List.length rest))
+    | Agg _ :: [] -> Ok ()
+    | Trans _ :: rest | Trans_idx _ :: rest | Pred _ :: rest
+    | Pred_idx _ :: rest | Pred_stateful _ :: rest | Sink _ :: rest ->
+      go rest
+    | Trans_nested n :: rest | Pred_nested n :: rest -> (
+      match validate n.inner_s with
+      | Error _ as e -> e
+      | Ok () ->
+        if returns_scalar n.inner_s then go rest
+        else Error "nested Trans/Pred sub-query must return a scalar \
+                    (end in Agg)")
+    | Nested n :: rest -> (
+      match validate n.inner with
+      | Error _ as e -> e
+      | Ok () ->
+        if returns_scalar n.inner then
+          Error "SelectMany sub-query must return a collection, not a scalar"
+        else go rest)
+    | Hash_join j :: rest -> (
+      match validate j.join_inner with
+      | Error _ as e -> e
+      | Ok () ->
+        if returns_scalar j.join_inner then
+          Error "hash-join build side must be a collection"
+        else go rest)
+  in
+  go chain.ops
+
+let rec symbol_string chain =
+  let sym = function
+    | Trans _ -> "Trans"
+    | Trans_idx _ -> "Trans"
+    | Trans_nested n ->
+      Printf.sprintf "Trans[%s]" (symbol_string n.inner_s)
+    | Pred _ -> "Pred"
+    | Pred_idx _ -> "Pred"
+    | Pred_nested n -> Printf.sprintf "Pred[%s]" (symbol_string n.inner_s)
+    | Pred_stateful _ -> "Pred"
+    | Nested n -> Printf.sprintf "[%s]" (symbol_string n.inner)
+    | Hash_join j ->
+      Printf.sprintf "HashJoin[%s]" (symbol_string j.join_inner)
+    | Sink (Group_by_sink _) -> "Sink:GroupBy"
+    | Sink (Group_by_elem_sink _) -> "Sink:GroupBy"
+    | Sink (Group_by_agg_sink _) -> "Sink:GroupByAggregate"
+    | Sink (Group_by_agg_sorted_sink _) -> "Sink:GroupByAggregateSorted"
+    | Sink (Order_by_sink _) -> "Sink:OrderBy"
+    | Sink Distinct_sink -> "Sink:Distinct"
+    | Sink Reverse_sink -> "Sink:Reverse"
+    | Sink To_array_sink -> "Sink:ToArray"
+    | Agg _ -> "Agg"
+  in
+  String.concat " " (("Src" :: List.map sym chain.ops) @ [ "Ret" ])
+
+let rec operator_count chain =
+  let op_count = function
+    | Trans _ | Trans_idx _ | Pred _ | Pred_idx _ | Pred_stateful _
+    | Sink _ | Agg _ ->
+      1
+    | Trans_nested n | Pred_nested n -> 1 + operator_count n.inner_s
+    | Nested n -> 1 + operator_count n.inner
+    | Hash_join j -> 1 + operator_count j.join_inner
+  in
+  1 + List.fold_left (fun acc op -> acc + op_count op) 0 chain.ops

@@ -1,0 +1,26 @@
+(** Operator specialization (section 4.3 of the paper): detect GroupBy
+    operators whose groups are immediately reduced by an aggregating
+    selector, and replace them with the GroupByAggregate sink, which
+    stores one partial aggregate per key instead of the bag of values.
+
+    Two shapes are recognized, both produced naturally by the combinator
+    API:
+
+    - {b counting}: [group_by key |> select (fun g -> ... length (snd g) ...)]
+      where the group's values are used only through [Array_length];
+    - {b folding}: [group_by key |> select_sq (fun g -> aggregate ... (of_array (snd g)))]
+      — a nested scalar query folding exactly the group's values
+      (optionally through an element-wise [select]), with a result
+      selector free to mention the group key.
+
+    The rewrite is semantics-preserving: group order (first appearance)
+    and fold order (source order within each group) are unchanged. *)
+
+val query : 'a Query.t -> 'a Query.t
+(** Apply the specialization bottom-up wherever it matches. *)
+
+val scalar : 's Query.sq -> 's Query.sq
+
+val enabled : bool ref
+(** Global switch (default on), used by the ablation benchmark.  When
+    false, {!query} and {!scalar} are the identity. *)

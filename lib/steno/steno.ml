@@ -1,0 +1,156 @@
+type backend =
+  | Linq
+  | Fused
+  | Native
+
+let native_available = Dynload.is_available
+
+let default_backend = ref Fused
+
+let () = if native_available () then default_backend := Native
+
+type compile_info = {
+  backend : backend;
+  cache_hit : bool;
+  prepare_ms : float;
+  codegen_ms : float;
+  compile_ms : float;
+}
+
+type 'a prepared = {
+  run_fn : unit -> 'a array;
+  p_info : compile_info;
+}
+
+type 's prepared_scalar = {
+  run_sfn : unit -> 's;
+  s_info : compile_info;
+}
+
+(* Query cache: generated source text -> loaded plugin.  Captured values
+   print as environment slots, so two structurally identical queries over
+   different data share one plugin (section 7.1's cached query object). *)
+let cache : (string, Dynload.compiled) Hashtbl.t = Hashtbl.create 16
+
+let cache_mutex = Mutex.create ()
+
+let cache_size () = Mutex.protect cache_mutex (fun () -> Hashtbl.length cache)
+
+let clear_cache () =
+  Mutex.protect cache_mutex (fun () -> Hashtbl.reset cache)
+
+let now_ms () = Unix.gettimeofday () *. 1000.0
+
+(* Map the generated code's empty-sequence failure back to the exception
+   the iterator pipeline raises, so backends agree observably. *)
+let translate_exn : exn -> exn = function
+  | Failure msg when msg = Codegen.empty_sequence_message ->
+    Iterator.No_such_element
+  | e -> e
+
+let compile_native (chain : Quil.chain) =
+  let t0 = now_ms () in
+  let out = Codegen.generate chain in
+  let t1 = now_ms () in
+  let cached, plugin =
+    Mutex.protect cache_mutex (fun () ->
+        match Hashtbl.find_opt cache out.Codegen.source with
+        | Some p -> true, Some p
+        | None -> false, None)
+  in
+  let plugin =
+    match plugin with
+    | Some p -> p
+    | None ->
+      let p = Dynload.compile ~source:out.Codegen.source in
+      Mutex.protect cache_mutex (fun () ->
+          Hashtbl.replace cache out.Codegen.source p);
+      p
+  in
+  let t2 = now_ms () in
+  let env = Expr.Capture_table.to_env out.Codegen.table in
+  let run () =
+    try plugin.Dynload.run env with e -> raise (translate_exn e)
+  in
+  let info =
+    {
+      backend = Native;
+      cache_hit = cached;
+      prepare_ms = t2 -. t0;
+      codegen_ms = t1 -. t0;
+      compile_ms = (if cached then 0.0 else t2 -. t1);
+    }
+  in
+  run, info
+
+let no_compile backend t0 =
+  {
+    backend;
+    cache_hit = false;
+    prepare_ms = now_ms () -. t0;
+    codegen_ms = 0.0;
+    compile_ms = 0.0;
+  }
+
+let prepare ?backend (q : 'a Query.t) : 'a prepared =
+  let backend = Option.value backend ~default:!default_backend in
+  let t0 = now_ms () in
+  match backend with
+  | Linq ->
+    let staged = Linq.stage q in
+    {
+      run_fn = (fun () -> Enumerable.to_array (staged Expr.Open.empty));
+      p_info = no_compile Linq t0;
+    }
+  | Fused ->
+    let staged = Fused.stage (Specialize.query q) in
+    {
+      run_fn = (fun () -> Fused.materialize (staged Expr.Open.empty));
+      p_info = no_compile Fused t0;
+    }
+  | Native ->
+    let run, info = compile_native (Canon.of_query q) in
+    { run_fn = (fun () : 'a array -> Obj.obj (run ())); p_info = info }
+
+let prepare_scalar ?backend (sq : 's Query.sq) : 's prepared_scalar =
+  let backend = Option.value backend ~default:!default_backend in
+  let t0 = now_ms () in
+  match backend with
+  | Linq ->
+    let staged = Linq.stage_sq sq in
+    {
+      run_sfn = (fun () -> staged Expr.Open.empty);
+      s_info = no_compile Linq t0;
+    }
+  | Fused ->
+    let staged = Fused.stage_sq (Specialize.scalar sq) in
+    {
+      run_sfn = (fun () -> staged Expr.Open.empty);
+      s_info = no_compile Fused t0;
+    }
+  | Native ->
+    let run, info = compile_native (Canon.of_scalar sq) in
+    { run_sfn = (fun () : 's -> Obj.obj (run ())); s_info = info }
+
+let run p = p.run_fn ()
+
+let run_scalar p = p.run_sfn ()
+
+let info p = p.p_info
+
+let info_scalar p = p.s_info
+
+let to_array ?backend q = run (prepare ?backend q)
+
+let to_list ?backend q = Array.to_list (to_array ?backend q)
+
+let scalar ?backend sq = run_scalar (prepare_scalar ?backend sq)
+
+let generated_source q = (Codegen.generate (Canon.of_query q)).Codegen.source
+
+let generated_source_scalar sq =
+  (Codegen.generate (Canon.of_scalar sq)).Codegen.source
+
+let quil q = Quil.symbol_string (Canon.of_query q)
+
+let quil_scalar sq = Quil.symbol_string (Canon.of_scalar sq)

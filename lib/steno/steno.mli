@@ -1,0 +1,83 @@
+(** Steno: automatic optimization of declarative queries.
+
+    The public entry point.  Build a query with the {!Query} combinators,
+    then either run it directly through the unoptimized iterator pipeline
+    ([Linq] backend), or optimize it:
+
+    {[
+      let q =
+        Query.of_array Ty.Float xs
+        |> Query.select (fun x -> Expr.Infix.(x *. x))
+        |> Query.sum_float
+      in
+      let sum = Steno.scalar ~backend:Native q
+    ]}
+
+    The [Native] backend performs the full Steno pipeline of the paper:
+    canonicalize to QUIL (section 3.1), generate fused loop code with the
+    pushdown automaton (sections 4-5), compile it with the native
+    compiler, load it, and bind captured values (section 3.3).  Compiled
+    code is cached by generated source text, so a structurally identical
+    query (e.g. the same query over a different captured array) reuses the
+    compiled plugin and pays only environment re-extraction — the query
+    caching the paper describes in section 7.1. *)
+
+type backend =
+  | Linq  (** Unoptimized iterator pipeline (the baseline). *)
+  | Fused  (** In-process closure fusion (no compiler invocation). *)
+  | Native  (** Full Steno: generated, natively compiled loop code. *)
+
+val default_backend : backend ref
+(** Initially [Native] when a native compiler is available, [Fused]
+    otherwise. *)
+
+(** {1 Running queries} *)
+
+val to_array : ?backend:backend -> 'a Query.t -> 'a array
+val to_list : ?backend:backend -> 'a Query.t -> 'a list
+val scalar : ?backend:backend -> 's Query.sq -> 's
+
+(** {1 Prepared queries}
+
+    Separate optimization from execution to amortize or measure the
+    one-off compilation cost. *)
+
+type 'a prepared
+type 's prepared_scalar
+
+val prepare : ?backend:backend -> 'a Query.t -> 'a prepared
+val prepare_scalar : ?backend:backend -> 's Query.sq -> 's prepared_scalar
+val run : 'a prepared -> 'a array
+val run_scalar : 's prepared_scalar -> 's
+
+type compile_info = {
+  backend : backend;
+  cache_hit : bool;  (** Compiled plugin reused from the query cache. *)
+  prepare_ms : float;
+      (** Total preparation cost: canonicalization, code generation, and —
+          on a cache miss — compiler invocation and loading. *)
+  codegen_ms : float;  (** Of which QUIL lowering and code generation. *)
+  compile_ms : float;  (** Of which external compiler + dynlink. *)
+}
+
+val info : 'a prepared -> compile_info
+val info_scalar : 's prepared_scalar -> compile_info
+
+(** {1 Inspection} *)
+
+val generated_source : 'a Query.t -> string
+(** The OCaml module Steno generates for this query. *)
+
+val generated_source_scalar : 's Query.sq -> string
+
+val quil : 'a Query.t -> string
+(** The QUIL sentence, e.g. ["Src Pred Trans Agg Ret"]. *)
+
+val quil_scalar : 's Query.sq -> string
+
+(** {1 Cache control} *)
+
+val cache_size : unit -> int
+val clear_cache : unit -> unit
+
+val native_available : unit -> bool

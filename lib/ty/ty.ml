@@ -1,0 +1,148 @@
+type _ t =
+  | Unit : unit t
+  | Bool : bool t
+  | Int : int t
+  | Float : float t
+  | String : string t
+  | Pair : 'a t * 'b t -> ('a * 'b) t
+  | Triple : 'a t * 'b t * 'c t -> ('a * 'b * 'c) t
+  | Array : 'a t -> 'a array t
+  | List : 'a t -> 'a list t
+  | Option : 'a t -> 'a option t
+  | Func : 'a t * 'b t -> ('a -> 'b) t
+
+type ('a, 'b) eq = Refl : ('a, 'a) eq
+
+let rec equal : type a b. a t -> b t -> (a, b) eq option =
+ fun a b ->
+  match a, b with
+  | Unit, Unit -> Some Refl
+  | Bool, Bool -> Some Refl
+  | Int, Int -> Some Refl
+  | Float, Float -> Some Refl
+  | String, String -> Some Refl
+  | Pair (a1, a2), Pair (b1, b2) -> (
+    match equal a1 b1, equal a2 b2 with
+    | Some Refl, Some Refl -> Some Refl
+    | _, _ -> None)
+  | Triple (a1, a2, a3), Triple (b1, b2, b3) -> (
+    match equal a1 b1, equal a2 b2, equal a3 b3 with
+    | Some Refl, Some Refl, Some Refl -> Some Refl
+    | _, _, _ -> None)
+  | Array a1, Array b1 -> (
+    match equal a1 b1 with Some Refl -> Some Refl | None -> None)
+  | List a1, List b1 -> (
+    match equal a1 b1 with Some Refl -> Some Refl | None -> None)
+  | Option a1, Option b1 -> (
+    match equal a1 b1 with Some Refl -> Some Refl | None -> None)
+  | Func (a1, a2), Func (b1, b2) -> (
+    match equal a1 b1, equal a2 b2 with
+    | Some Refl, Some Refl -> Some Refl
+    | _, _ -> None)
+  | Unit, _
+  | Bool, _
+  | Int, _
+  | Float, _
+  | String, _
+  | Pair _, _
+  | Triple _, _
+  | Array _, _
+  | List _, _
+  | Option _, _
+  | Func _, _ ->
+    None
+
+(* Rendering: atoms print bare; compound types print parenthesized so the
+   result can always be spliced into a larger type expression. *)
+let rec to_string : type a. a t -> string = function
+  | Unit -> "unit"
+  | Bool -> "bool"
+  | Int -> "int"
+  | Float -> "float"
+  | String -> "string"
+  | Pair (a, b) -> Printf.sprintf "(%s * %s)" (to_string a) (to_string b)
+  | Triple (a, b, c) ->
+    Printf.sprintf "(%s * %s * %s)" (to_string a) (to_string b) (to_string c)
+  | Array a -> Printf.sprintf "(%s array)" (to_string a)
+  | List a -> Printf.sprintf "(%s list)" (to_string a)
+  | Option a -> Printf.sprintf "(%s option)" (to_string a)
+  | Func (a, b) -> Printf.sprintf "(%s -> %s)" (to_string a) (to_string b)
+
+let pp fmt ty = Format.pp_print_string fmt (to_string ty)
+
+let rec pp_value : type a. a t -> Format.formatter -> a -> unit =
+ fun ty fmt v ->
+  match ty with
+  | Unit -> Format.pp_print_string fmt "()"
+  | Bool -> Format.pp_print_bool fmt v
+  | Int -> Format.pp_print_int fmt v
+  | Float -> Format.fprintf fmt "%.17g" v
+  | String -> Format.fprintf fmt "%S" v
+  | Pair (a, b) ->
+    let x, y = v in
+    Format.fprintf fmt "(%a, %a)" (pp_value a) x (pp_value b) y
+  | Triple (a, b, c) ->
+    let x, y, z = v in
+    Format.fprintf fmt "(%a, %a, %a)" (pp_value a) x (pp_value b) y
+      (pp_value c) z
+  | Array a ->
+    Format.fprintf fmt "[|%a|]"
+      (Format.pp_print_seq
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+         (fun fmt x -> pp_value a fmt x))
+      (Array.to_seq v)
+  | List a ->
+    Format.fprintf fmt "[%a]"
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+         (fun fmt x -> pp_value a fmt x))
+      v
+  | Option a -> (
+    match v with
+    | None -> Format.pp_print_string fmt "None"
+    | Some x -> Format.fprintf fmt "Some %a" (pp_value a) x)
+  | Func (_, _) -> Format.pp_print_string fmt "<fun>"
+
+let rec compare_values : type a. a t -> a -> a -> int =
+ fun ty x y ->
+  match ty with
+  | Unit -> 0
+  | Bool -> Bool.compare x y
+  | Int -> Int.compare x y
+  | Float -> Float.compare x y
+  | String -> String.compare x y
+  | Pair (a, b) ->
+    let x1, x2 = x and y1, y2 = y in
+    let c = compare_values a x1 y1 in
+    if c <> 0 then c else compare_values b x2 y2
+  | Triple (a, b, c) ->
+    let x1, x2, x3 = x and y1, y2, y3 = y in
+    let c1 = compare_values a x1 y1 in
+    if c1 <> 0 then c1
+    else
+      let c2 = compare_values b x2 y2 in
+      if c2 <> 0 then c2 else compare_values c x3 y3
+  | Array a ->
+    let lx = Array.length x and ly = Array.length y in
+    let rec go i =
+      if i >= lx || i >= ly then Int.compare lx ly
+      else
+        let c = compare_values a x.(i) y.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+  | List a -> (
+    match x, y with
+    | [], [] -> 0
+    | [], _ :: _ -> -1
+    | _ :: _, [] -> 1
+    | hx :: tx, hy :: ty' ->
+      let c = compare_values a hx hy in
+      if c <> 0 then c else compare_values (List a) tx ty')
+  | Option a -> (
+    match x, y with
+    | None, None -> 0
+    | None, Some _ -> -1
+    | Some _, None -> 1
+    | Some vx, Some vy -> compare_values a vx vy)
+  | Func (_, _) -> invalid_arg "Ty.compare_values: functions"

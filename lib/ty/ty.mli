@@ -1,0 +1,42 @@
+(** Run-time type representations.
+
+    Steno generates source code that reconstructs captured run-time values
+    from an untyped environment (the analog of the paper's reflection-set
+    placeholder fields, section 3.3).  To do that safely it must know, at
+    code-generation time, the OCaml type of every captured value.  A ['a t]
+    is a first-class description of the type ['a]: rich enough to print as
+    OCaml source, and equipped with an equality witness so that two
+    independently-built descriptions of the same type can be unified. *)
+
+type _ t =
+  | Unit : unit t
+  | Bool : bool t
+  | Int : int t
+  | Float : float t
+  | String : string t
+  | Pair : 'a t * 'b t -> ('a * 'b) t
+  | Triple : 'a t * 'b t * 'c t -> ('a * 'b * 'c) t
+  | Array : 'a t -> 'a array t
+  | List : 'a t -> 'a list t
+  | Option : 'a t -> 'a option t
+  | Func : 'a t * 'b t -> ('a -> 'b) t
+
+type ('a, 'b) eq = Refl : ('a, 'a) eq
+
+val equal : 'a t -> 'b t -> ('a, 'b) eq option
+(** [equal a b] is [Some Refl] iff [a] and [b] describe the same type. *)
+
+val to_string : 'a t -> string
+(** [to_string ty] renders [ty] as OCaml source, e.g. ["(float * int) array"].
+    The result is always self-delimiting (parenthesized when compound) so it
+    can be spliced into a type annotation. *)
+
+val pp : Format.formatter -> 'a t -> unit
+
+val pp_value : 'a t -> Format.formatter -> 'a -> unit
+(** [pp_value ty] prints a value of type ['a] for diagnostics.  Functions
+    print as ["<fun>"]. *)
+
+val compare_values : 'a t -> 'a -> 'a -> int
+(** Structural comparison specialised by the type representation.  Raises
+    [Invalid_argument] on [Func] (functions are not comparable). *)

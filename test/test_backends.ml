@@ -1,0 +1,482 @@
+(* Differential testing: the Reference list semantics, the LINQ iterator
+   pipeline, the Fused closure backend and Steno-generated native code
+   must agree on every query — including raising the same exception on
+   empty seedless aggregates. *)
+
+module I = Expr.Infix
+
+let backends =
+  if Steno.native_available () then [ Steno.Linq; Steno.Fused; Steno.Native ]
+  else [ Steno.Linq; Steno.Fused ]
+
+let backend_name = function
+  | Steno.Linq -> "linq"
+  | Steno.Fused -> "fused"
+  | Steno.Native -> "native"
+
+let show : type a. a Ty.t -> a -> string =
+ fun ty v -> Format.asprintf "%a" (Ty.pp_value ty) v
+
+let check_q name (q : 'a Query.t) =
+  let ty = Ty.Array (Query.elem_ty q) in
+  let expected = Array.of_list (Reference.to_list q) in
+  List.iter
+    (fun b ->
+      let got = Steno.to_array ~backend:b q in
+      if Ty.compare_values ty got expected <> 0 then
+        Alcotest.failf "%s/%s: got %s, want %s" name (backend_name b)
+          (show ty got) (show ty expected))
+    backends
+
+let check_sq name (sq : 's Query.sq) =
+  let ty = Query.scalar_ty sq in
+  let expected =
+    match Reference.scalar sq with
+    | v -> Ok v
+    | exception Iterator.No_such_element -> Error `Empty
+  in
+  List.iter
+    (fun b ->
+      let got =
+        match Steno.scalar ~backend:b sq with
+        | v -> Ok v
+        | exception Iterator.No_such_element -> Error `Empty
+      in
+      match expected, got with
+      | Ok e, Ok g ->
+        if Ty.compare_values ty g e <> 0 then
+          Alcotest.failf "%s/%s: got %s, want %s" name (backend_name b)
+            (show ty g) (show ty e)
+      | Error `Empty, Error `Empty -> ()
+      | Ok e, Error `Empty ->
+        Alcotest.failf "%s/%s: raised on non-empty (want %s)" name
+          (backend_name b) (show ty e)
+      | Error `Empty, Ok g ->
+        Alcotest.failf "%s/%s: got %s, want empty-sequence failure" name
+          (backend_name b) (show ty g))
+    backends
+
+let ints xs = Query.of_array Ty.Int xs
+
+let floats xs = Query.of_array Ty.Float xs
+
+let sample_ints = [| 5; 3; 8; 1; 9; 2; 8; 3; 7; 0 |]
+
+let sample_floats = [| 1.5; -2.25; 3.0; 0.5; -1.0; 4.75 |]
+
+(* Element-wise pipelines *)
+
+let test_elementwise () =
+  check_q "select" (ints sample_ints |> Query.select (fun x -> I.(x * x)));
+  check_q "where"
+    (ints sample_ints |> Query.where (fun x -> I.(x mod Expr.int 2 = Expr.int 1)));
+  check_q "where-select"
+    (ints sample_ints
+    |> Query.where (fun x -> I.(x > Expr.int 2))
+    |> Query.select (fun x -> I.(x + Expr.int 100)));
+  check_q "select-where-select"
+    (ints sample_ints
+    |> Query.select (fun x -> I.(x * Expr.int 3))
+    |> Query.where (fun x -> I.(x mod Expr.int 2 = Expr.int 0))
+    |> Query.select (fun x -> I.(x - Expr.int 1)));
+  check_q "float pipeline"
+    (floats sample_floats
+    |> Query.select (fun x -> I.((x *. x) +. Expr.float 1.0))
+    |> Query.where (fun x -> I.(x > Expr.float 2.0)))
+
+let test_stateful_preds () =
+  check_q "take" (ints sample_ints |> Query.take 4);
+  check_q "take 0" (ints sample_ints |> Query.take 0);
+  check_q "take beyond" (ints sample_ints |> Query.take 99);
+  check_q "skip" (ints sample_ints |> Query.skip 4);
+  check_q "skip beyond" (ints sample_ints |> Query.skip 99);
+  check_q "take-skip mix"
+    (ints sample_ints |> Query.skip 2 |> Query.take 5 |> Query.skip 1);
+  check_q "take_while" (ints sample_ints |> Query.take_while (fun x -> I.(x > Expr.int 0)));
+  check_q "skip_while" (ints sample_ints |> Query.skip_while (fun x -> I.(x > Expr.int 2)));
+  check_q "take_while after select"
+    (ints sample_ints
+    |> Query.select (fun x -> I.(x - Expr.int 4))
+    |> Query.take_while (fun x -> I.(not (x = Expr.int 0))))
+
+let test_indexed_ops () =
+  check_q "select_i"
+    (ints sample_ints |> Query.select_i (fun i x -> I.((i * Expr.int 100) + x)));
+  check_q "where_i (even positions)"
+    (ints sample_ints |> Query.where_i (fun i _ -> I.(i mod Expr.int 2 = Expr.int 0)));
+  check_q "where then select_i (positions after filter)"
+    (ints sample_ints
+    |> Query.where (fun x -> I.(x > Expr.int 2))
+    |> Query.select_i (fun i x -> Expr.Pair (i, x)));
+  check_q "select_i after skip"
+    (ints sample_ints |> Query.skip 3 |> Query.select_i (fun i x -> I.(i + x)))
+
+let test_positional_aggregates () =
+  check_sq "last" (Query.last (ints sample_ints));
+  check_sq "last filtered"
+    (Query.last (ints sample_ints |> Query.where (fun x -> I.(x < Expr.int 5))));
+  check_sq "last empty" (Query.last (ints [||]));
+  check_sq "element_at 0" (Query.element_at 0 (ints sample_ints));
+  check_sq "element_at mid" (Query.element_at 5 (ints sample_ints));
+  check_sq "element_at out of range" (Query.element_at 99 (ints sample_ints));
+  check_sq "sum_by_int" (Query.sum_by_int (fun x -> I.(x * x)) (ints sample_ints));
+  check_sq "average_by"
+    (Query.average_by (fun x -> I.(x *. x)) (floats sample_floats));
+  check_sq "count_where" (Query.count_where (fun x -> I.(x > Expr.int 4)) (ints sample_ints))
+
+let test_sources () =
+  check_q "range" (Query.range ~start:(-3) ~count:7);
+  check_q "range empty" (Query.range ~start:0 ~count:0);
+  check_q "repeat" (Query.repeat Ty.Int 42 ~count:5);
+  check_q "range pipeline"
+    (Query.range ~start:0 ~count:20
+    |> Query.where (fun x -> I.(x mod Expr.int 3 = Expr.int 0))
+    |> Query.select (fun x -> I.(x * x)));
+  check_q "empty source" (ints [||] |> Query.select (fun x -> x))
+
+let test_sinks () =
+  check_q "order_by" (ints sample_ints |> Query.order_by (fun x -> x));
+  check_q "order_by desc"
+    (ints sample_ints |> Query.order_by ~order:Query.Descending (fun x -> x));
+  check_q "order_by key"
+    (ints sample_ints |> Query.order_by (fun x -> I.(x mod Expr.int 3)));
+  check_q "distinct" (ints sample_ints |> Query.distinct);
+  check_q "rev" (ints sample_ints |> Query.rev);
+  check_q "materialize" (ints sample_ints |> Query.materialize);
+  check_q "distinct then sort"
+    (ints sample_ints |> Query.distinct |> Query.order_by (fun x -> x));
+  check_q "sort then take"
+    (ints sample_ints |> Query.order_by (fun x -> x) |> Query.take 3);
+  check_q "where then sort then select"
+    (ints sample_ints
+    |> Query.where (fun x -> I.(x > Expr.int 1))
+    |> Query.order_by (fun x -> I.(Expr.int 0 - x))
+    |> Query.select (fun x -> I.(x * Expr.int 2)))
+
+let test_group_by () =
+  check_q "group_by" (ints sample_ints |> Query.group_by (fun x -> I.(x mod Expr.int 3)));
+  check_q "group_by_elem"
+    (ints sample_ints
+    |> Query.group_by_elem ~key:(fun x -> I.(x mod Expr.int 3)) ~elem:(fun x -> I.(x * x)));
+  check_q "group_by_agg count"
+    (ints sample_ints
+    |> Query.group_by_agg
+         ~key:(fun x -> I.(x mod Expr.int 3))
+         ~seed:(Expr.int 0)
+         ~step:(fun acc _ -> I.(acc + Expr.int 1)));
+  check_q "group_by_agg sum"
+    (ints sample_ints
+    |> Query.group_by_agg
+         ~key:(fun x -> I.(x mod Expr.int 2))
+         ~seed:(Expr.int 0)
+         ~step:(fun acc x -> I.(acc + x)));
+  check_q "group then project key"
+    (ints sample_ints
+    |> Query.group_by (fun x -> I.(x mod Expr.int 3))
+    |> Query.select (fun g -> Expr.Fst g));
+  check_q "group-having (GROUP BY ... HAVING)"
+    (ints sample_ints
+    |> Query.group_by_agg
+         ~key:(fun x -> I.(x mod Expr.int 3))
+         ~seed:(Expr.int 0)
+         ~step:(fun acc _ -> I.(acc + Expr.int 1))
+    |> Query.where (fun g -> I.(Expr.Snd g > Expr.int 2)))
+
+let test_join_strategies () =
+  let pairs xs = Query.of_array (Ty.Pair (Ty.Int, Ty.Int)) xs in
+  let left = pairs (Array.init 30 (fun i -> i mod 7, i)) in
+  let right = pairs (Array.init 20 (fun i -> i mod 7, 100 + i)) in
+  let joined =
+    left
+    |> Query.join ~inner:right
+         ~outer_key:(fun l -> Expr.Fst l)
+         ~inner_key:(fun r -> Expr.Fst r)
+         ~result:(fun l r -> Expr.Pair (Expr.Snd l, Expr.Snd r))
+  in
+  check_q "join (hash strategy)" joined;
+  Canon.hash_join_enabled := false;
+  Fun.protect ~finally:(fun () -> Canon.hash_join_enabled := true) (fun () ->
+      check_q "join (nested-loop strategy)" joined);
+  (* A join whose build side has its own pipeline. *)
+  check_q "join with filtered inner"
+    (left
+    |> Query.join
+         ~inner:(right |> Query.where (fun r -> I.(Expr.Snd r mod Expr.int 2 = Expr.int 0)))
+         ~outer_key:(fun l -> Expr.Fst l)
+         ~inner_key:(fun r -> Expr.Fst r)
+         ~result:(fun l r -> Expr.Pair (Expr.Snd l, Expr.Snd r)))
+
+let test_sorted_group_agg () =
+  let q =
+    ints sample_ints
+    |> Query.order_by (fun x -> I.(x mod Expr.int 3))
+    |> Query.group_by_agg
+         ~key:(fun x -> I.(x mod Expr.int 3))
+         ~seed:(Expr.int 0)
+         ~step:(fun acc x -> I.(acc + x))
+  in
+  check_q "sorted group-aggregate" q;
+  Canon.sorted_group_enabled := false;
+  Fun.protect ~finally:(fun () -> Canon.sorted_group_enabled := true)
+    (fun () -> check_q "hash sink on sorted input" q)
+
+let test_nested () =
+  check_q "select_many"
+    (ints [| 1; 2; 3 |]
+    |> Query.select_many (fun x -> Query.range ~start:0 ~count:3 |> Query.select (fun y -> I.(y + (x * Expr.int 10)))));
+  check_q "select_many over captured"
+    (ints [| 1; 2 |]
+    |> Query.select_many (fun x ->
+           Query.of_array Ty.Int [| 10; 20 |] |> Query.select (fun y -> I.(x + y))));
+  check_q "select_many_result"
+    (ints [| 1; 2; 3 |]
+    |> Query.select_many_result
+         (fun x -> Query.range ~start:0 ~count:2 |> Query.where (fun y -> I.(not (y = x))))
+         (fun x y -> I.((x * Expr.int 100) + y)));
+  check_q "triple nesting (cartesian)"
+    (ints [| 1; 2 |]
+    |> Query.select_many (fun x ->
+           ints [| 3; 4 |]
+           |> Query.select_many (fun y ->
+                  ints [| 5; 6 |] |> Query.select (fun z -> I.((x * Expr.int 100) + (y * Expr.int 10) + z)))));
+  check_q "nested with inner sink"
+    (ints [| 3; 1 |]
+    |> Query.select_many (fun x ->
+           ints [| 2; 1; 2 |] |> Query.distinct |> Query.select (fun y -> I.(x + y))));
+  check_q "select_sq (scalar subquery)"
+    (ints [| 1; 2; 3 |]
+    |> Query.select_sq (fun x ->
+           Query.range ~start:0 ~count:4 |> Query.select (fun y -> I.(y * x)) |> Query.sum_int));
+  check_q "where_sq (exists subquery)"
+    (ints sample_ints
+    |> Query.where_sq (fun x ->
+           Query.of_array Ty.Int [| 2; 5; 8 |] |> Query.exists (fun y -> I.(y = x))));
+  check_q "join"
+    (Query.join
+       ~inner:(Query.of_array (Ty.Pair (Ty.Int, Ty.Int)) [| 1, 10; 2, 20; 1, 30 |])
+       ~outer_key:(fun p -> Expr.Fst p)
+       ~inner_key:(fun o -> Expr.Fst o)
+       ~result:(fun p o -> Expr.Pair (Expr.Snd p, Expr.Snd o))
+       (Query.of_array (Ty.Pair (Ty.Int, Ty.Int)) [| 1, 100; 3, 300 |]))
+
+let test_aggregates () =
+  let q = ints sample_ints in
+  check_sq "sum_int" (Query.sum_int q);
+  check_sq "sum_float" (Query.sum_float (floats sample_floats));
+  check_sq "count" (Query.count q);
+  check_sq "average" (Query.average (floats sample_floats));
+  check_sq "min int" (Query.min_elt q);
+  check_sq "max int" (Query.max_elt q);
+  check_sq "min float" (Query.min_elt (floats sample_floats));
+  check_sq "max float" (Query.max_elt (floats sample_floats));
+  check_sq "min pair (generic)"
+    (Query.min_elt (q |> Query.select (fun x -> Expr.Pair (I.(x mod Expr.int 3), x))));
+  check_sq "min_by" (Query.min_by (fun x -> I.(x mod Expr.int 4)) q);
+  check_sq "max_by" (Query.max_by (fun x -> I.(x mod Expr.int 4)) q);
+  check_sq "first" (Query.first q);
+  check_sq "first filtered" (Query.first (q |> Query.where (fun x -> I.(x > Expr.int 7))));
+  check_sq "any" (Query.any q);
+  check_sq "any empty" (Query.any (ints [||]));
+  check_sq "exists true" (Query.exists (fun x -> I.(x = Expr.int 9)) q);
+  check_sq "exists false" (Query.exists (fun x -> I.(x = Expr.int 99)) q);
+  check_sq "for_all" (Query.for_all (fun x -> I.(x >= Expr.int 0)) q);
+  check_sq "contains" (Query.contains (Expr.int 7) q);
+  check_sq "aggregate" (Query.aggregate ~seed:(Expr.int 1) ~step:(fun a x -> I.(a + (x * Expr.int 2))) q);
+  check_sq "aggregate_full"
+    (Query.aggregate_full ~seed:(Expr.int 0) ~step:(fun a x -> I.(a + x))
+       ~result:(fun a -> I.(a * Expr.int 7)) q);
+  check_sq "sum after pipeline"
+    (Query.sum_int
+       (q |> Query.where (fun x -> I.(x mod Expr.int 2 = Expr.int 0)) |> Query.select (fun x -> I.(x * x))))
+
+let test_map_scalar () =
+  let q = ints sample_ints |> Query.where (fun x -> I.(x > Expr.int 2)) in
+  check_sq "map_scalar over sum"
+    (Query.sum_int q |> Query.map_scalar (fun s -> I.(s * Expr.int 3)));
+  check_sq "map_scalar over count"
+    (Query.count q |> Query.map_scalar (fun c -> Expr.Pair (c, c)));
+  check_sq "map_scalar over min (empty raises through)"
+    (Query.min_elt (ints [||]) |> Query.map_scalar (fun m -> I.(m + Expr.int 1)));
+  (* As a nested subquery post-processing (what the textual front end
+     produces for embedded aggregates). *)
+  check_q "select_sq with map_scalar"
+    (ints [| 1; 2; 3 |]
+    |> Query.select_sq (fun x ->
+           Query.sum_int (Query.range ~start:0 ~count:4)
+           |> Query.map_scalar (fun s -> I.(s + x))))
+
+let test_empty_aggregates () =
+  let e = ints [||] in
+  check_sq "min empty" (Query.min_elt e);
+  check_sq "max empty" (Query.max_elt e);
+  check_sq "first empty" (Query.first e);
+  check_sq "average empty" (Query.average (floats [||]));
+  check_sq "min_by empty" (Query.min_by (fun x -> x) e);
+  check_sq "min filtered-to-empty"
+    (Query.min_elt (ints sample_ints |> Query.where (fun x -> I.(x > Expr.int 100))))
+
+let test_nested_aggregate_positions () =
+  (* Aggregates over nested queries: the outer Agg's update sits in the
+     innermost loop (section 5's Sum-of-SelectMany example). *)
+  check_sq "sum of cartesian"
+    (Query.sum_int
+       (ints [| 1; 2; 3 |]
+       |> Query.select_many (fun x ->
+              ints [| 10; 20 |] |> Query.select (fun y -> I.(x * y)))));
+  check_sq "count of nested filtered"
+    (Query.count
+       (ints sample_ints
+       |> Query.select_many (fun x ->
+              Query.range ~start:0 ~count:5 |> Query.where (fun y -> I.(y < x)))));
+  check_sq "min_by over subquery sums"
+    (Query.min_by
+       (fun p -> Expr.Snd p)
+       (ints [| 3; 1; 2 |]
+       |> Query.select_sq (fun x ->
+              Query.range ~start:0 ~count:3
+              |> Query.aggregate_full ~seed:(Expr.int 0)
+                   ~step:(fun a y -> I.(a + (y * x)))
+                   ~result:(fun a -> Expr.Pair (x, a)))))
+
+(* Random pipelines over int arrays: all four implementations agree. *)
+let random_query_agree =
+  let open QCheck in
+  let op_gen =
+    Gen.oneof
+      [
+        Gen.map (fun k q -> Query.select (fun x -> I.(x + Expr.int k)) q) Gen.small_int;
+        Gen.map (fun k q -> Query.select (fun x -> I.(x * Expr.int Stdlib.(1 + (k mod 3)))) q) Gen.small_int;
+        Gen.map
+          (fun k q -> Query.where (fun x -> I.(x mod Expr.int Stdlib.(2 + (k mod 3)) = Expr.int 0)) q)
+          Gen.small_int;
+        Gen.map (fun n q -> Query.take (n mod 12) q) Gen.small_int;
+        Gen.map (fun n q -> Query.skip (n mod 6) q) Gen.small_int;
+        Gen.return (fun q -> Query.distinct q);
+        Gen.return (fun q -> Query.rev q);
+        Gen.return (fun q -> Query.order_by (fun x -> I.(x mod Expr.int 5)) q);
+        Gen.return (fun q -> Query.materialize q);
+        Gen.map
+          (fun k q ->
+            Query.take_while (fun x -> I.(not (x = Expr.int Stdlib.(k mod 7)))) q)
+          Gen.small_int;
+      ]
+  in
+  let gen = Gen.(pair (list_size (int_bound 4) op_gen) (array_size (int_bound 12) (int_bound 20))) in
+  Test.make ~name:"random pipelines agree across all backends" ~count:20
+    (make gen)
+    (fun (ops, data) ->
+      let q = List.fold_left (fun q op -> op q) (ints data) ops in
+      let expected = Reference.to_list q in
+      List.for_all
+        (fun b -> Steno.to_list ~backend:b q = expected)
+        backends)
+
+let random_scalar_agree =
+  let open QCheck in
+  let wrap_gen =
+    Gen.oneofl
+      [
+        (fun q -> `I (Query.sum_int q));
+        (fun q -> `I (Query.count q));
+        (fun q -> `I (Query.min_elt q));
+        (fun q -> `I (Query.max_elt q));
+        (fun q -> `B (Query.any q));
+        (fun q -> `B (Query.exists (fun x -> I.(x > Expr.int 10)) q));
+        (fun q -> `B (Query.for_all (fun x -> I.(x >= Expr.int 0)) q));
+        (fun q -> `I (Query.first q));
+      ]
+  in
+  let gen = Gen.(pair wrap_gen (array_size (int_bound 10) (int_bound 30))) in
+  Test.make ~name:"random scalar queries agree across all backends" ~count:20
+    (make gen)
+    (fun (wrap, data) ->
+      let base = ints data |> Query.where (fun x -> I.(x mod Expr.int 2 = Expr.int 0)) in
+      let agree : type s. s Query.sq -> bool =
+       fun sq ->
+        let expected =
+          match Reference.scalar sq with
+          | v -> Ok v
+          | exception Iterator.No_such_element -> Error `Empty
+        in
+        List.for_all
+          (fun b ->
+            let got =
+              match Steno.scalar ~backend:b sq with
+              | v -> Ok v
+              | exception Iterator.No_such_element -> Error `Empty
+            in
+            got = expected)
+          backends
+      in
+      match wrap base with `I sq -> agree sq | `B sq -> agree sq)
+
+let random_float_pipelines_agree =
+  let open QCheck in
+  let op_gen =
+    Gen.oneof
+      [
+        Gen.map
+          (fun k q ->
+            Query.select (fun x -> I.(x +. Expr.float (float_of_int k))) q)
+          Gen.small_int;
+        Gen.map
+          (fun k q ->
+            Query.select
+              (fun x -> I.(x *. Expr.float (float_of_int Stdlib.(1 + (k mod 3)))))
+              q)
+          Gen.small_int;
+        Gen.return (fun q -> Query.select (fun x -> I.(x *. x)) q);
+        Gen.map
+          (fun k q ->
+            Query.where
+              (fun x -> I.(x > Expr.float (float_of_int Stdlib.(k mod 10))))
+              q)
+          Gen.small_int;
+        Gen.map (fun n q -> Query.take (n mod 10) q) Gen.small_int;
+        Gen.return (fun q -> Query.order_by (fun x -> x) q);
+      ]
+  in
+  let gen =
+    Gen.(
+      pair
+        (list_size (int_bound 4) op_gen)
+        (array_size (int_bound 12) (map float_of_int (int_bound 40))))
+  in
+  Test.make ~name:"random float pipelines agree (sum)" ~count:20 (make gen)
+    (fun (ops, data) ->
+      let q = List.fold_left (fun q op -> op q) (floats data) ops in
+      let sq = Query.sum_float q in
+      let expected = Reference.scalar sq in
+      List.for_all
+        (fun b ->
+          Float.abs (Steno.scalar ~backend:b sq -. expected)
+          <= 1e-9 *. Float.max 1.0 (Float.abs expected))
+        backends)
+
+let () =
+  Alcotest.run "backends"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "elementwise" `Quick test_elementwise;
+          Alcotest.test_case "stateful preds" `Quick test_stateful_preds;
+          Alcotest.test_case "indexed ops" `Quick test_indexed_ops;
+          Alcotest.test_case "positional aggregates" `Quick test_positional_aggregates;
+          Alcotest.test_case "sources" `Quick test_sources;
+          Alcotest.test_case "sinks" `Quick test_sinks;
+          Alcotest.test_case "group_by" `Quick test_group_by;
+          Alcotest.test_case "nested" `Quick test_nested;
+          Alcotest.test_case "join strategies" `Quick test_join_strategies;
+          Alcotest.test_case "sorted group agg" `Quick test_sorted_group_agg;
+          Alcotest.test_case "aggregates" `Quick test_aggregates;
+          Alcotest.test_case "map_scalar" `Quick test_map_scalar;
+          Alcotest.test_case "empty aggregates" `Quick test_empty_aggregates;
+          Alcotest.test_case "nested aggregates" `Quick test_nested_aggregate_positions;
+        ] );
+      ( "random",
+        [
+          QCheck_alcotest.to_alcotest random_query_agree;
+          QCheck_alcotest.to_alcotest random_scalar_agree;
+          QCheck_alcotest.to_alcotest random_float_pipelines_agree;
+        ] );
+    ]

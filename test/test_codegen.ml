@@ -1,0 +1,257 @@
+(* Structure of the generated code: the automaton's transitions must
+   produce fused loops with no iterator machinery, matching the paper's
+   figures. *)
+
+module I = Expr.Infix
+
+let ints xs = Query.of_array Ty.Int xs
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let check_contains src needle =
+  if not (contains ~needle src) then
+    Alcotest.failf "generated code should contain %S:\n%s" needle src
+
+let check_absent src needle =
+  if contains ~needle src then
+    Alcotest.failf "generated code should NOT contain %S:\n%s" needle src
+
+let gen_q q = (Codegen.generate (Canon.of_query q)).Codegen.source
+
+let gen_s sq = (Codegen.generate (Canon.of_scalar sq)).Codegen.source
+
+let test_flat_query_is_one_loop () =
+  let src =
+    gen_s
+      (ints [| 1 |]
+      |> Query.where (fun x -> I.(x mod Expr.int 2 = Expr.int 0))
+      |> Query.select (fun x -> I.(x * x))
+      |> Query.sum_int)
+  in
+  check_contains src "for ";
+  check_contains src "Stdlib.Array.unsafe_get";
+  (* Iterator fusion: exactly one loop, lambdas inlined, no closures. *)
+  let count_occurrences needle s =
+    let n = ref 0 in
+    let len = String.length needle in
+    for i = 0 to String.length s - len do
+      if String.sub s i len = needle then incr n
+    done;
+    !n
+  in
+  Alcotest.(check int) "single loop" 1 (count_occurrences "for " src);
+  check_absent src "fun ";
+  check_absent src "move_next"
+
+let test_predicate_moves_body_inside_conditional () =
+  let src =
+    gen_s (ints [| 1 |] |> Query.where (fun x -> I.(x > Expr.int 0)) |> Query.count)
+  in
+  check_contains src "if (";
+  check_contains src "then begin"
+
+let test_source_specialization () =
+  (* Array sources iterate by index; Range needs no array at all. *)
+  let arr_src = gen_q (ints [| 1 |]) in
+  check_contains arr_src "Stdlib.Array.unsafe_get";
+  let range_src = gen_q (Query.range ~start:5 ~count:10) in
+  check_absent range_src "unsafe_get";
+  check_contains range_src "for ";
+  let repeat_src = gen_q (Query.repeat Ty.Int 5 ~count:10) in
+  check_absent repeat_src "unsafe_get"
+
+let test_captures_become_env_slots () =
+  let src = gen_q (ints [| 1; 2 |]) in
+  check_contains src "__c0 : (int array)";
+  check_contains src "Stdlib.Array.get __env 0";
+  (* Two structurally identical queries over different arrays generate
+     identical source: the query-cache key property. *)
+  let src2 = gen_q (ints [| 9; 9; 9 |]) in
+  Alcotest.(check string) "identical source" src src2
+
+let test_nested_loops_for_selectmany () =
+  let q =
+    ints [| 1; 2 |]
+    |> Query.select_many (fun _x -> Query.of_array Ty.Int [| 3; 4 |])
+    |> Query.sum_int
+  in
+  let src = gen_s q in
+  let count_for s =
+    let n = ref 0 in
+    for i = 0 to String.length s - 4 do
+      if String.sub s i 4 = "for " then incr n
+    done;
+    !n
+  in
+  Alcotest.(check int) "two loops" 2 (count_for src);
+  (* The Sum of the outer query must update inside the innermost loop. *)
+  check_contains src "done;"
+
+let test_agg_declarations_in_prelude () =
+  let src = gen_s (Query.sum_float (Query.of_array Ty.Float [| 1.0 |])) in
+  check_contains src "ref (0.)";
+  check_contains src "__result := Stdlib.Obj.repr"
+
+let test_group_by_sink () =
+  let src = gen_q (ints [| 1 |] |> Query.group_by (fun x -> I.(x mod Expr.int 2))) in
+  check_contains src "Stdlib.Hashtbl.create";
+  check_contains src "Stdlib.Hashtbl.find_opt";
+  check_contains src "_order"
+
+let test_group_by_agg_stores_partials () =
+  let src =
+    gen_q
+      (ints [| 1 |]
+      |> Query.group_by_agg
+           ~key:(fun x -> I.(x mod Expr.int 2))
+           ~seed:(Expr.int 0)
+           ~step:(fun acc _ -> I.(acc + Expr.int 1)))
+  in
+  check_contains src "Stdlib.Hashtbl.create";
+  (* Aggregating sink: no per-key bags. *)
+  check_absent src ":: !__b"
+
+let test_sinking_state_starts_new_loop () =
+  let q =
+    ints [| 1 |]
+    |> Query.group_by (fun x -> I.(x mod Expr.int 2))
+    |> Query.select (fun g -> Expr.Fst g)
+  in
+  let src = gen_q q in
+  let count_for s =
+    let n = ref 0 in
+    for i = 0 to String.length s - 4 do
+      if String.sub s i 4 = "for " then incr n
+    done;
+    !n
+  in
+  Alcotest.(check int) "loop over sink" 2 (count_for src)
+
+let test_require_nonempty_check () =
+  let src = gen_s (Query.min_elt (Query.of_array Ty.Float [| 1.0 |])) in
+  check_contains src Codegen.empty_sequence_message
+
+let test_hash_join_structure () =
+  let pairs xs = Query.of_array (Ty.Pair (Ty.Int, Ty.Int)) xs in
+  let q =
+    Query.join
+      ~inner:(pairs [| 1, 2 |])
+      ~outer_key:(fun l -> Expr.Fst l)
+      ~inner_key:(fun r -> Expr.Fst r)
+      ~result:(fun l r -> Expr.Pair (Expr.Snd l, Expr.Snd r))
+      (pairs [| 1, 3 |])
+  in
+  let src = gen_q q in
+  check_contains src "Stdlib.Hashtbl.create";
+  check_contains src "Stdlib.List.iter";
+  (* The build side loops before the probe loop; two loops total. *)
+  let count_for s =
+    let n = ref 0 in
+    for i = 0 to String.length s - 4 do
+      if String.sub s i 4 = "for " then incr n
+    done;
+    !n
+  in
+  Alcotest.(check int) "build + probe loops" 2 (count_for src);
+  (* With the flag off, the nested-loop join has no hash table. *)
+  Canon.hash_join_enabled := false;
+  let nested_src = gen_q q in
+  Canon.hash_join_enabled := true;
+  check_absent nested_src "Hashtbl"
+
+let test_sorted_sink_structure () =
+  let q =
+    ints [| 1 |]
+    |> Query.order_by (fun x -> I.(x mod Expr.int 4))
+    |> Query.group_by_agg
+         ~key:(fun x -> I.(x mod Expr.int 4))
+         ~seed:(Expr.int 0)
+         ~step:(fun acc x -> I.(acc + x))
+  in
+  let src = gen_q q in
+  (* One-pass grouping: no hash table after the sort. *)
+  check_absent src "Hashtbl";
+  check_contains src "_key";
+  check_contains src "_acc"
+
+let test_early_exit_structure () =
+  let with_exit = gen_s (Query.first (ints [| 1 |])) in
+  check_contains with_exit "let exception Steno_brk";
+  check_contains with_exit "raise_notrace";
+  (* Chains without early-exit operators carry no handler. *)
+  let without = gen_s (Query.sum_int (ints [| 1 |])) in
+  check_absent without "exception Steno_brk";
+  check_absent without "with Steno_brk"
+
+let test_invalid_chain_rejected () =
+  let dummy_agg : Quil.agg =
+    {
+      Quil.accs =
+        [ { Quil.seed = (fun _ _ -> "0");
+            step = (fun ~accs:_ ~elem:_ _ _ -> "0");
+            first = None } ];
+      first_element = false;
+      require_nonempty = false;
+      early_exit = None;
+      result = (fun ~accs:_ _ _ -> "0");
+    }
+  in
+  let chain =
+    {
+      Quil.src = Quil.Src_range { start = (fun _ _ -> "0"); count = (fun _ _ -> "1") };
+      ops = [ Quil.Agg dummy_agg; Quil.Agg dummy_agg ];
+    }
+  in
+  match Codegen.generate chain with
+  | exception Codegen.Invalid_chain _ -> ()
+  | _ -> Alcotest.fail "invalid chain accepted"
+
+let test_generated_code_compiles () =
+  (* Every shape of generated code must be accepted by the compiler. *)
+  if Dynload.is_available () then begin
+    let sources =
+      [
+        gen_q (ints [| 1 |] |> Query.order_by (fun x -> I.(Expr.int 0 - x)));
+        gen_q (ints [| 1 |] |> Query.distinct |> Query.rev);
+        gen_q (ints [| 1; 2; 3 |] |> Query.take 2 |> Query.skip 1);
+        gen_q (ints [| 1 |] |> Query.take_while (fun x -> I.(x < Expr.int 2)));
+        gen_q (ints [| 1 |] |> Query.skip_while (fun x -> I.(x < Expr.int 2)));
+        gen_s (Query.average (Query.of_array Ty.Float [| 1.0 |]));
+        gen_s (Query.max_by (fun x -> I.(x mod Expr.int 3)) (ints [| 1 |]));
+        gen_s (Query.first (ints [| 1 |]));
+        gen_s (Query.for_all (fun x -> I.(x > Expr.int 0)) (ints [| 1 |]));
+        gen_s (Query.contains (Expr.int 3) (ints [| 1 |]));
+      ]
+    in
+    List.iter (fun source -> ignore (Dynload.compile ~source)) sources
+  end
+
+let () =
+  Alcotest.run "codegen"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "fused flat loop" `Quick test_flat_query_is_one_loop;
+          Alcotest.test_case "pred conditional" `Quick
+            test_predicate_moves_body_inside_conditional;
+          Alcotest.test_case "source specialization" `Quick test_source_specialization;
+          Alcotest.test_case "capture slots" `Quick test_captures_become_env_slots;
+          Alcotest.test_case "nested loops" `Quick test_nested_loops_for_selectmany;
+          Alcotest.test_case "agg prelude" `Quick test_agg_declarations_in_prelude;
+          Alcotest.test_case "group_by sink" `Quick test_group_by_sink;
+          Alcotest.test_case "group_by_agg" `Quick test_group_by_agg_stores_partials;
+          Alcotest.test_case "sinking restarts loop" `Quick
+            test_sinking_state_starts_new_loop;
+          Alcotest.test_case "nonempty check" `Quick test_require_nonempty_check;
+          Alcotest.test_case "hash join structure" `Quick test_hash_join_structure;
+          Alcotest.test_case "sorted sink structure" `Quick test_sorted_sink_structure;
+          Alcotest.test_case "early exit structure" `Quick test_early_exit_structure;
+          Alcotest.test_case "invalid chain" `Quick test_invalid_chain_rejected;
+        ] );
+      ( "compilation",
+        [ Alcotest.test_case "all shapes compile" `Slow test_generated_code_compiles ]
+      );
+    ]

@@ -1,0 +1,277 @@
+(* The simulated distributed engine: datasets, stages, exchange,
+   distributed aggregation, and a full k-means assignment step checked
+   against a sequential oracle. *)
+
+module I = Expr.Infix
+
+let ints xs = Query.of_array Ty.Int xs
+
+let test_dataset () =
+  let ds = Dataset.of_array ~parts:4 (Array.init 10 (fun i -> i)) in
+  Alcotest.(check int) "parts" 4 (Dataset.num_partitions ds);
+  Alcotest.(check int) "total" 10 (Dataset.total_length ds);
+  Alcotest.(check (array int)) "collect" (Array.init 10 (fun i -> i))
+    (Dataset.collect ds);
+  let gen =
+    Dataset.generate ~parts:3 ~per_partition:2 (fun ~part i -> (10 * part) + i)
+  in
+  Alcotest.(check (array int)) "generate" [| 0; 1; 10; 11; 20; 21 |]
+    (Dataset.collect gen)
+
+let test_map_partitions_and_metrics () =
+  let c = Dryad.create ~workers:3 () in
+  let ds = Dataset.of_array ~parts:5 (Array.init 20 (fun i -> i)) in
+  let out = Dryad.map_partitions c (Array.map (fun x -> x * 2)) ds in
+  Alcotest.(check (array int)) "mapped"
+    (Array.init 20 (fun i -> 2 * i))
+    (Dataset.collect out);
+  let m = Dryad.metrics c in
+  Alcotest.(check int) "stages" 1 m.Dryad.stages;
+  Alcotest.(check int) "vertices" 5 m.Dryad.vertices;
+  Dryad.reset_metrics c;
+  Alcotest.(check int) "reset" 0 (Dryad.metrics c).Dryad.stages
+
+let test_apply_query_matches_sequential () =
+  let c = Dryad.create ~workers:4 () in
+  let data = Array.init 200 (fun i -> i * 13 mod 50) in
+  let ds = Dataset.of_array ~parts:6 data in
+  let build part =
+    ints part
+    |> Query.where (fun x -> I.(x mod Expr.int 2 = Expr.int 0))
+    |> Query.select (fun x -> I.(x + Expr.int 1))
+  in
+  let out = Dryad.apply_query c build ds in
+  Alcotest.(check (array int)) "distributed = sequential"
+    (Steno.to_array (build data))
+    (Dataset.collect out)
+
+let test_apply_scalar () =
+  let c = Dryad.create ~workers:4 () in
+  let data = Array.init 100 (fun i -> i) in
+  let ds = Dataset.of_array ~parts:4 data in
+  let partials = Dryad.apply_scalar c (fun part -> Query.sum_int (ints part)) ds in
+  Alcotest.(check int) "partials count" 4 (Array.length partials);
+  Alcotest.(check int) "total" (99 * 100 / 2) (Array.fold_left ( + ) 0 partials)
+
+let test_exchange () =
+  let c = Dryad.create ~workers:4 () in
+  let data = Array.init 100 (fun i -> i) in
+  let ds = Dataset.of_array ~parts:5 data in
+  let out = Dryad.exchange c ~parts:3 ~key:(fun x -> x) ds in
+  Alcotest.(check int) "3 output parts" 3 (Dataset.num_partitions out);
+  Array.iteri
+    (fun p part ->
+      Array.iter (fun x -> Alcotest.(check int) "routed" (x mod 3) p) part)
+    (Dataset.partitions out);
+  let all = Dataset.collect out in
+  Array.sort compare all;
+  Alcotest.(check (array int)) "preserved" data all;
+  Alcotest.(check int) "exchanged metric" 100 (Dryad.metrics c).Dryad.exchanged;
+  let neg = Dataset.of_array ~parts:2 [| -1; -4; -9 |] in
+  let out2 = Dryad.exchange c ~parts:4 ~key:(fun x -> x) neg in
+  Alcotest.(check int) "neg total" 3 (Dataset.total_length out2)
+
+let test_reduce_partials () =
+  let c = Dryad.create ~workers:2 () in
+  let ds =
+    Dataset.of_partitions
+      [| [| "a", 1; "b", 2 |]; [| "b", 3; "c", 4 |]; [| "a", 5 |] |]
+  in
+  let merged = Dryad.reduce_partials c ~combine:( + ) ds in
+  Alcotest.(check (array (pair string int)))
+    "merged in first-appearance order"
+    [| "a", 6; "b", 5; "c", 4 |]
+    merged
+
+let test_group_agg_exchange () =
+  let c = Dryad.create ~workers:3 () in
+  let data = Array.init 300 (fun i -> i mod 17, 1) in
+  let ds = Dataset.of_array ~parts:5 data in
+  let out = Dryad.group_agg_exchange c ~parts:4 ~combine:( + ) ds in
+  let all = Array.to_list (Dataset.collect out) in
+  Alcotest.(check int) "17 keys" 17 (List.length all);
+  List.iter
+    (fun (k, n) ->
+      let expected =
+        Array.fold_left (fun a (k', v) -> if k = k' then a + v else a) 0 data
+      in
+      Alcotest.(check int) (Printf.sprintf "key %d" k) expected n)
+    all
+
+let test_distributed_sort () =
+  let c = Dryad.create ~workers:4 () in
+  let rng = Random.State.make [| 9 |] in
+  let data = Array.init 5000 (fun _ -> Random.State.int rng 100000) in
+  let ds = Dataset.of_array ~parts:7 data in
+  let sorted = Dryad.sort_by c ~key:(fun x -> x) ds in
+  let collected = Dataset.collect sorted in
+  let expected = Array.copy data in
+  Array.sort compare expected;
+  Alcotest.(check (array int)) "globally sorted" expected collected;
+  (* Partition boundaries respect the range partitioning. *)
+  let parts = Dataset.partitions sorted in
+  Array.iteri
+    (fun i part ->
+      if i > 0 && Array.length part > 0 then
+        Array.iter
+          (fun prev_max ->
+            Array.iter
+              (fun x -> Alcotest.(check bool) "ranges ordered" true (prev_max <= x))
+              (if Array.length part > 0 then [| part.(0) |] else [||]))
+          (if Array.length parts.(i - 1) > 0 then
+             [| parts.(i - 1).(Array.length parts.(i - 1) - 1) |]
+           else [||]))
+    parts;
+  (* Keyed sort on structured elements. *)
+  let pairs = Array.init 1000 (fun i -> (i * 7919) mod 503, i) in
+  let sorted_pairs =
+    Dataset.collect
+      (Dryad.sort_by c ~key:fst (Dataset.of_array ~parts:5 pairs))
+  in
+  let keys = Array.map fst sorted_pairs in
+  let sorted_keys = Array.map fst pairs in
+  Array.sort compare sorted_keys;
+  Alcotest.(check (array int)) "pair keys sorted" sorted_keys keys;
+  (* Single partition and empty datasets degrade gracefully. *)
+  Alcotest.(check (array int)) "single partition" [| 1; 2; 3 |]
+    (Dataset.collect
+       (Dryad.sort_by c ~key:(fun x -> x) (Dataset.of_array ~parts:1 [| 3; 1; 2 |])));
+  Alcotest.(check (array int)) "empty" [||]
+    (Dataset.collect
+       (Dryad.sort_by c ~key:(fun x -> x) (Dataset.of_array ~parts:4 ([||] : int array))))
+
+(* One full distributed k-means assignment + partial-sum step, checked
+   against a plain sequential oracle (the workload of Fig. 14). *)
+let test_kmeans_step () =
+  let d = 3 and k = 4 and n = 240 in
+  let rng = Random.State.make [| 42 |] in
+  let points =
+    Array.init n (fun _ -> Array.init d (fun _ -> Random.State.float rng 10.0))
+  in
+  let centroids = Array.init k (fun j -> Array.copy points.(j * 7)) in
+  (* Sequential oracle. *)
+  let dist2 p c =
+    let s = ref 0.0 in
+    for i = 0 to d - 1 do
+      let dx = p.(i) -. c.(i) in
+      s := !s +. (dx *. dx)
+    done;
+    !s
+  in
+  let assign p =
+    let best = ref 0 and bestd = ref infinity in
+    for j = 0 to k - 1 do
+      let dj = dist2 p centroids.(j) in
+      if dj < !bestd then begin
+        bestd := dj;
+        best := j
+      end
+    done;
+    !best
+  in
+  let expected_sums = Array.make_matrix k d 0.0 in
+  let expected_counts = Array.make k 0 in
+  Array.iter
+    (fun p ->
+      let j = assign p in
+      expected_counts.(j) <- expected_counts.(j) + 1;
+      for i = 0 to d - 1 do
+        expected_sums.(j).(i) <- expected_sums.(j).(i) +. p.(i)
+      done)
+    points;
+  (* Distributed version via the shared library job (both distance
+     modes), checked against the oracle. *)
+  let c = Dryad.create ~workers:4 () in
+  let ds = Dataset.of_array ~parts:6 points in
+  let backends =
+    if Steno.native_available () then [ Steno.Linq; Steno.Native ]
+    else [ Steno.Linq ]
+  in
+  List.iter
+    (fun backend ->
+      List.iter
+        (fun distance ->
+          let partials =
+            Dryad.apply_query c ~backend
+              (Kmeans.assignment_query ~distance ~centroids)
+              ds
+          in
+          let merged =
+            Dryad.reduce_partials c
+              ~combine:(fun (s1, n1) (s2, n2) ->
+                Array.mapi (fun i x -> x +. s2.(i)) s1, n1 + n2)
+              partials
+          in
+          let nonempty_clusters =
+            List.length
+              (List.filter (fun n -> n > 0) (Array.to_list expected_counts))
+          in
+          Alcotest.(check int) "clusters found" nonempty_clusters
+            (Array.length merged);
+          Array.iter
+            (fun (j, (sums, cnt)) ->
+              Alcotest.(check int)
+                (Printf.sprintf "count cluster %d" j)
+                expected_counts.(j) cnt;
+              Array.iteri
+                (fun i s ->
+                  Alcotest.(check (float 1e-6))
+                    (Printf.sprintf "sum cluster %d dim %d" j i)
+                    expected_sums.(j).(i) s)
+                sums)
+            merged)
+        [ Kmeans.Expression; Kmeans.Udf ])
+    backends
+
+let test_kmeans_run_converges () =
+  (* End-to-end Kmeans.run on separated blobs recovers the centers. *)
+  let d = 2 and k = 3 and n = 300 in
+  let rng = Random.State.make [| 7 |] in
+  let centers = [| [| 0.0; 0.0 |]; [| 50.0; 0.0 |]; [| 0.0; 50.0 |] |] in
+  let points =
+    Array.init n (fun i ->
+        let c = centers.(i mod k) in
+        Array.init d (fun j -> c.(j) +. Random.State.float rng 1.0))
+  in
+  let cluster = Dryad.create ~workers:2 () in
+  let ds = Dataset.of_array ~parts:4 points in
+  let final = Kmeans.run cluster ~iterations:8 ~k ds in
+  let nearest c =
+    Array.fold_left
+      (fun best t ->
+        let dist =
+          sqrt
+            (Array.fold_left ( +. ) 0.0
+               (Array.mapi (fun i x -> (x -. t.(i)) ** 2.0) c))
+        in
+        Float.min best dist)
+      infinity centers
+  in
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "centroid near a true center" true (nearest c < 2.0))
+    final
+
+let () =
+  Alcotest.run "dryad"
+    [
+      ("dataset", [ Alcotest.test_case "basics" `Quick test_dataset ]);
+      ( "stages",
+        [
+          Alcotest.test_case "map_partitions" `Quick test_map_partitions_and_metrics;
+          Alcotest.test_case "apply_query" `Quick test_apply_query_matches_sequential;
+          Alcotest.test_case "apply_scalar" `Quick test_apply_scalar;
+          Alcotest.test_case "exchange" `Quick test_exchange;
+          Alcotest.test_case "distributed sort" `Quick test_distributed_sort;
+        ] );
+      ( "aggregation",
+        [
+          Alcotest.test_case "reduce_partials" `Quick test_reduce_partials;
+          Alcotest.test_case "group_agg_exchange" `Quick test_group_agg_exchange;
+        ] );
+      ( "kmeans",
+        [
+          Alcotest.test_case "one step" `Slow test_kmeans_step;
+          Alcotest.test_case "converges" `Slow test_kmeans_run_converges;
+        ] );
+    ]

@@ -1,0 +1,132 @@
+(* The runtime compilation substrate: plugin lifecycle, error handling,
+   timing accounting, and concurrent use from domains. *)
+
+let with_native f =
+  if Dynload.is_available () then f ()
+  else print_endline "(skipped: no native compiler)"
+
+let minimal_plugin body =
+  Printf.sprintf
+    "exception Steno_result of Stdlib.Obj.t\n\
+     let __query (__env : Stdlib.Obj.t array) : Stdlib.Obj.t = ignore __env; %s\n\
+     let () = Stdlib.raise (Steno_result (Stdlib.Obj.repr __query))\n"
+    body
+
+let test_roundtrip () =
+  with_native @@ fun () ->
+  let c = Dynload.compile ~source:(minimal_plugin "Stdlib.Obj.repr 42") in
+  let v : int = Obj.obj (c.Dynload.run [||]) in
+  Alcotest.(check int) "value" 42 v;
+  (* Re-running the same compiled plugin works. *)
+  Alcotest.(check int) "rerun" 42 (Obj.obj (c.Dynload.run [||]))
+
+let test_env_passing () =
+  with_native @@ fun () ->
+  let c =
+    Dynload.compile
+      ~source:
+        (minimal_plugin
+           "Stdlib.Obj.repr ((Stdlib.Obj.obj (Stdlib.Array.get __env 0) : \
+            int) * 2)")
+  in
+  Alcotest.(check int) "env slot read" 14 (Obj.obj (c.Dynload.run [| Obj.repr 7 |]));
+  Alcotest.(check int) "new env, same plugin" 20
+    (Obj.obj (c.Dynload.run [| Obj.repr 10 |]))
+
+let test_syntax_error () =
+  with_native @@ fun () ->
+  Alcotest.(check bool) "syntax error reported" true
+    (match Dynload.compile ~source:"let x = (" with
+    | exception Dynload.Compilation_failed msg ->
+      String.length msg > 0
+    | _ -> false)
+
+let test_type_error () =
+  with_native @@ fun () ->
+  Alcotest.(check bool) "type error reported" true
+    (match Dynload.compile ~source:(minimal_plugin "1 + true") with
+    | exception Dynload.Compilation_failed _ -> true
+    | _ -> false)
+
+let test_plugin_without_handshake () =
+  with_native @@ fun () ->
+  (* A module that loads fine but never raises the handshake exception. *)
+  Alcotest.(check bool) "missing handshake rejected" true
+    (match Dynload.compile ~source:"let _x = 1" with
+    | exception Dynload.Compilation_failed _ -> true
+    | _ -> false)
+
+let test_plugin_initializer_failure () =
+  with_native @@ fun () ->
+  (* An initializer raising an unrelated exception must not be mistaken
+     for the handshake. *)
+  Alcotest.(check bool) "foreign exception propagates" true
+    (match Dynload.compile ~source:"let () = failwith \"boom\"" with
+    | exception Failure msg -> String.equal msg "boom"
+    | exception _ -> false
+    | _ -> false)
+
+let test_timings () =
+  with_native @@ fun () ->
+  let c = Dynload.compile ~source:(minimal_plugin "Stdlib.Obj.repr 0") in
+  let t = c.Dynload.timings in
+  Alcotest.(check bool) "compile time is real" true (t.Dynload.compile_ms > 1.0);
+  Alcotest.(check bool) "write time nonneg" true (t.Dynload.write_ms >= 0.0);
+  Alcotest.(check bool) "load time nonneg" true (t.Dynload.load_ms >= 0.0)
+
+let test_many_plugins () =
+  with_native @@ fun () ->
+  (* Distinct module names allow unbounded plugin loads in one process. *)
+  List.iter
+    (fun i ->
+      let c =
+        Dynload.compile
+          ~source:(minimal_plugin (Printf.sprintf "Stdlib.Obj.repr %d" i))
+      in
+      Alcotest.(check int) "each plugin distinct" i (Obj.obj (c.Dynload.run [||])))
+    [ 100; 200; 300 ]
+
+let test_concurrent_compiles () =
+  with_native @@ fun () ->
+  (* Compilation and loading from multiple domains must serialize safely. *)
+  let results =
+    Domain_pool.run ~workers:4 ~tasks:6 (fun i ->
+        let c =
+          Dynload.compile
+            ~source:(minimal_plugin (Printf.sprintf "Stdlib.Obj.repr (%d * 3)" i))
+        in
+        (Obj.obj (c.Dynload.run [||]) : int))
+  in
+  Alcotest.(check (array int)) "all domains compiled"
+    (Array.init 6 (fun i -> i * 3))
+    results
+
+let test_workdir () =
+  with_native @@ fun () ->
+  let dir = Dynload.workdir () in
+  Alcotest.(check bool) "workdir exists" true (Sys.is_directory dir)
+
+let () =
+  Alcotest.run "dynload"
+    [
+      ( "lifecycle",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "env passing" `Quick test_env_passing;
+          Alcotest.test_case "many plugins" `Quick test_many_plugins;
+          Alcotest.test_case "workdir" `Quick test_workdir;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "syntax error" `Quick test_syntax_error;
+          Alcotest.test_case "type error" `Quick test_type_error;
+          Alcotest.test_case "no handshake" `Quick test_plugin_without_handshake;
+          Alcotest.test_case "foreign init failure" `Quick
+            test_plugin_initializer_failure;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "timings" `Quick test_timings;
+          Alcotest.test_case "concurrent" `Slow test_concurrent_compiles;
+        ] );
+    ]

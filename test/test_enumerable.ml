@@ -1,0 +1,257 @@
+(* The LINQ substrate: every operator checked against list semantics,
+   plus laziness and re-enumeration behaviour. *)
+
+module E = Enumerable
+
+let il = Alcotest.(list int)
+
+let of_l = E.of_list
+
+let test_sources () =
+  Alcotest.(check il) "of_array" [ 1; 2; 3 ] (E.to_list (E.of_array [| 1; 2; 3 |]));
+  Alcotest.(check il) "of_list" [ 1; 2 ] (E.to_list (of_l [ 1; 2 ]));
+  Alcotest.(check il) "of_seq" [ 5; 6 ] (E.to_list (E.of_seq (List.to_seq [ 5; 6 ])));
+  Alcotest.(check il) "empty" [] (E.to_list E.empty);
+  Alcotest.(check il) "range" [ 3; 4; 5 ] (E.to_list (E.range 3 3));
+  Alcotest.(check il) "range empty" [] (E.to_list (E.range 0 0));
+  Alcotest.(check il) "repeat" [ 7; 7 ] (E.to_list (E.repeat 7 2));
+  Alcotest.(check il) "init" [ 0; 2; 4 ] (E.to_list (E.init 3 (fun i -> 2 * i)));
+  Alcotest.check_raises "range negative"
+    (Invalid_argument "Enumerable.range: negative count") (fun () ->
+      ignore (E.range 0 (-1)))
+
+let test_elementwise () =
+  let xs = of_l [ 1; 2; 3; 4; 5 ] in
+  Alcotest.(check il) "select" [ 2; 4; 6; 8; 10 ]
+    (E.to_list (E.select (fun x -> 2 * x) xs));
+  Alcotest.(check il) "select_i" [ 1; 3; 5; 7; 9 ]
+    (E.to_list (E.select_i (fun i x -> i + x) xs));
+  Alcotest.(check il) "where" [ 2; 4 ]
+    (E.to_list (E.where (fun x -> x mod 2 = 0) xs));
+  Alcotest.(check il) "where_i drops evens idx" [ 1; 3; 5 ]
+    (E.to_list (E.where_i (fun i _ -> i mod 2 = 0) xs));
+  Alcotest.(check il) "take" [ 1; 2 ] (E.to_list (E.take 2 xs));
+  Alcotest.(check il) "take more than len" [ 1; 2; 3; 4; 5 ]
+    (E.to_list (E.take 10 xs));
+  Alcotest.(check il) "take zero" [] (E.to_list (E.take 0 xs));
+  Alcotest.(check il) "skip" [ 4; 5 ] (E.to_list (E.skip 3 xs));
+  Alcotest.(check il) "skip all" [] (E.to_list (E.skip 9 xs));
+  Alcotest.(check il) "take_while" [ 1; 2 ]
+    (E.to_list (E.take_while (fun x -> x < 3) xs));
+  Alcotest.(check il) "skip_while" [ 3; 4; 5 ]
+    (E.to_list (E.skip_while (fun x -> x < 3) xs));
+  (* take_while must not resume after the first failure *)
+  Alcotest.(check il) "take_while stops for good" [ 1 ]
+    (E.to_list (E.take_while (fun x -> x mod 2 = 1) xs))
+
+let test_nested () =
+  let xs = of_l [ 1; 2; 3 ] in
+  Alcotest.(check il) "select_many"
+    [ 1; 1; 2; 1; 2; 3 ]
+    (E.to_list (E.select_many (fun x -> E.range 1 x) xs));
+  Alcotest.(check il) "select_many_result"
+    [ 11; 21; 22; 31; 32; 33 ]
+    (E.to_list
+       (E.select_many_result (fun x -> E.range 1 x) (fun x y -> (10 * x) + y) xs));
+  Alcotest.(check il) "select_many with empties" [ 2; 2 ]
+    (E.to_list
+       (E.select_many
+          (fun x -> if x = 2 then E.repeat 2 2 else E.empty)
+          xs))
+
+let test_join () =
+  let orders = of_l [ 1, "apple"; 2, "pear"; 1, "fig" ] in
+  let people = of_l [ 1, "ann"; 2, "bob"; 3, "cy" ] in
+  let joined =
+    E.join fst fst (fun (_, name) (_, item) -> name ^ ":" ^ item) people orders
+  in
+  Alcotest.(check (list string)) "equi-join"
+    [ "ann:apple"; "ann:fig"; "bob:pear" ]
+    (E.to_list joined)
+
+let test_composition () =
+  Alcotest.(check il) "append" [ 1; 2; 3; 4 ]
+    (E.to_list (E.append (of_l [ 1; 2 ]) (of_l [ 3; 4 ])));
+  Alcotest.(check il) "concat" [ 1; 2; 3 ]
+    (E.to_list (E.concat (of_l [ of_l [ 1 ]; E.empty; of_l [ 2; 3 ] ])));
+  Alcotest.(check il) "zip" [ 11; 22 ]
+    (E.to_list (E.zip (fun a b -> a + b) (of_l [ 1; 2; 3 ]) (of_l [ 10; 20 ])));
+  Alcotest.(check il) "default_if_empty nonempty" [ 9 ]
+    (E.to_list (E.default_if_empty 0 (of_l [ 9 ])));
+  Alcotest.(check il) "default_if_empty empty" [ 0 ]
+    (E.to_list (E.default_if_empty 0 E.empty))
+
+let test_sinks () =
+  let xs = of_l [ 3; 1; 2; 3; 1 ] in
+  Alcotest.(check il) "reverse" [ 1; 3; 2; 1; 3 ] (E.to_list (E.reverse xs));
+  Alcotest.(check il) "distinct" [ 3; 1; 2 ] (E.to_list (E.distinct xs));
+  Alcotest.(check il) "order_by" [ 1; 1; 2; 3; 3 ]
+    (E.to_list (E.order_by (fun x -> x) xs));
+  Alcotest.(check il) "order_by_descending" [ 3; 3; 2; 1; 1 ]
+    (E.to_list (E.order_by_descending (fun x -> x) xs));
+  (* stability: order by constant key preserves source order *)
+  Alcotest.(check il) "order_by stable" [ 3; 1; 2; 3; 1 ]
+    (E.to_list (E.order_by (fun _ -> 0) xs))
+
+let test_group_by () =
+  let xs = of_l [ 1; 2; 3; 4; 5 ] in
+  let gs = E.to_list (E.group_by (fun x -> x mod 2) xs) in
+  Alcotest.(check (list (pair int (array int))))
+    "group_by"
+    [ 1, [| 1; 3; 5 |]; 0, [| 2; 4 |] ]
+    gs;
+  let ge = E.to_list (E.group_by_elem (fun x -> x mod 2) (fun x -> 10 * x) xs) in
+  Alcotest.(check (list (pair int (array int))))
+    "group_by_elem"
+    [ 1, [| 10; 30; 50 |]; 0, [| 20; 40 |] ]
+    ge;
+  let gr =
+    E.to_list
+      (E.group_by_result (fun x -> x mod 2) (fun k vs -> (k, Array.length vs)) xs)
+  in
+  Alcotest.(check (list (pair int int))) "group_by_result"
+    [ 1, 3; 0, 2 ] gr
+
+let test_aggregates () =
+  let xs = of_l [ 4; 1; 3; 2 ] in
+  Alcotest.(check int) "aggregate" 10 (E.aggregate 0 ( + ) xs);
+  Alcotest.(check int) "aggregate_result" 20
+    (E.aggregate_result 0 ( + ) (fun s -> 2 * s) xs);
+  Alcotest.(check int) "reduce" 10 (E.reduce ( + ) xs);
+  Alcotest.(check int) "sum_int" 10 (E.sum_int xs);
+  Alcotest.(check (float 1e-9)) "sum_float" 2.5
+    (E.sum_float (of_l [ 1.0; 1.5 ]));
+  Alcotest.(check int) "sum_by_int" 20 (E.sum_by_int (fun x -> 2 * x) xs);
+  Alcotest.(check (float 1e-9)) "average" 2.5
+    (E.average (of_l [ 1.0; 2.0; 3.0; 4.0 ]));
+  Alcotest.(check int) "count" 4 (E.count xs);
+  Alcotest.(check int) "count_where" 2 (E.count_where (fun x -> x > 2) xs);
+  Alcotest.(check int) "min" 1 (E.min_elt xs);
+  Alcotest.(check int) "max" 4 (E.max_elt xs);
+  Alcotest.(check int) "min_by" 4 (E.min_by (fun x -> -x) xs);
+  Alcotest.(check int) "max_by" 1 (E.max_by (fun x -> -x) xs);
+  Alcotest.(check bool) "any" true (E.any xs);
+  Alcotest.(check bool) "any empty" false (E.any E.empty);
+  Alcotest.(check bool) "exists" true (E.exists (fun x -> x = 3) xs);
+  Alcotest.(check bool) "exists false" false (E.exists (fun x -> x = 9) xs);
+  Alcotest.(check bool) "for_all" true (E.for_all (fun x -> x > 0) xs);
+  Alcotest.(check bool) "for_all false" false (E.for_all (fun x -> x > 1) xs);
+  Alcotest.(check bool) "contains" true (E.contains 3 xs);
+  Alcotest.(check int) "first" 4 (E.first xs);
+  Alcotest.(check int) "first_where" 3 (E.first_where (fun x -> x mod 3 = 0) xs);
+  Alcotest.(check (option int)) "first_opt empty" None (E.first_opt E.empty);
+  Alcotest.(check int) "last" 2 (E.last xs);
+  Alcotest.(check int) "element_at" 3 (E.element_at 2 xs);
+  Alcotest.(check bool) "sequence_equal yes" true
+    (E.sequence_equal xs (of_l [ 4; 1; 3; 2 ]));
+  Alcotest.(check bool) "sequence_equal prefix" false
+    (E.sequence_equal xs (of_l [ 4; 1; 3 ]))
+
+let test_empty_aggregates_raise () =
+  let raises f = Alcotest.check_raises "empty" Iterator.No_such_element f in
+  raises (fun () -> ignore (E.min_elt (E.empty : int E.t)));
+  raises (fun () -> ignore (E.max_elt (E.empty : int E.t)));
+  raises (fun () -> ignore (E.reduce ( + ) E.empty));
+  raises (fun () -> ignore (E.first (E.empty : int E.t)));
+  raises (fun () -> ignore (E.last (E.empty : int E.t)));
+  raises (fun () -> ignore (E.average E.empty))
+
+let test_laziness () =
+  (* Composable operators must not touch the source until enumeration. *)
+  let touched = ref 0 in
+  let src =
+    E.of_fun (fun () ->
+        incr touched;
+        Iterator.of_list [ 1; 2; 3 ])
+  in
+  let q = E.select (fun x -> x + 1) (E.where (fun x -> x > 1) src) in
+  Alcotest.(check int) "not yet enumerated" 0 !touched;
+  Alcotest.(check il) "first run" [ 3; 4 ] (E.to_list q);
+  Alcotest.(check il) "second run" [ 3; 4 ] (E.to_list q);
+  Alcotest.(check int) "two enumerations" 2 !touched
+
+let test_per_element_laziness () =
+  (* take must pull no more elements than it needs. *)
+  let pulled = ref 0 in
+  let src =
+    E.select
+      (fun x ->
+        incr pulled;
+        x)
+      (E.range 0 1000)
+  in
+  ignore (E.to_list (E.take 3 src));
+  Alcotest.(check int) "pulled exactly 3" 3 !pulled
+
+(* Properties: operators agree with list semantics. *)
+let prop_ops_match_lists =
+  QCheck.Test.make ~name:"select/where/take/skip match list semantics"
+    ~count:300
+    QCheck.(triple (list small_int) small_int small_int)
+    (fun (l, a, b) ->
+      let n = abs a mod 8 and m = abs b mod 8 in
+      let lhs =
+        E.to_list
+          (E.take n (E.skip m (E.where (fun x -> x mod 2 = 0)
+                                 (E.select (fun x -> x + 1) (of_l l)))))
+      in
+      let rhs =
+        l |> List.map (fun x -> x + 1)
+        |> List.filter (fun x -> x mod 2 = 0)
+        |> List.filteri (fun i _ -> i >= m)
+        |> List.filteri (fun i _ -> i < n)
+      in
+      lhs = rhs)
+
+let prop_distinct_order =
+  QCheck.Test.make ~name:"distinct keeps first occurrences in order"
+    ~count:300
+    QCheck.(list (int_bound 10))
+    (fun l ->
+      let expect =
+        List.fold_left (fun acc x -> if List.mem x acc then acc else acc @ [ x ]) [] l
+      in
+      E.to_list (E.distinct (of_l l)) = expect)
+
+let prop_order_by_sorted_and_stable =
+  QCheck.Test.make ~name:"order_by sorts stably by key" ~count:300
+    QCheck.(list (pair (int_bound 5) small_int))
+    (fun l ->
+      let got = E.to_list (E.order_by fst (of_l l)) in
+      got = List.stable_sort (fun a b -> compare (fst a) (fst b)) l)
+
+let prop_select_many_is_concat_map =
+  QCheck.Test.make ~name:"select_many = concat_map" ~count:200
+    QCheck.(list (int_bound 5))
+    (fun l ->
+      E.to_list (E.select_many (fun x -> E.range 0 x) (of_l l))
+      = List.concat_map (fun x -> List.init x (fun i -> i)) l)
+
+let () =
+  Alcotest.run "enumerable"
+    [
+      ( "operators",
+        [
+          Alcotest.test_case "sources" `Quick test_sources;
+          Alcotest.test_case "elementwise" `Quick test_elementwise;
+          Alcotest.test_case "nested" `Quick test_nested;
+          Alcotest.test_case "join" `Quick test_join;
+          Alcotest.test_case "composition" `Quick test_composition;
+          Alcotest.test_case "sinks" `Quick test_sinks;
+          Alcotest.test_case "group_by" `Quick test_group_by;
+          Alcotest.test_case "aggregates" `Quick test_aggregates;
+          Alcotest.test_case "empty raises" `Quick test_empty_aggregates_raise;
+        ] );
+      ( "laziness",
+        [
+          Alcotest.test_case "deferred" `Quick test_laziness;
+          Alcotest.test_case "per-element" `Quick test_per_element_laziness;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_ops_match_lists;
+          QCheck_alcotest.to_alcotest prop_distinct_order;
+          QCheck_alcotest.to_alcotest prop_order_by_sorted_and_stable;
+          QCheck_alcotest.to_alcotest prop_select_many_is_concat_map;
+        ] );
+    ]

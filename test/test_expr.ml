@@ -1,0 +1,203 @@
+(* Expression trees: evaluation, staging, typing, simplification,
+   printing, and capture extraction. *)
+
+open Expr.Infix
+
+let test_eval_arith () =
+  Alcotest.(check int) "int arith" 17
+    (Expr.eval Expr.(int 3 * int 5 + int 2));
+  Alcotest.(check (float 1e-9)) "float arith" 2.5
+    (Expr.eval Expr.(float 1.0 +. (float 3.0 /. float 2.0)));
+  Alcotest.(check bool) "cmp" true (Expr.eval Expr.(int 3 < int 5));
+  Alcotest.(check bool) "bool ops" true
+    (Expr.eval Expr.(bool true && (bool false || bool true)));
+  Alcotest.(check int) "if" 1 (Expr.eval (Expr.If (Expr.bool true, Expr.int 1, Expr.int 2)));
+  Alcotest.(check int) "mod" 2 (Expr.eval Expr.(int 17 mod int 5))
+
+let test_eval_structures () =
+  Alcotest.(check (pair int bool)) "pair" (1, true)
+    (Expr.eval (Expr.Pair (Expr.int 1, Expr.bool true)));
+  Alcotest.(check int) "fst" 1
+    (Expr.eval (Expr.Fst (Expr.Pair (Expr.int 1, Expr.bool true))));
+  Alcotest.(check bool) "snd" true
+    (Expr.eval (Expr.Snd (Expr.Pair (Expr.int 1, Expr.bool true))));
+  Alcotest.(check int) "proj3_2" 2
+    (Expr.eval (Expr.Proj3_2 (Expr.Triple (Expr.int 1, Expr.int 2, Expr.int 3))));
+  let arr = Expr.capture (Ty.Array Ty.Int) [| 10; 20; 30 |] in
+  Alcotest.(check int) "array_get" 20 (Expr.eval arr.%(Expr.int 1));
+  Alcotest.(check int) "array_length" 3 (Expr.eval (Expr.Array_length arr))
+
+let test_eval_let_apply () =
+  Alcotest.(check int) "let" 6
+    (Expr.eval (Expr.let_ "x" (Expr.int 3) (fun x -> x + x)));
+  let f = Expr.capture (Ty.Func (Ty.Int, Ty.Int)) (fun x -> Stdlib.( * ) x 7) in
+  Alcotest.(check int) "apply captured fn" 21
+    (Expr.eval (Expr.Apply (f, Expr.int 3)))
+
+let test_stage () =
+  let lam = Expr.lam "x" Ty.Int (fun x -> (x * x) + Expr.int 1) in
+  let f = Expr.stage lam in
+  Alcotest.(check int) "staged" 26 (f 5);
+  Alcotest.(check int) "staged again" 10 (f 3);
+  let lam2 = Expr.lam2 "a" Ty.Int "b" Ty.Int (fun a b -> a - b) in
+  Alcotest.(check int) "staged2" 4 (Expr.stage2 lam2 7 3)
+
+let test_stage_shortcircuit () =
+  (* && must not evaluate its right operand when the left is false:
+     the staged closure must match generated-code semantics. *)
+  let lam =
+    Expr.lam "x" Ty.Int (fun x ->
+        x > Expr.int 0 && Expr.int 10 / x > Expr.int 3)
+  in
+  let f = Expr.stage lam in
+  Alcotest.(check bool) "guarded div" false (f 0);
+  Alcotest.(check bool) "true case" true (f 2)
+
+let test_ty_of () =
+  let t1 = Expr.ty_of Expr.(int 1 + int 2) in
+  Alcotest.(check string) "int" "int" (Ty.to_string t1);
+  let t2 = Expr.ty_of (Expr.Pair (Expr.float 1.0, Expr.bool true)) in
+  Alcotest.(check string) "pair" "(float * bool)" (Ty.to_string t2);
+  let arr = Expr.capture (Ty.Array Ty.Float) [| 1.0 |] in
+  Alcotest.(check string) "array elem" "float"
+    (Ty.to_string (Expr.ty_of arr.%(Expr.int 0)))
+
+let test_free_vars () =
+  let v1 = Expr.fresh_var "a" Ty.Int in
+  let v2 = Expr.fresh_var "b" Ty.Int in
+  let e = Expr.Var v1 + Expr.Let (v2, Expr.int 1, Expr.Var v2 + Expr.Var v1) in
+  Alcotest.(check (list int)) "free" [ v1.Expr.id ] (Expr.free_var_ids e);
+  Alcotest.(check (list int)) "closed" [] (Expr.free_var_ids Expr.(int 1 + int 2))
+
+let test_simplify_folds_constants () =
+  let e = Expr.(int 2 * int 3 + int 4) in
+  (match Expr.simplify e with
+  | Expr.Const_int 10 -> ()
+  | _ -> Alcotest.fail "expected folded constant 10");
+  let v = Expr.fresh_var "x" Ty.Int in
+  (* Partial folding around a variable. *)
+  match Expr.simplify (Expr.Var v + (Expr.int 2 * Expr.int 3)) with
+  | Expr.Prim2 (Prim.Add_int, Expr.Var _, Expr.Const_int 6) -> ()
+  | _ -> Alcotest.fail "expected x + 6"
+
+let test_simplify_if_and_let () =
+  (match Expr.simplify (Expr.If (Expr.bool true, Expr.int 1, Expr.int 2)) with
+  | Expr.Const_int 1 -> ()
+  | _ -> Alcotest.fail "if-true not folded");
+  (match Expr.simplify (Expr.let_ "x" (Expr.int 5) (fun x -> x + x)) with
+  | Expr.Const_int 10 -> ()
+  | _ -> Alcotest.fail "let of atom not inlined/folded");
+  (* Captures must not fold. *)
+  match Expr.simplify (Expr.capture Ty.Int 3 + Expr.int 1) with
+  | Expr.Prim2 (Prim.Add_int, Expr.Capture (_, _), Expr.Const_int 1) -> ()
+  | _ -> Alcotest.fail "capture folded away"
+
+let prop_simplify_preserves_semantics =
+  (* Random closed int expressions: simplify must not change the value. *)
+  let gen =
+    QCheck.Gen.(
+      sized @@ fix (fun self n ->
+          if Stdlib.( <= ) n 0 then map Expr.int (int_range (-20) 20)
+          else
+            frequency
+              [
+                1, map Expr.int (int_range (-20) 20);
+                2, map2 (fun a b -> Expr.Infix.(a + b)) (self (Stdlib.( / ) n 2)) (self (Stdlib.( / ) n 2));
+                2, map2 (fun a b -> Expr.Infix.(a - b)) (self (Stdlib.( / ) n 2)) (self (Stdlib.( / ) n 2));
+                2, map2 (fun a b -> Expr.Infix.(a * b)) (self (Stdlib.( / ) n 2)) (self (Stdlib.( / ) n 2));
+                1,
+                  map3
+                    (fun c a b -> Expr.If (Expr.Infix.(c > Expr.int 0), a, b))
+                    (self (Stdlib.( / ) n 3)) (self (Stdlib.( / ) n 3)) (self (Stdlib.( / ) n 3));
+                1, map2 (fun a f -> Expr.let_ "t" a f)
+                     (self (Stdlib.( / ) n 2))
+                     (return (fun x -> Expr.Infix.(x + x)));
+              ]))
+  in
+  let arb = QCheck.make ~print:(fun e -> Format.asprintf "%a" Expr.pp_debug e) gen in
+  QCheck.Test.make ~name:"simplify preserves value" ~count:300 arb (fun e ->
+      Stdlib.( = ) (Expr.eval e) (Expr.eval (Expr.simplify e)))
+
+let prop_simplify_shrinks =
+  let gen = QCheck.Gen.(map2 (fun a b -> Expr.Infix.(Expr.int a + Expr.int b)) small_int small_int) in
+  QCheck.Test.make ~name:"simplify does not grow" ~count:100 (QCheck.make gen)
+    (fun e -> Stdlib.( <= ) (Expr.size (Expr.simplify e)) (Expr.size e))
+
+let test_print () =
+  let v = Expr.fresh_var "x" Ty.Int in
+  let env = Expr.name_env_add v "x0" Expr.name_env_empty in
+  Alcotest.(check string) "var+arith" "((x0 * x0) + 1)"
+    (Expr.print env Expr.(Expr.Var v * Expr.Var v + int 1));
+  Alcotest.(check string) "negative literal" "(-3)"
+    (Expr.print Expr.name_env_empty (Expr.int (-3)));
+  Alcotest.(check string) "bool" "((x0 mod 2) = 0)"
+    (Expr.print env Expr.(Expr.Var v mod int 2 = int 0))
+
+let test_print_captures () =
+  let tbl = Expr.Capture_table.create () in
+  let arr = [| 1.5 |] in
+  let e =
+    Expr.Infix.(
+      (Expr.capture (Ty.Array Ty.Float) arr).%(Expr.int 0)
+      +. Expr.capture Ty.Float 2.0)
+  in
+  let s = Expr.print ~captures:tbl Expr.name_env_empty e in
+  Alcotest.(check string) "slots"
+    "((Stdlib.Array.unsafe_get __c0 0) +. __c1)" s;
+  Alcotest.(check int) "two slots" 2 (Expr.Capture_table.length tbl);
+  (* Same capture reuses its slot. *)
+  let s2 = Expr.print ~captures:tbl Expr.name_env_empty
+      (Expr.capture (Ty.Array Ty.Float) arr)
+  in
+  Alcotest.(check string) "dedup" "__c0" s2;
+  Alcotest.(check int) "still two" 2 (Expr.Capture_table.length tbl);
+  let env = Expr.Capture_table.to_env tbl in
+  Alcotest.(check int) "env size" 2 (Array.length env);
+  Alcotest.(check (float 0.0)) "env slot 0" 1.5 ((Obj.obj env.(0) : float array).(0))
+
+let test_print_without_table_raises () =
+  Alcotest.check_raises "no table"
+    (Invalid_argument "Expr.print: capture without a capture table")
+    (fun () ->
+      ignore (Expr.print Expr.name_env_empty (Expr.capture Ty.Int 1)))
+
+let test_float_literals_roundtrip () =
+  (* Hex float literals must parse back to the same value. *)
+  List.iter
+    (fun x ->
+      let s = Expr.print Expr.name_env_empty (Expr.float x) in
+      let stripped = String.sub s 1 (Stdlib.( - ) (String.length s) 2) in
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "roundtrip %s" s)
+        x
+        (float_of_string stripped))
+    [ 0.0; 1.0; -1.5; 3.141592653589793; 1e-300; 7.25e300 ]
+
+let () =
+  Alcotest.run "expr"
+    [
+      ( "eval",
+        [
+          Alcotest.test_case "arith" `Quick test_eval_arith;
+          Alcotest.test_case "structures" `Quick test_eval_structures;
+          Alcotest.test_case "let/apply" `Quick test_eval_let_apply;
+          Alcotest.test_case "stage" `Quick test_stage;
+          Alcotest.test_case "short-circuit" `Quick test_stage_shortcircuit;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "ty_of" `Quick test_ty_of;
+          Alcotest.test_case "free vars" `Quick test_free_vars;
+          Alcotest.test_case "simplify constants" `Quick test_simplify_folds_constants;
+          Alcotest.test_case "simplify if/let" `Quick test_simplify_if_and_let;
+          QCheck_alcotest.to_alcotest prop_simplify_preserves_semantics;
+          QCheck_alcotest.to_alcotest prop_simplify_shrinks;
+        ] );
+      ( "print",
+        [
+          Alcotest.test_case "basic" `Quick test_print;
+          Alcotest.test_case "captures" `Quick test_print_captures;
+          Alcotest.test_case "missing table" `Quick test_print_without_table_raises;
+          Alcotest.test_case "float literals" `Quick test_float_literals_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,102 @@
+(* The closure-fusion backend in isolation: folder laws, staging reuse,
+   early-exit behaviour, and agreement with the reference on targeted
+   shapes (broad agreement is covered by test_backends). *)
+
+module I = Expr.Infix
+
+let ints xs = Query.of_array Ty.Int xs
+
+let test_fold_is_in_order () =
+  let q = ints [| 3; 1; 2 |] |> Query.select (fun x -> I.(x * Expr.int 10)) in
+  let folder = Fused.stage q Expr.Open.empty in
+  let order = folder.Fused.fold (fun acc x -> x :: acc) [] in
+  Alcotest.(check (list int)) "source order" [ 20; 10; 30 ] order
+
+let test_materialize () =
+  let q = ints [| 5; 6; 7 |] in
+  Alcotest.(check (array int)) "materialize preserves order" [| 5; 6; 7 |]
+    (Fused.materialize (Fused.stage q Expr.Open.empty));
+  Alcotest.(check (array int)) "empty" [||]
+    (Fused.materialize (Fused.stage (ints [||]) Expr.Open.empty))
+
+let test_staged_folder_reusable () =
+  let q = ints [| 1; 2; 3 |] |> Query.take 2 in
+  let folder = Fused.stage q Expr.Open.empty in
+  let sum () = folder.Fused.fold ( + ) 0 in
+  Alcotest.(check int) "first fold" 3 (sum ());
+  (* Stateful operators (take's counter) must reset per fold. *)
+  Alcotest.(check int) "second fold identical" 3 (sum ())
+
+let test_early_exit_stops_pulling () =
+  (* Fold over take n must call the consumer exactly n times. *)
+  let pulled = ref 0 in
+  let q = ints (Array.init 1000 (fun i -> i)) |> Query.take 7 in
+  let folder = Fused.stage q Expr.Open.empty in
+  let consumed = folder.Fused.fold (fun n _ -> incr pulled; n + 1) 0 in
+  Alcotest.(check int) "consumer calls" 7 consumed;
+  Alcotest.(check int) "no overdraw" 7 !pulled
+
+let test_first_and_exists_short_circuit () =
+  (* first/any/exists stop at the witness: observable through a counting
+     captured function. *)
+  let calls = ref 0 in
+  let spy =
+    Expr.capture (Ty.Func (Ty.Int, Ty.Int)) (fun x ->
+        incr calls;
+        x)
+  in
+  let q =
+    ints (Array.init 100 (fun i -> i))
+    |> Query.select (fun x -> Expr.Apply (spy, x))
+  in
+  calls := 0;
+  Alcotest.(check int) "first" 0 (Fused.run_sq (Query.first q));
+  Alcotest.(check int) "first pulled once" 1 !calls;
+  calls := 0;
+  Alcotest.(check bool) "exists" true
+    (Fused.run_sq (Query.exists (fun x -> I.(x = Expr.int 5)) q));
+  Alcotest.(check int) "exists pulled six" 6 !calls;
+  calls := 0;
+  Alcotest.(check bool) "for_all stops at counterexample" false
+    (Fused.run_sq (Query.for_all (fun x -> I.(x < Expr.int 3)) q));
+  Alcotest.(check int) "for_all pulled four" 4 !calls
+
+let test_nested_rebinds_outer () =
+  let q =
+    ints [| 1; 2 |]
+    |> Query.select_many (fun x ->
+           Query.range ~start:0 ~count:2 |> Query.select (fun y -> I.((x * Expr.int 10) + y)))
+  in
+  Alcotest.(check (list int)) "outer var visible inside"
+    [ 10; 11; 20; 21 ] (Fused.to_list q)
+
+let test_stop_does_not_leak () =
+  (* The internal Stop exception must never escape a fold. *)
+  let q = ints (Array.init 50 (fun i -> i)) |> Query.take 3 |> Query.rev in
+  Alcotest.(check (list int)) "take then rev" [ 2; 1; 0 ] (Fused.to_list q);
+  let q2 =
+    ints [| 1; 2; 3; 4 |]
+    |> Query.take_while (fun x -> I.(x < Expr.int 3))
+    |> Query.order_by (fun x -> I.(Expr.int 0 - x))
+  in
+  Alcotest.(check (list int)) "take_while then sort" [ 2; 1 ] (Fused.to_list q2)
+
+let () =
+  Alcotest.run "fused"
+    [
+      ( "folder",
+        [
+          Alcotest.test_case "order" `Quick test_fold_is_in_order;
+          Alcotest.test_case "materialize" `Quick test_materialize;
+          Alcotest.test_case "reusable" `Quick test_staged_folder_reusable;
+        ] );
+      ( "early exit",
+        [
+          Alcotest.test_case "take" `Quick test_early_exit_stops_pulling;
+          Alcotest.test_case "first/exists/for_all" `Quick
+            test_first_and_exists_short_circuit;
+          Alcotest.test_case "stop containment" `Quick test_stop_does_not_leak;
+        ] );
+      ( "nesting",
+        [ Alcotest.test_case "outer binding" `Quick test_nested_rebinds_outer ] );
+    ]

@@ -1,0 +1,110 @@
+(* The statement-block machinery behind the code generator: insertion
+   points must behave like the paper's α/µ/ω pointers (Figs. 5 and 9). *)
+
+let render b = Block.render b
+
+let test_lines_in_order () =
+  let b = Block.create () in
+  Block.line b "a;";
+  Block.line b "b;";
+  Alcotest.(check string) "ordered" "a;\nb;\n" (render b)
+
+let test_linef () =
+  let b = Block.create () in
+  Block.linef b "x%d;" 7;
+  Alcotest.(check string) "formatted" "x7;\n" (render b)
+
+let test_inline_is_insertion_point () =
+  (* Appending to an inline block inserts at its position even after the
+     parent has grown past it — the α/ω pointer behaviour. *)
+  let b = Block.create () in
+  let alpha = Block.inline b in
+  Block.line b "loop;";
+  let omega = Block.inline b in
+  Block.line alpha "decl;";
+  Block.line omega "ret;";
+  Block.line alpha "decl2;";
+  Alcotest.(check string) "pointer insertion" "decl;\ndecl2;\nloop;\nret;\n"
+    (render b)
+
+let test_inline_shares_indentation () =
+  let b = Block.create () in
+  let sub = Block.inline b in
+  Block.line sub "inner;";
+  Block.line b "outer;";
+  Alcotest.(check string) "no extra indent" "inner;\nouter;\n" (render b)
+
+let test_indented_body () =
+  let b = Block.create () in
+  Block.line b "for i = 0 to 3 do";
+  let body = Block.indented b in
+  Block.line body "x;";
+  Block.line b "done;";
+  (* The delimited body is closed with a unit so any statement sequence
+     inside is a valid expression. *)
+  Alcotest.(check string) "indent + unit close"
+    "for i = 0 to 3 do\n  x;\n  ()\ndone;\n" (render b)
+
+let test_nested_indentation_levels () =
+  let b = Block.create () in
+  Block.line b "l0;";
+  let one = Block.indented b in
+  Block.line one "l1;";
+  let two = Block.indented one in
+  Block.line two "l2;";
+  Alcotest.(check string) "two levels"
+    "l0;\n  l1;\n    l2;\n    ()\n  ()\n" (render b)
+
+let test_stacked_frames_like_fig9 () =
+  (* Simulate entering a nested loop: the inner (α', µ', ω') triple lives
+     inside the outer µ, and appends to the outer µ land after the inner
+     loop's lines. *)
+  let outer_mu = Block.create () in
+  let alpha' = Block.inline outer_mu in
+  Block.line outer_mu "for inner do";
+  let mu' = Block.indented outer_mu in
+  Block.line outer_mu "done;";
+  let omega' = Block.inline outer_mu in
+  Block.line alpha' "let acc = ref 0 in";
+  Block.line mu' "acc := !acc + x;";
+  Block.line omega' "let elem2 = !acc in";
+  Block.line outer_mu "consume elem2;";
+  Alcotest.(check string) "fig 9 layout"
+    "let acc = ref 0 in\n\
+     for inner do\n\
+    \  acc := !acc + x;\n\
+    \  ()\n\
+     done;\n\
+     let elem2 = !acc in\n\
+     consume elem2;\n"
+    (render outer_mu)
+
+let test_render_with_base_indent () =
+  let b = Block.create () in
+  Block.line b "x;";
+  Alcotest.(check string) "indent 2" "    x;\n" (Block.render ~indent:2 b)
+
+let test_is_empty () =
+  let b = Block.create () in
+  Alcotest.(check bool) "fresh empty" true (Block.is_empty b);
+  let sub = Block.inline b in
+  Alcotest.(check bool) "empty sub-blocks stay empty" true (Block.is_empty b);
+  Block.line sub "x;";
+  Alcotest.(check bool) "line in sub-block" false (Block.is_empty b)
+
+let () =
+  Alcotest.run "imp"
+    [
+      ( "block",
+        [
+          Alcotest.test_case "lines in order" `Quick test_lines_in_order;
+          Alcotest.test_case "linef" `Quick test_linef;
+          Alcotest.test_case "inline insertion" `Quick test_inline_is_insertion_point;
+          Alcotest.test_case "inline indentation" `Quick test_inline_shares_indentation;
+          Alcotest.test_case "indented body" `Quick test_indented_body;
+          Alcotest.test_case "nested levels" `Quick test_nested_indentation_levels;
+          Alcotest.test_case "fig-9 stack" `Quick test_stacked_frames_like_fig9;
+          Alcotest.test_case "base indent" `Quick test_render_with_base_indent;
+          Alcotest.test_case "is_empty" `Quick test_is_empty;
+        ] );
+    ]

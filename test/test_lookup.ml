@@ -1,0 +1,137 @@
+(* Unit and property tests for the Lookup multimap (the GroupBy sink). *)
+
+let test_empty () =
+  let l : (int, string) Lookup.t = Lookup.create () in
+  Alcotest.(check int) "length" 0 (Lookup.length l);
+  Alcotest.(check int) "total" 0 (Lookup.total_count l);
+  Alcotest.(check bool) "mem" false (Lookup.mem l 1);
+  Alcotest.(check (array string)) "find" [||] (Lookup.find l 1);
+  Alcotest.(check (array int)) "keys" [||] (Lookup.keys l)
+
+let test_put_and_find () =
+  let l = Lookup.create () in
+  let l = Lookup.put l "a" 1 in
+  let l = Lookup.put l "b" 2 in
+  let l = Lookup.put l "a" 3 in
+  Alcotest.(check int) "length" 2 (Lookup.length l);
+  Alcotest.(check int) "total" 3 (Lookup.total_count l);
+  Alcotest.(check (array int)) "a" [| 1; 3 |] (Lookup.find l "a");
+  Alcotest.(check (array int)) "b" [| 2 |] (Lookup.find l "b");
+  Alcotest.(check (array int)) "absent" [||] (Lookup.find l "c")
+
+let test_key_order_is_first_appearance () =
+  let l = Lookup.create () in
+  let l = List.fold_left (fun l (k, v) -> Lookup.put l k v) l
+      [ "z", 1; "a", 2; "z", 3; "m", 4; "a", 5 ]
+  in
+  Alcotest.(check (array string)) "keys" [| "z"; "a"; "m" |] (Lookup.keys l)
+
+let test_groupings () =
+  let l = Lookup.create () in
+  let l = List.fold_left (fun l v -> Lookup.put l (v mod 2) v) l [ 1; 2; 3; 4 ] in
+  let gs = Lookup.groupings l in
+  Alcotest.(check int) "ngroups" 2 (Array.length gs);
+  Alcotest.(check (pair int (array int))) "odd first" (1, [| 1; 3 |]) gs.(0);
+  Alcotest.(check (pair int (array int))) "even" (0, [| 2; 4 |]) gs.(1)
+
+let test_fold_iter () =
+  let l = Lookup.create () in
+  let l = List.fold_left (fun l v -> Lookup.put l (v mod 3) v) l
+      [ 0; 1; 2; 3; 4; 5 ]
+  in
+  let total = Lookup.fold (fun acc _ vs -> acc + Array.length vs) 0 l in
+  Alcotest.(check int) "fold counts all" 6 total;
+  let seen = ref 0 in
+  Lookup.iter (fun _ vs -> seen := !seen + Array.length vs) l;
+  Alcotest.(check int) "iter counts all" 6 !seen
+
+let test_agg_update () =
+  let a = Lookup.Agg.create ~seed:0 () in
+  Lookup.Agg.update a "x" (fun s -> s + 1);
+  Lookup.Agg.update a "x" (fun s -> s + 1);
+  Lookup.Agg.update a "y" (fun s -> s + 10);
+  Alcotest.(check (option int)) "x" (Some 2) (Lookup.Agg.find_opt a "x");
+  Alcotest.(check (option int)) "y" (Some 10) (Lookup.Agg.find_opt a "y");
+  Alcotest.(check (option int)) "absent" None (Lookup.Agg.find_opt a "z");
+  Alcotest.(check int) "length" 2 (Lookup.Agg.length a);
+  Alcotest.(check (array (pair string int)))
+    "entries in first-appearance order"
+    [| "x", 2; "y", 10 |]
+    (Lookup.Agg.entries a)
+
+let test_agg_combine () =
+  let a = Lookup.Agg.create ~seed:0 () in
+  Lookup.Agg.update a 1 (fun s -> s + 5);
+  Lookup.Agg.update a 2 (fun s -> s + 7);
+  let b = Lookup.Agg.create ~seed:0 () in
+  Lookup.Agg.update b 2 (fun s -> s + 3);
+  Lookup.Agg.update b 3 (fun s -> s + 9);
+  let c = Lookup.Agg.combine a b ( + ) in
+  Alcotest.(check (option int)) "1" (Some 5) (Lookup.Agg.find_opt c 1);
+  Alcotest.(check (option int)) "2" (Some 10) (Lookup.Agg.find_opt c 2);
+  Alcotest.(check (option int)) "3" (Some 9) (Lookup.Agg.find_opt c 3)
+
+(* Property: Lookup agrees with a naive association-list grouping. *)
+let prop_matches_naive =
+  QCheck.Test.make ~name:"Lookup.groupings = naive grouping" ~count:200
+    QCheck.(list (pair (int_bound 5) small_int))
+    (fun pairs ->
+      let l =
+        List.fold_left (fun l (k, v) -> Lookup.put l k v) (Lookup.create ())
+          pairs
+      in
+      let naive_keys =
+        List.fold_left
+          (fun ks (k, _) -> if List.mem k ks then ks else ks @ [ k ])
+          [] pairs
+      in
+      let naive =
+        List.map
+          (fun k ->
+            k, List.filter_map (fun (k', v) -> if k = k' then Some v else None) pairs)
+          naive_keys
+      in
+      let got =
+        Array.to_list
+          (Array.map (fun (k, vs) -> k, Array.to_list vs) (Lookup.groupings l))
+      in
+      got = naive)
+
+let prop_agg_is_fold =
+  QCheck.Test.make ~name:"Agg.update folds per key" ~count:200
+    QCheck.(list (pair (int_bound 4) small_int))
+    (fun pairs ->
+      let a = Lookup.Agg.create ~seed:0 () in
+      List.iter (fun (k, v) -> Lookup.Agg.update a k (fun s -> s + v)) pairs;
+      List.for_all
+        (fun (k, _) ->
+          let expected =
+            List.fold_left
+              (fun s (k', v) -> if k = k' then s + v else s)
+              0 pairs
+          in
+          Lookup.Agg.find_opt a k = Some expected)
+        pairs)
+
+let () =
+  Alcotest.run "lookup"
+    [
+      ( "basic",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "put_find" `Quick test_put_and_find;
+          Alcotest.test_case "key order" `Quick test_key_order_is_first_appearance;
+          Alcotest.test_case "groupings" `Quick test_groupings;
+          Alcotest.test_case "fold_iter" `Quick test_fold_iter;
+        ] );
+      ( "agg",
+        [
+          Alcotest.test_case "update" `Quick test_agg_update;
+          Alcotest.test_case "combine" `Quick test_agg_combine;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_matches_naive;
+          QCheck_alcotest.to_alcotest prop_agg_is_fold;
+        ] );
+    ]

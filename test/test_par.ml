@@ -1,0 +1,168 @@
+(* Multiprocessor execution: partitioning, HomomorphicApply, and the
+   automatic Agg_i / Agg* splitting of section 6. *)
+
+module I = Expr.Infix
+
+let ints xs = Query.of_array Ty.Int xs
+
+let test_partition_roundtrip () =
+  let arr = Array.init 17 (fun i -> i) in
+  let parts = Par.partition ~parts:4 arr in
+  Alcotest.(check int) "4 parts" 4 (Array.length parts);
+  Alcotest.(check (array int)) "concat restores" arr (Par.concat parts);
+  Array.iter
+    (fun p ->
+      Alcotest.(check bool) "balanced" true
+        (abs (Array.length p - (17 / 4)) <= 1))
+    parts;
+  (* More parts than elements: empty tails allowed. *)
+  let tiny = Par.partition ~parts:5 [| 1; 2 |] in
+  Alcotest.(check (array int)) "tiny concat" [| 1; 2 |] (Par.concat tiny);
+  Alcotest.check_raises "zero parts"
+    (Invalid_argument "Par.partition: parts must be positive") (fun () ->
+      ignore (Par.partition ~parts:0 [| 1 |]))
+
+let test_domain_pool () =
+  let results = Domain_pool.run ~workers:4 ~tasks:20 (fun i -> i * i) in
+  Alcotest.(check (array int)) "ordered results"
+    (Array.init 20 (fun i -> i * i))
+    results;
+  Alcotest.(check (array int)) "no tasks" [||]
+    (Domain_pool.run ~workers:4 ~tasks:0 (fun i -> i));
+  (* Exceptions propagate. *)
+  Alcotest.check_raises "task failure" Exit (fun () ->
+      ignore (Domain_pool.run ~workers:2 ~tasks:8 (fun i -> if i = 5 then raise Exit else i)))
+
+let test_homomorphic_apply () =
+  let data = Array.init 100 (fun i -> i) in
+  let parts = Par.partition ~parts:7 data in
+  let build part =
+    ints part
+    |> Query.where (fun x -> I.(x mod Expr.int 2 = Expr.int 0))
+    |> Query.select (fun x -> I.(x * x))
+  in
+  let out = Par.homomorphic_apply ~workers:4 Ty.Int build parts in
+  let sequential = Steno.to_array (build data) in
+  Alcotest.(check (array int)) "same as sequential" sequential (Par.concat out)
+
+let test_scalar_per_partition () =
+  let data = Array.init 1000 (fun i -> i) in
+  let parts = Par.partition ~parts:8 data in
+  let total =
+    Par.scalar_per_partition ~workers:4
+      (fun part -> Query.sum_int (ints part))
+      ~combine:( + ) parts
+  in
+  Alcotest.(check int) "partial sums combine" (999 * 1000 / 2) total
+
+let test_is_homomorphic () =
+  let src = ints [| 1 |] in
+  Alcotest.(check bool) "select" true (Par.is_homomorphic (Query.select (fun x -> x) src));
+  Alcotest.(check bool) "where" true (Par.is_homomorphic (Query.where (fun x -> I.(x > Expr.int 0)) src));
+  Alcotest.(check bool) "select_many" true
+    (Par.is_homomorphic (Query.select_many (fun _ -> Query.range ~start:0 ~count:2) src));
+  Alcotest.(check bool) "take is not" false (Par.is_homomorphic (Query.take 1 src));
+  Alcotest.(check bool) "order_by is not" false
+    (Par.is_homomorphic (Query.order_by (fun x -> x) src));
+  Alcotest.(check bool) "group_by is not" false
+    (Par.is_homomorphic (Query.group_by (fun x -> x) src));
+  Alcotest.(check bool) "distinct is not" false (Par.is_homomorphic (Query.distinct src))
+
+let test_split_scalar () =
+  let q = ints (Array.init 50 (fun i -> i)) |> Query.select (fun x -> I.(x * Expr.int 3)) in
+  (match Par.split_scalar (Query.sum_int q) with
+  | Some (Par.Split { source; _ }) ->
+    Alcotest.(check int) "source found" 50 (Array.length source)
+  | None -> Alcotest.fail "sum over homomorphic prefix must split");
+  (* Non-homomorphic prefix cannot split. *)
+  (match Par.split_scalar (Query.sum_int (Query.take 3 q)) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "take must prevent splitting");
+  (* Non-associative aggregates cannot split. *)
+  (match Par.split_scalar (Query.average (Query.of_array Ty.Float [| 1.0 |])) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "average must not split");
+  (* Range sources (no captured array) cannot split. *)
+  match Par.split_scalar (Query.sum_int (Query.range ~start:0 ~count:5)) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "range source must not split"
+
+let test_scalar_auto_matches_sequential () =
+  let data = Array.init 777 (fun i -> (i * 37) mod 101) in
+  let check_auto : type s. string -> s Query.sq -> unit =
+   fun name sq ->
+    let seq = Reference.scalar sq in
+    let par = Par.scalar_auto ~workers:4 ~parts:5 sq in
+    if compare par seq <> 0 then Alcotest.failf "%s: parallel <> sequential" name
+  in
+  let q = ints data |> Query.where (fun x -> I.(x mod Expr.int 3 = Expr.int 1)) in
+  check_auto "sum" (Query.sum_int q);
+  check_auto "count" (Query.count q);
+  check_auto "min" (Query.min_elt q);
+  check_auto "max" (Query.max_elt q);
+  check_auto "min_by" (Query.min_by (fun x -> I.(x mod Expr.int 7)) q);
+  check_auto "any" (Query.any q);
+  check_auto "exists" (Query.exists (fun x -> I.(x = Expr.int 55)) q);
+  check_auto "for_all" (Query.for_all (fun x -> I.(x < Expr.int 1000)) q);
+  check_auto "contains" (Query.contains (Expr.int 4) q);
+  (* Fallback path: non-splittable query still runs. *)
+  check_auto "average fallback"
+    (Query.average (Query.of_array Ty.Float [| 1.0; 2.0; 3.0 |]))
+
+let test_scalar_auto_empty_partitions () =
+  (* min over data that filters to a single partition's worth. *)
+  let data = Array.init 40 (fun i -> i) in
+  let q = ints data |> Query.where (fun x -> I.(x = Expr.int 39)) in
+  Alcotest.(check int) "min with mostly-empty partials" 39
+    (Par.scalar_auto ~workers:4 ~parts:8 (Query.min_elt q));
+  let none = ints data |> Query.where (fun x -> I.(x > Expr.int 100)) in
+  Alcotest.check_raises "all empty raises" Iterator.No_such_element (fun () ->
+      ignore (Par.scalar_auto ~workers:2 ~parts:4 (Query.min_elt none)))
+
+let test_to_array_auto () =
+  let data = Array.init 333 (fun i -> (i * 17) mod 97) in
+  let q =
+    ints data
+    |> Query.where (fun x -> I.(x mod Expr.int 3 = Expr.int 0))
+    |> Query.select (fun x -> I.(x * Expr.int 2))
+  in
+  Alcotest.(check (array int)) "homomorphic query parallel = sequential"
+    (Steno.to_array q)
+    (Par.to_array_auto ~workers:3 ~parts:5 q);
+  (* Non-homomorphic queries fall back to sequential and stay correct. *)
+  let sorted = q |> Query.order_by (fun x -> I.(Expr.int 0 - x)) in
+  Alcotest.(check (array int)) "fallback"
+    (Steno.to_array sorted)
+    (Par.to_array_auto ~workers:3 ~parts:5 sorted)
+
+let prop_parallel_sum_equals_sequential =
+  QCheck.Test.make ~name:"parallel sum = sequential sum for any partitioning"
+    ~count:30
+    QCheck.(pair (array small_int) (int_range 1 9))
+    (fun (data, parts) ->
+      let sq = Query.sum_int (ints data) in
+      Par.scalar_auto ~workers:3 ~parts sq = Reference.scalar sq)
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "partitioning",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_partition_roundtrip;
+          Alcotest.test_case "domain pool" `Quick test_domain_pool;
+        ] );
+      ( "execution",
+        [
+          Alcotest.test_case "homomorphic_apply" `Quick test_homomorphic_apply;
+          Alcotest.test_case "scalar per partition" `Quick test_scalar_per_partition;
+        ] );
+      ( "splitting",
+        [
+          Alcotest.test_case "is_homomorphic" `Quick test_is_homomorphic;
+          Alcotest.test_case "split_scalar" `Quick test_split_scalar;
+          Alcotest.test_case "auto = sequential" `Quick test_scalar_auto_matches_sequential;
+          Alcotest.test_case "empty partitions" `Quick test_scalar_auto_empty_partitions;
+          Alcotest.test_case "to_array_auto" `Quick test_to_array_auto;
+          QCheck_alcotest.to_alcotest prop_parallel_sum_equals_sequential;
+        ] );
+    ]

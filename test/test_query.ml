@@ -1,0 +1,81 @@
+(* Query AST construction, typing and structure. *)
+
+module I = Expr.Infix
+
+let ints xs = Query.of_array Ty.Int xs
+
+let test_elem_ty () =
+  let q = ints [| 1 |] in
+  Alcotest.(check string) "src" "int" (Ty.to_string (Query.elem_ty q));
+  let q2 = Query.select (fun x -> Expr.Pair (x, x)) q in
+  Alcotest.(check string) "select" "(int * int)" (Ty.to_string (Query.elem_ty q2));
+  let q3 = Query.group_by (fun x -> I.(x mod Expr.int 2)) q in
+  Alcotest.(check string) "group_by" "(int * (int array))"
+    (Ty.to_string (Query.elem_ty q3));
+  let q4 =
+    Query.group_by_agg ~key:(fun x -> x)
+      ~seed:(Expr.float 0.0)
+      ~step:(fun acc _ -> acc)
+      q
+  in
+  Alcotest.(check string) "group_by_agg" "(int * float)"
+    (Ty.to_string (Query.elem_ty q4));
+  Alcotest.(check string) "scalar sum" "int"
+    (Ty.to_string (Query.scalar_ty (Query.sum_int q)));
+  Alcotest.(check string) "scalar avg" "float"
+    (Ty.to_string (Query.scalar_ty (Query.average (Query.of_array Ty.Float [||]))))
+
+let test_structure () =
+  let q =
+    ints [| 1; 2 |]
+    |> Query.where (fun x -> I.(x > Expr.int 0))
+    |> Query.select (fun x -> I.(x * x))
+  in
+  Alcotest.(check int) "operator_count" 3 (Query.operator_count q);
+  Alcotest.(check int) "depth" 1 (Query.depth q);
+  let nested = Query.select_many (fun _ -> ints [| 1 |]) q in
+  Alcotest.(check int) "nested count" 5 (Query.operator_count nested);
+  Alcotest.(check int) "nested depth" 2 (Query.depth nested);
+  let sq = Query.sum_int nested in
+  Alcotest.(check int) "scalar count" 6 (Query.sq_operator_count sq)
+
+let test_pp () =
+  let q =
+    ints [| 1 |]
+    |> Query.where (fun x -> I.(x > Expr.int 0))
+    |> Query.select (fun x -> I.(x * x))
+  in
+  Alcotest.(check string) "chain" "Src<int> -> Where -> Select -> Ret"
+    (Format.asprintf "%a" Query.pp q);
+  let sq = Query.sum_int q in
+  Alcotest.(check string) "scalar chain"
+    "Src<int> -> Where -> Select -> Sum -> Ret"
+    (Format.asprintf "%a" Query.pp_sq sq);
+  let nested =
+    ints [| 1 |] |> Query.select_many (fun _ -> Query.range ~start:0 ~count:3)
+  in
+  Alcotest.(check string) "nested chain"
+    "Src<int> -> SelectMany[Src:Range] -> Ret"
+    (Format.asprintf "%a" Query.pp nested)
+
+let test_reference_smoke () =
+  let q =
+    ints [| 1; 2; 3; 4 |]
+    |> Query.where (fun x -> I.(x mod Expr.int 2 = Expr.int 0))
+    |> Query.select (fun x -> I.(x * Expr.int 10))
+  in
+  Alcotest.(check (list int)) "reference" [ 20; 40 ] (Reference.to_list q);
+  Alcotest.(check (list int)) "linq" [ 20; 40 ] (Linq.to_list q);
+  Alcotest.(check int) "scalar" 60 (Reference.scalar (Query.sum_int q))
+
+let () =
+  Alcotest.run "query"
+    [
+      ( "typing", [ Alcotest.test_case "elem_ty" `Quick test_elem_ty ] );
+      ( "structure",
+        [
+          Alcotest.test_case "counts" `Quick test_structure;
+          Alcotest.test_case "pp" `Quick test_pp;
+        ] );
+      ("semantics", [ Alcotest.test_case "smoke" `Quick test_reference_smoke ]);
+    ]

@@ -1,0 +1,117 @@
+(* Unit tests for the run-time type representations. *)
+
+let check_eq_some : type a b. a Ty.t -> b Ty.t -> unit =
+ fun a b ->
+  match Ty.equal a b with
+  | Some Ty.Refl -> ()
+  | None -> Alcotest.failf "expected equal: %s vs %s" (Ty.to_string a) (Ty.to_string b)
+
+let check_eq_none : type a b. a Ty.t -> b Ty.t -> unit =
+ fun a b ->
+  match Ty.equal a b with
+  | Some Ty.Refl ->
+    Alcotest.failf "expected distinct: %s vs %s" (Ty.to_string a)
+      (Ty.to_string b)
+  | None -> ()
+
+let test_equal_reflexive () =
+  check_eq_some Ty.Int Ty.Int;
+  check_eq_some Ty.Float Ty.Float;
+  check_eq_some (Ty.Pair (Ty.Int, Ty.Float)) (Ty.Pair (Ty.Int, Ty.Float));
+  check_eq_some
+    (Ty.Array (Ty.Triple (Ty.Bool, Ty.String, Ty.Unit)))
+    (Ty.Array (Ty.Triple (Ty.Bool, Ty.String, Ty.Unit)));
+  check_eq_some
+    (Ty.Func (Ty.Int, Ty.Option (Ty.List Ty.Float)))
+    (Ty.Func (Ty.Int, Ty.Option (Ty.List Ty.Float)))
+
+let test_equal_distinguishes () =
+  check_eq_none Ty.Int Ty.Float;
+  check_eq_none (Ty.Pair (Ty.Int, Ty.Int)) (Ty.Pair (Ty.Int, Ty.Float));
+  check_eq_none (Ty.Array Ty.Int) (Ty.List Ty.Int);
+  check_eq_none (Ty.Option Ty.Int) (Ty.Array Ty.Int);
+  check_eq_none (Ty.Func (Ty.Int, Ty.Int)) (Ty.Func (Ty.Int, Ty.Bool))
+
+let test_to_string () =
+  Alcotest.(check string) "int" "int" (Ty.to_string Ty.Int);
+  Alcotest.(check string) "pair" "(int * float)"
+    (Ty.to_string (Ty.Pair (Ty.Int, Ty.Float)));
+  Alcotest.(check string) "nested" "((int * float) array)"
+    (Ty.to_string (Ty.Array (Ty.Pair (Ty.Int, Ty.Float))));
+  Alcotest.(check string) "func" "(int -> (bool list))"
+    (Ty.to_string (Ty.Func (Ty.Int, Ty.List Ty.Bool)));
+  Alcotest.(check string) "triple" "(int * string * (float option))"
+    (Ty.to_string (Ty.Triple (Ty.Int, Ty.String, Ty.Option Ty.Float)))
+
+let test_type_strings_are_valid_annotations () =
+  (* Printed types must splice into generated code; check a few against the
+     compiler by round-tripping through Canon's default literals. *)
+  let check : type a. a Ty.t -> unit =
+   fun ty ->
+    match Canon.default_literal ty with
+    | None -> ()
+    | Some lit ->
+      Alcotest.(check bool)
+        (Printf.sprintf "literal %s non-empty for %s" lit (Ty.to_string ty))
+        true
+        (String.length lit > 0)
+  in
+  check Ty.Int;
+  check (Ty.Pair (Ty.Float, Ty.Array Ty.Int));
+  check (Ty.Option (Ty.List Ty.String))
+
+let test_pp_value () =
+  let s : type a. a Ty.t -> a -> string =
+   fun ty v -> Format.asprintf "%a" (Ty.pp_value ty) v
+  in
+  Alcotest.(check string) "int" "42" (s Ty.Int 42);
+  Alcotest.(check string) "pair" "(1, true)" (s (Ty.Pair (Ty.Int, Ty.Bool)) (1, true));
+  Alcotest.(check string) "array" "[|1; 2; 3|]" (s (Ty.Array Ty.Int) [| 1; 2; 3 |]);
+  Alcotest.(check string) "list" "[1; 2]" (s (Ty.List Ty.Int) [ 1; 2 ]);
+  Alcotest.(check string) "none" "None" (s (Ty.Option Ty.Int) None);
+  Alcotest.(check string) "some" "Some 3" (s (Ty.Option Ty.Int) (Some 3));
+  Alcotest.(check string) "fun" "<fun>" (s (Ty.Func (Ty.Int, Ty.Int)) succ)
+
+let test_compare_values () =
+  let c : type a. a Ty.t -> a -> a -> int = Ty.compare_values in
+  Alcotest.(check int) "int lt" (-1) (c Ty.Int 1 2);
+  Alcotest.(check int) "pair"
+    (compare (1, "b") (1, "a"))
+    (c (Ty.Pair (Ty.Int, Ty.String)) (1, "b") (1, "a"));
+  Alcotest.(check int) "array len" (-1) (c (Ty.Array Ty.Int) [| 1 |] [| 1; 2 |]);
+  Alcotest.(check int) "array elt" 1 (c (Ty.Array Ty.Int) [| 2 |] [| 1; 9 |]);
+  Alcotest.(check int) "list eq" 0 (c (Ty.List Ty.Int) [ 1; 2 ] [ 1; 2 ]);
+  Alcotest.(check int) "opt" (-1) (c (Ty.Option Ty.Int) None (Some 0));
+  Alcotest.check_raises "func" (Invalid_argument "Ty.compare_values: functions")
+    (fun () -> ignore (c (Ty.Func (Ty.Int, Ty.Int)) succ succ))
+
+let prop_compare_matches_polymorphic =
+  QCheck.Test.make ~name:"Ty.compare_values agrees with compare on int pairs"
+    ~count:200
+    QCheck.(pair (pair small_int small_int) (pair small_int small_int))
+    (fun (a, b) ->
+      let ty = Ty.Pair (Ty.Int, Ty.Int) in
+      let sign x = Stdlib.compare x 0 in
+      sign (Ty.compare_values ty a b) = sign (Stdlib.compare a b))
+
+let () =
+  Alcotest.run "ty"
+    [
+      ( "equal",
+        [
+          Alcotest.test_case "reflexive" `Quick test_equal_reflexive;
+          Alcotest.test_case "distinguishes" `Quick test_equal_distinguishes;
+        ] );
+      ( "print",
+        [
+          Alcotest.test_case "to_string" `Quick test_to_string;
+          Alcotest.test_case "annotations" `Quick
+            test_type_strings_are_valid_annotations;
+          Alcotest.test_case "pp_value" `Quick test_pp_value;
+        ] );
+      ( "compare",
+        [
+          Alcotest.test_case "compare_values" `Quick test_compare_values;
+          QCheck_alcotest.to_alcotest prop_compare_matches_polymorphic;
+        ] );
+    ]

@@ -549,6 +549,60 @@ let bechamel () =
         names)
     instances
 
+(* Machine-readable results for CI trend tracking: the Fig. 1 sumsq
+   headline across backends plus the section 7.1 query-cache numbers
+   (cold prepare vs cache-hit prepare). *)
+let json_report file =
+  header (Printf.sprintf "JSON report -> %s" file);
+  let n = scaled 10_000_000 in
+  let xs = uniform_floats n in
+  let sq = sumsq_query xs in
+  let t_hand = time_ms (sumsq_hand xs) in
+  let linq = Steno.prepare_scalar ~backend:Steno.Linq sq in
+  let t_linq = time_ms (fun () -> Steno.run_scalar linq) in
+  let fused = Steno.prepare_scalar ~backend:Steno.Fused sq in
+  let t_fused = time_ms (fun () -> Steno.run_scalar fused) in
+  let fnum v = if Float.is_nan v then "null" else Printf.sprintf "%.3f" v in
+  let t_native, prepare_cold_ms, prepare_hit_ms =
+    if native then begin
+      Steno.clear_cache ();
+      let p1 = Steno.prepare_scalar ~backend:Steno.Native sq in
+      let cold = (Steno.info_scalar p1).Steno.prepare_ms in
+      let p2 = Steno.prepare_scalar ~backend:Steno.Native sq in
+      let hit = (Steno.info_scalar p2).Steno.prepare_ms in
+      assert (Steno.info_scalar p2).Steno.cache_hit;
+      time_ms (fun () -> Steno.run_scalar p2), cold, hit
+    end
+    else Float.nan, Float.nan, Float.nan
+  in
+  let oc =
+    try open_out file
+    with Sys_error msg ->
+      Printf.eprintf "cannot write %s: %s\n" file msg;
+      exit 2
+  in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "sumsq",
+  "n": %d,
+  "scale": %.3f,
+  "native_available": %b,
+  "linq_ms": %s,
+  "fused_ms": %s,
+  "native_ms": %s,
+  "hand_ms": %s,
+  "prepare_cold_ms": %s,
+  "prepare_cache_hit_ms": %s
+}
+|}
+    n !scale native (fnum t_linq) (fnum t_fused) (fnum t_native) (fnum t_hand)
+    (fnum prepare_cold_ms) (fnum prepare_hit_ms);
+  close_out oc;
+  row "n = %d: LINQ %.1f ms, Fused %.1f ms, Native %.1f ms, hand %.1f ms\n" n
+    t_linq t_fused t_native t_hand;
+  row "prepare: %.1f ms cold, %.3f ms on a cache hit\n" prepare_cold_ms
+    prepare_hit_ms
+
 let experiments =
   [
     "fig1", fig1;
@@ -567,17 +621,26 @@ let experiments =
 
 let () =
   let args = Array.to_list Sys.argv in
+  let json_file = ref None in
   let rec parse = function
     | [] -> []
     | "--scale" :: v :: rest ->
       scale := float_of_string v;
       parse rest
+    | "--json" :: file :: rest ->
+      json_file := Some file;
+      parse rest
+    | [ ("--scale" | "--json") as flag ] ->
+      Printf.eprintf "%s requires a value\n" flag;
+      exit 2
     | x :: rest -> x :: parse rest
   in
+  let picks = parse (List.tl args) in
   let named =
-    match parse (List.tl args) with
-    | [] -> List.map fst experiments
-    | picks -> picks
+    match picks, !json_file with
+    | [], Some _ -> [] (* --json alone: just the JSON measurement *)
+    | [], None -> List.map fst experiments
+    | picks, _ -> picks
   in
   Printf.printf "Steno benchmark harness (scale = %.2f, native = %b)\n" !scale
     native;
@@ -588,4 +651,5 @@ let () =
       | None ->
         Printf.printf "unknown experiment %S; available: %s\n" name
           (String.concat ", " (List.map fst experiments)))
-    named
+    named;
+  Option.iter json_report !json_file

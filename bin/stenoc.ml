@@ -3,8 +3,9 @@
 
      stenoc list
      stenoc show <query>            print chain, QUIL and generated code
-     stenoc run <query> [-b BACKEND] [-n SIZE]
+     stenoc run <query> [-b BACKEND] [-n SIZE] [--trace]
      stenoc bench <query> [-n SIZE]
+     stenoc stats <query> [-b BACKEND] [-n SIZE] [--reps R]
 *)
 
 module I = Expr.Infix
@@ -195,27 +196,108 @@ let preview : type a. a Ty.t -> a array -> string =
     (if n > shown then "; ..." else "")
     n
 
-let cmd_run name backend n =
+let engine_with backend sink =
+  Steno.Engine.(
+    create { default_config with backend; telemetry = sink })
+
+let describe_fallback info =
+  match info.Steno.fallback with
+  | None -> ()
+  | Some reason ->
+    Printf.printf "(fell back from %s to %s: %s)\n"
+      (Steno.backend_name info.Steno.requested)
+      (Steno.backend_name info.Steno.backend)
+      (Steno.fallback_reason_message reason)
+
+let cmd_run name backend n trace =
   match find name, backend_of_string backend with
   | Error e, _ | _, Error e ->
     prerr_endline e;
     1
-  | Ok demo, Ok b -> (
-    match demo with
+  | Ok demo, Ok b ->
+    let collector = Telemetry.Collector.create () in
+    let sink =
+      if trace then Telemetry.Collector.sink collector else Telemetry.null
+    in
+    let eng = engine_with b sink in
+    (match demo with
     | Collection { elem; build; _ } ->
-      let p, t_prep = time (fun () -> Steno.prepare ~backend:b (build n)) in
+      let p, t_prep = time (fun () -> Steno.Engine.prepare eng (build n)) in
       let result, t_run = time (fun () -> Steno.run p) in
       Printf.printf "%s\nprepare: %.1f ms, run: %.1f ms\n" (preview elem result)
         t_prep t_run;
-      0
+      describe_fallback (Steno.info p)
     | Scalar { ty; build; _ } ->
       let p, t_prep =
-        time (fun () -> Steno.prepare_scalar ~backend:b (build n))
+        time (fun () -> Steno.Engine.prepare_scalar eng (build n))
       in
       let result, t_run = time (fun () -> Steno.run_scalar p) in
       Format.printf "%a@." (Ty.pp_value ty) result;
       Printf.printf "prepare: %.1f ms, run: %.1f ms\n" t_prep t_run;
-      0)
+      describe_fallback (Steno.info_scalar p));
+    if trace then begin
+      Printf.printf "\ntrace:\n%s" (Telemetry.Collector.tree collector);
+      match Telemetry.Collector.counters collector with
+      | [] -> ()
+      | counters ->
+        print_endline "counters:";
+        List.iter
+          (fun (k, v) -> Printf.printf "  %-18s %d\n" k v)
+          counters
+    end;
+    0
+
+(* Repeated prepare+run of one query through a fresh engine: the cache /
+   telemetry roll-up view. *)
+let cmd_stats name backend n reps =
+  match find name, backend_of_string backend with
+  | Error e, _ | _, Error e ->
+    prerr_endline e;
+    1
+  | Ok demo, Ok b ->
+    let collector = Telemetry.Collector.create () in
+    let eng = engine_with b (Telemetry.Collector.sink collector) in
+    let reps = max 1 reps in
+    for _ = 1 to reps do
+      match demo with
+      | Collection { build; _ } ->
+        ignore (Steno.run (Steno.Engine.prepare eng (build n)))
+      | Scalar { build; _ } ->
+        ignore (Steno.run_scalar (Steno.Engine.prepare_scalar eng (build n)))
+    done;
+    Printf.printf "%d x prepare+run of %S on %s (n = %d)\n\n" reps name
+      (Steno.backend_name b) n;
+    let stats = Steno.Engine.cache_stats eng in
+    Printf.printf
+      "plugin cache: %d/%d entries, %d hits, %d misses, %d evictions\n\n"
+      stats.Steno.Engine.entries stats.Steno.Engine.capacity
+      stats.Steno.Engine.hits stats.Steno.Engine.misses
+      stats.Steno.Engine.evictions;
+    Printf.printf "%-12s %8s %12s %12s\n" "stage" "spans" "total(ms)"
+      "mean(ms)";
+    let spans = Telemetry.Collector.spans collector in
+    List.iter
+      (fun stage ->
+        let matching =
+          List.filter (fun s -> s.Telemetry.name = stage) spans
+        in
+        if matching <> [] then begin
+          let total = Telemetry.Collector.total_ms collector stage in
+          Printf.printf "%-12s %8d %12.3f %12.3f\n" stage
+            (List.length matching) total
+            (total /. float_of_int (List.length matching))
+        end)
+      [
+        "prepare"; "specialize"; "canon"; "codegen"; "compile"; "dynlink";
+        "env-bind"; "stage"; "run";
+      ];
+    (match Telemetry.Collector.counters collector with
+    | [] -> ()
+    | counters ->
+      print_newline ();
+      print_endline "counters:";
+      List.iter (fun (k, v) -> Printf.printf "  %-18s %d\n" k v) counters);
+    0
 
 let cmd_bench name n =
   match find name with
@@ -314,9 +396,29 @@ let show_cmd =
        ~doc:"Print a query's operator chain, QUIL sentence and generated code.")
     Term.(const cmd_show $ query_arg $ size)
 
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:"Print the telemetry span tree of the pipeline after running.")
+
+let reps_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "reps" ] ~doc:"Number of prepare+run repetitions.")
+
 let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run a demo query on a chosen backend.")
-    Term.(const cmd_run $ query_arg $ backend_arg $ size)
+    Term.(const cmd_run $ query_arg $ backend_arg $ size $ trace_arg)
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Repeatedly prepare and run a demo query through one engine and \
+          report its plugin-cache statistics and per-stage telemetry \
+          roll-up.")
+    Term.(const cmd_stats $ query_arg $ backend_arg $ size $ reps_arg)
 
 let bench_cmd =
   Cmd.v (Cmd.info "bench" ~doc:"Compare backends on a demo query.")
@@ -344,4 +446,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "stenoc" ~doc ~version:"1.0.0")
-          [ list_cmd; show_cmd; run_cmd; bench_cmd; eval_cmd; explain_cmd ]))
+          [ list_cmd; show_cmd; run_cmd; bench_cmd; stats_cmd; eval_cmd; explain_cmd ]))

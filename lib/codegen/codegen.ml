@@ -1,6 +1,8 @@
 exception Invalid_chain of string
 
-let empty_sequence_message = "steno: sequence contains no elements"
+let empty_sequence_prefix = "steno: sequence contains no elements"
+
+let empty_sequence_message = empty_sequence_prefix
 
 type output = {
   source : string;

@@ -44,6 +44,12 @@ val empty_sequence_message : string
 (** Payload of the [Failure] raised by generated code when a
     [require_nonempty] aggregate sees no elements. *)
 
+val empty_sequence_prefix : string
+(** Stable prefix of {!empty_sequence_message}.  Hosts mapping the
+    generated code's failure back to [Iterator.No_such_element] must
+    match on this prefix, not the whole message: later codegen versions
+    may append operator detail after it. *)
+
 val body_only : output -> string
 (** The generated query function body without the module wrapper, for
     display and tests. *)

@@ -3,20 +3,33 @@ type metrics = {
   mutable vertices : int;
   mutable exchanged : int;
   mutable gathered : int;
+  mutable busy_ms : float;
 }
 
 type cluster = {
   workers : int;
+  engine : Steno.Engine.t;
   m : metrics;
 }
 
-let create ?workers () =
+let create ?workers ?engine () =
   let workers =
     Option.value workers ~default:(Domain_pool.recommended_workers ())
   in
-  { workers; m = { stages = 0; vertices = 0; exchanged = 0; gathered = 0 } }
+  let engine =
+    match engine with
+    | Some e -> e
+    | None -> Steno.default_engine ()
+  in
+  {
+    workers;
+    engine;
+    m = { stages = 0; vertices = 0; exchanged = 0; gathered = 0; busy_ms = 0.0 };
+  }
 
 let workers c = c.workers
+
+let engine c = c.engine
 
 let metrics c = c.m
 
@@ -24,12 +37,36 @@ let reset_metrics c =
   c.m.stages <- 0;
   c.m.vertices <- 0;
   c.m.exchanged <- 0;
-  c.m.gathered <- 0
+  c.m.gathered <- 0;
+  c.m.busy_ms <- 0.0
 
+(* One stage = one vertex per partition, fanned out on the pool.  The
+   whole stage runs under a "stage" span; each vertex records its own
+   "vertex" span from the domain that executed it, so the sink sees both
+   the stage wall time and the per-vertex distribution. *)
 let run_stage c f parts =
+  let sink = Steno.Engine.telemetry c.engine in
+  let stage_id = c.m.stages in
   c.m.stages <- c.m.stages + 1;
   c.m.vertices <- c.m.vertices + Array.length parts;
-  Domain_pool.map_array ~workers:c.workers f parts
+  let t0 = Telemetry.now_ms () in
+  let out =
+    Telemetry.with_span sink "stage"
+      ~attrs:
+        [
+          "stage", string_of_int stage_id;
+          "vertices", string_of_int (Array.length parts);
+        ]
+      (fun () ->
+        Domain_pool.run ~workers:c.workers ~tasks:(Array.length parts)
+          (fun i ->
+            Telemetry.with_span sink "vertex"
+              ~attrs:
+                [ "stage", string_of_int stage_id; "index", string_of_int i ]
+              (fun () -> f parts.(i))))
+  in
+  c.m.busy_ms <- c.m.busy_ms +. (Telemetry.now_ms () -. t0);
+  out
 
 let map_partitions c f ds =
   Dataset.of_partitions (run_stage c f (Dataset.partitions ds))
@@ -41,16 +78,22 @@ let prewarm ?backend prepare parts =
 
 let apply_query c ?backend build ds =
   let parts = Dataset.partitions ds in
-  prewarm ?backend (fun ?backend p -> Steno.prepare ?backend (build p)) parts;
+  prewarm ?backend
+    (fun ?backend p -> Steno.Engine.prepare ?backend c.engine (build p))
+    parts;
   Dataset.of_partitions
-    (run_stage c (fun part -> Steno.to_array ?backend (build part)) parts)
+    (run_stage c
+       (fun part -> Steno.Engine.to_array ?backend c.engine (build part))
+       parts)
 
 let apply_scalar c ?backend build ds =
   let parts = Dataset.partitions ds in
   prewarm ?backend
-    (fun ?backend p -> Steno.prepare_scalar ?backend (build p))
+    (fun ?backend p -> Steno.Engine.prepare_scalar ?backend c.engine (build p))
     parts;
-  run_stage c (fun part -> Steno.scalar ?backend (build part)) parts
+  run_stage c
+    (fun part -> Steno.Engine.scalar ?backend c.engine (build part))
+    parts
 
 let exchange c ~parts ~key ds =
   if parts <= 0 then invalid_arg "Dryad.exchange: parts must be positive";
@@ -68,6 +111,9 @@ let exchange c ~parts ~key ds =
       (Dataset.partitions ds)
   in
   c.m.exchanged <- c.m.exchanged + Dataset.total_length ds;
+  Telemetry.count
+    (Steno.Engine.telemetry c.engine)
+    "dryad.exchanged" (Dataset.total_length ds);
   (* Stage 2: each destination vertex concatenates its incoming chunks. *)
   let dests =
     run_stage c
@@ -78,6 +124,9 @@ let exchange c ~parts ~key ds =
 
 let gather c ds =
   c.m.gathered <- c.m.gathered + Dataset.total_length ds;
+  Telemetry.count
+    (Steno.Engine.telemetry c.engine)
+    "dryad.gathered" (Dataset.total_length ds);
   Dataset.collect ds
 
 let sort_by c ?(sample_rate = 16) ~key ds =

@@ -16,11 +16,18 @@
 
 type cluster
 
-val create : ?workers:int -> unit -> cluster
+val create : ?workers:int -> ?engine:Steno.Engine.t -> unit -> cluster
 (** A simulated cluster executing up to [workers] vertices concurrently
-    (default: the machine's recommended domain count). *)
+    (default: the machine's recommended domain count).  Vertex queries
+    prepare and run through [engine] (default:
+    [Steno.default_engine ()]); its telemetry sink receives one
+    ["stage"] span per stage and one ["vertex"] span per vertex — the
+    per-stage / per-vertex roll-up — plus ["dryad.exchanged"] /
+    ["dryad.gathered"] counters. *)
 
 val workers : cluster -> int
+
+val engine : cluster -> Steno.Engine.t
 
 (** {1 Execution metrics} *)
 
@@ -29,6 +36,7 @@ type metrics = {
   mutable vertices : int;  (** vertex executions *)
   mutable exchanged : int;  (** elements moved across partitions *)
   mutable gathered : int;  (** elements collected to the master *)
+  mutable busy_ms : float;  (** summed wall time of all stages *)
 }
 
 val metrics : cluster -> metrics

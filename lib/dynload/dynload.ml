@@ -12,7 +12,22 @@ type compiled = {
   source_path : string;
 }
 
+type error =
+  | Unavailable
+  | Timeout of { timeout_ms : int }
+  | Compile_error of string
+  | Load_error of string
+
+let error_message = function
+  | Unavailable -> "no native OCaml compiler on PATH"
+  | Timeout { timeout_ms } ->
+    Printf.sprintf "compiler exceeded %d ms and was killed" timeout_ms
+  | Compile_error out -> out
+  | Load_error msg -> msg
+
 let keep_artifacts = ref false
+
+let disabled = ref false
 
 let workdir_lazy =
   lazy
@@ -47,7 +62,7 @@ let compiler_command =
      | None -> if works (List.nth candidates 0) then Some "ocamlfind ocamlopt" else None)
 
 let is_available () =
-  Dynlink.is_native && Lazy.force compiler_command <> None
+  (not !disabled) && Dynlink.is_native && Lazy.force compiler_command <> None
 
 let next_plugin = Atomic.make 0
 
@@ -79,11 +94,23 @@ let extract_result (e : exn) : (Obj.t array -> Obj.t) option =
   end
   else None
 
-let run_command cmd =
+(* Run the compiler as a child process with output captured to a log
+   file.  [exec] replaces the intermediate shell, so a timeout kill
+   reaches the compiler itself. *)
+let run_command ?timeout_ms cmd : (unit, error) result =
   let out_file = Filename.concat (workdir ()) "compile.log" in
-  let full = Printf.sprintf "%s > %s 2>&1" cmd (Filename.quote out_file) in
-  let status = Sys.command full in
-  let output =
+  let fd =
+    Unix.openfile out_file [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600
+  in
+  let pid =
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        Unix.create_process "/bin/sh"
+          [| "/bin/sh"; "-c"; "exec " ^ cmd |]
+          Unix.stdin fd fd)
+  in
+  let read_output () =
     try
       let ic = open_in out_file in
       let n = in_channel_length ic in
@@ -92,58 +119,115 @@ let run_command cmd =
       s
     with Sys_error _ -> ""
   in
-  if status <> 0 then
-    raise
-      (Compilation_failed
-         (Printf.sprintf "command failed (%d): %s\n%s" status cmd output))
+  let status =
+    match timeout_ms with
+    | None -> Some (snd (Unix.waitpid [] pid))
+    | Some timeout_ms ->
+      let deadline =
+        Unix.gettimeofday () +. (float_of_int timeout_ms /. 1000.0)
+      in
+      let rec poll () =
+        match Unix.waitpid [ Unix.WNOHANG ] pid with
+        | 0, _ ->
+          if Unix.gettimeofday () > deadline then begin
+            (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+            ignore (Unix.waitpid [] pid);
+            None
+          end
+          else begin
+            Unix.sleepf 0.002;
+            poll ()
+          end
+        | _, st -> Some st
+      in
+      poll ()
+  in
+  match status with
+  | None ->
+    Error (Timeout { timeout_ms = Option.value timeout_ms ~default:0 })
+  | Some (Unix.WEXITED 0) -> Ok ()
+  | Some st ->
+    let describe = function
+      | Unix.WEXITED c -> Printf.sprintf "exit %d" c
+      | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+      | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s
+    in
+    Error
+      (Compile_error
+         (Printf.sprintf "command failed (%s): %s\n%s" (describe st) cmd
+            (read_output ())))
+
+let compile_result ?timeout_ms ~source () : (compiled, error) result =
+  if !disabled then Error Unavailable
+  else
+    match Lazy.force compiler_command with
+    | None -> Error Unavailable
+    | _ when not Dynlink.is_native -> Error Unavailable
+    | Some compiler -> (
+      let id = Atomic.fetch_and_add next_plugin 1 in
+      let modname = Printf.sprintf "steno_plugin_%d_%d" (Unix.getpid ()) id in
+      let dir = workdir () in
+      let ml = Filename.concat dir (modname ^ ".ml") in
+      let cmxs = Filename.concat dir (modname ^ ".cmxs") in
+      let cleanup () =
+        if not !keep_artifacts then
+          List.iter
+            (fun ext ->
+              try Sys.remove (Filename.concat dir (modname ^ ext))
+              with Sys_error _ -> ())
+            [ ".cmi"; ".cmx"; ".o"; ".cmxs"; ".ml" ]
+      in
+      let t0 = now_ms () in
+      let oc = open_out ml in
+      output_string oc source;
+      close_out oc;
+      let t1 = now_ms () in
+      match
+        run_command ?timeout_ms
+          (Printf.sprintf "%s -shared -I %s %s -o %s" compiler
+             (Filename.quote dir) (Filename.quote ml) (Filename.quote cmxs))
+      with
+      | Error e ->
+        cleanup ();
+        Error e
+      | Ok () -> (
+        let t2 = now_ms () in
+        let outcome =
+          Mutex.lock load_mutex;
+          Fun.protect ~finally:(fun () -> Mutex.unlock load_mutex)
+          @@ fun () ->
+          try
+            Dynlink.loadfile_private cmxs;
+            Error (Load_error "plugin did not hand back a query function")
+          with
+          | Dynlink.Error (Dynlink.Library's_module_initializers_failed e) -> (
+            match extract_result e with
+            | Some fn -> Ok fn
+            | None ->
+              (* A foreign exception escaping the initializer is a host
+                 bug, not a compilation outcome; let it propagate. *)
+              cleanup ();
+              raise e)
+          | Dynlink.Error err -> Error (Load_error (Dynlink.error_message err))
+        in
+        let t3 = now_ms () in
+        cleanup ();
+        match outcome with
+        | Error _ as e -> e
+        | Ok run ->
+          Ok
+            {
+              run;
+              timings =
+                {
+                  write_ms = t1 -. t0;
+                  compile_ms = t2 -. t1;
+                  load_ms = t3 -. t2;
+                };
+              source_path = ml;
+            }))
 
 let compile ~source =
-  let compiler =
-    match Lazy.force compiler_command with
-    | Some c -> c
-    | None -> raise (Compilation_failed "no native OCaml compiler on PATH")
-  in
-  let id = Atomic.fetch_and_add next_plugin 1 in
-  let modname = Printf.sprintf "steno_plugin_%d_%d" (Unix.getpid ()) id in
-  let dir = workdir () in
-  let ml = Filename.concat dir (modname ^ ".ml") in
-  let cmxs = Filename.concat dir (modname ^ ".cmxs") in
-  let t0 = now_ms () in
-  let oc = open_out ml in
-  output_string oc source;
-  close_out oc;
-  let t1 = now_ms () in
-  run_command
-    (Printf.sprintf "%s -shared -I %s %s -o %s" compiler (Filename.quote dir)
-       (Filename.quote ml) (Filename.quote cmxs));
-  let t2 = now_ms () in
-  let result = ref None in
-  Mutex.lock load_mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock load_mutex) @@ fun () ->
-  (try
-     Dynlink.loadfile_private cmxs;
-     raise (Compilation_failed "plugin did not hand back a query function")
-   with
-  | Dynlink.Error (Dynlink.Library's_module_initializers_failed e) -> (
-    match extract_result e with
-    | Some fn -> result := Some fn
-    | None -> raise e)
-  | Dynlink.Error err ->
-    raise (Compilation_failed (Dynlink.error_message err)));
-  let t3 = now_ms () in
-  if not !keep_artifacts then begin
-    List.iter
-      (fun ext ->
-        try Sys.remove (Filename.concat dir (modname ^ ext))
-        with Sys_error _ -> ())
-      [ ".cmi"; ".cmx"; ".o"; ".cmxs"; ".ml" ]
-  end;
-  match !result with
-  | Some run ->
-    {
-      run;
-      timings =
-        { write_ms = t1 -. t0; compile_ms = t2 -. t1; load_ms = t3 -. t2 };
-      source_path = ml;
-    }
-  | None -> raise (Compilation_failed "no result extracted")
+  match compile_result ~source () with
+  | Ok c -> c
+  | Error e -> raise (Compilation_failed (error_message e))

@@ -33,14 +33,39 @@ type compiled = {
   source_path : string;  (** Kept for inspection; see {!keep_artifacts}. *)
 }
 
+(** Why a compilation could not produce a loaded plugin.  Foreign
+    exceptions escaping a plugin's initializer are host-level bugs and
+    propagate as raw exceptions instead. *)
+type error =
+  | Unavailable  (** No native compiler on PATH, or native [Dynlink]
+                     unsupported, or {!disabled} set. *)
+  | Timeout of { timeout_ms : int }
+      (** The compiler process exceeded its deadline and was killed. *)
+  | Compile_error of string  (** Nonzero compiler exit; carries output. *)
+  | Load_error of string  (** [Dynlink] failure or a plugin that never
+                              performed the handshake. *)
+
+val error_message : error -> string
+
 val is_available : unit -> bool
 (** Whether a native compiler can be invoked ([ocamlfind ocamlopt] or
     [ocamlopt] on PATH) and native dynlink is supported. *)
 
+val compile_result :
+  ?timeout_ms:int -> source:string -> unit -> (compiled, error) result
+(** Write, compile and load a generated plugin.  [timeout_ms] bounds the
+    external compiler process: past the deadline it is killed and
+    [Error (Timeout _)] is returned, so a wedged or pathologically slow
+    compiler can never stall a query.  Thread- and domain-safe: each call
+    uses a fresh module name. *)
+
 val compile : source:string -> compiled
-(** Write, compile and load a generated plugin.  Raises
-    {!Compilation_failed} with the compiler's output on error.  Thread- and
-    domain-safe: each call uses a fresh module name. *)
+(** {!compile_result} without a timeout, raising {!Compilation_failed}
+    with the error message instead of returning [Error]. *)
+
+val disabled : bool ref
+(** Test hook: when set, {!is_available} is false and every compilation
+    returns [Error Unavailable], simulating a host with no compiler. *)
 
 val keep_artifacts : bool ref
 (** When false (default), the temporary [.ml]/[.cmx]/[.cmxs] files are

@@ -10,39 +10,59 @@ let partition ~parts arr =
 
 let concat parts = Array.concat (Array.to_list parts)
 
-let homomorphic_apply ?backend ?workers _ty build parts =
+let engine_of = function
+  | Some e -> e
+  | None -> Steno.default_engine ()
+
+(* Run one vertex per partition on the pool, each under a "partition"
+   span so per-domain timings reach the engine's telemetry sink. *)
+let map_partitions_traced ~sink ~workers f parts =
+  Domain_pool.run ~workers ~tasks:(Array.length parts) (fun i ->
+      Telemetry.with_span sink "partition"
+        ~attrs:[ "index", string_of_int i ]
+        (fun () -> f parts.(i)))
+
+let homomorphic_apply ?engine ?backend ?workers _ty build parts =
+  let eng = engine_of engine in
+  let sink = Steno.Engine.telemetry eng in
   let workers =
     Option.value workers ~default:(Domain_pool.recommended_workers ())
   in
   (* Compile once up front: every partition's query generates identical
      source, so the parallel runs below are cache hits. *)
   if Array.length parts > 0 then
-    ignore (Steno.prepare ?backend (build parts.(0)));
-  Domain_pool.map_array ~workers
-    (fun part -> Steno.to_array ?backend (build part))
+    ignore (Steno.Engine.prepare ?backend eng (build parts.(0)));
+  map_partitions_traced ~sink ~workers
+    (fun part -> Steno.Engine.to_array ?backend eng (build part))
     parts
 
-let scalar_per_partition ?backend ?workers build ~combine parts =
+let scalar_per_partition ?engine ?backend ?workers build ~combine parts =
+  let eng = engine_of engine in
+  let sink = Steno.Engine.telemetry eng in
   let workers =
     Option.value workers ~default:(Domain_pool.recommended_workers ())
   in
   if Array.length parts > 0 then
-    ignore (Steno.prepare_scalar ?backend (build parts.(0)));
+    ignore (Steno.Engine.prepare_scalar ?backend eng (build parts.(0)));
   let partials =
-    Domain_pool.map_array ~workers
+    map_partitions_traced ~sink ~workers
       (fun part ->
-        match Steno.scalar ?backend (build part) with
+        match Steno.Engine.scalar ?backend eng (build part) with
         | s -> Some s
         | exception Iterator.No_such_element -> None)
       parts
   in
+  (* The trailing Agg* of Fig. 12: merge per-partition partials. *)
   let merged =
-    Array.fold_left
-      (fun acc p ->
-        match acc, p with
-        | None, x | x, None -> x
-        | Some a, Some b -> Some (combine a b))
-      None partials
+    Telemetry.with_span sink "agg-merge"
+      ~attrs:[ "partials", string_of_int (Array.length partials) ]
+      (fun () ->
+        Array.fold_left
+          (fun acc p ->
+            match acc, p with
+            | None, x | x, None -> x
+            | Some a, Some b -> Some (combine a b))
+          None partials)
   in
   match merged with
   | Some s -> s
@@ -193,32 +213,34 @@ let split_scalar (type s) (sq : s Query.sq) : s split option =
   | Query.First _ | Query.Last _ | Query.Element_at _ | Query.Map_scalar _ ->
     None
 
-let scalar_auto ?backend ?workers ?parts sq =
+let scalar_auto ?engine ?backend ?workers ?parts sq =
+  let eng = engine_of engine in
   match split_scalar sq with
-  | None -> Steno.scalar ?backend sq
+  | None -> Steno.Engine.scalar ?backend eng sq
   | Some (Split { source; rebuild; combine; source_ty = _ }) ->
     let workers =
       Option.value workers ~default:(Domain_pool.recommended_workers ())
     in
     let parts = Option.value parts ~default:workers in
     let parts = max 1 parts in
-    if Array.length source = 0 then Steno.scalar ?backend sq
+    if Array.length source = 0 then Steno.Engine.scalar ?backend eng sq
     else
-      scalar_per_partition ?backend ~workers rebuild ~combine
+      scalar_per_partition ~engine:eng ?backend ~workers rebuild ~combine
         (partition ~parts source)
 
-let to_array_auto ?backend ?workers ?parts (q : 'a Query.t) : 'a array =
+let to_array_auto ?engine ?backend ?workers ?parts (q : 'a Query.t) : 'a array =
+  let eng = engine_of engine in
   match reroot q with
   | Some (Rerooted r) when is_homomorphic q ->
     let workers =
       Option.value workers ~default:(Domain_pool.recommended_workers ())
     in
     let parts = max 1 (Option.value parts ~default:workers) in
-    if Array.length r.arr = 0 then Steno.to_array ?backend q
+    if Array.length r.arr = 0 then Steno.Engine.to_array ?backend eng q
     else
       let partitions = partition ~parts r.arr in
       concat
-        (homomorphic_apply ?backend ~workers r.ty
+        (homomorphic_apply ~engine:eng ?backend ~workers r.ty
            (fun part -> r.rebuild part)
            partitions)
-  | Some _ | None -> Steno.to_array ?backend q
+  | Some _ | None -> Steno.Engine.to_array ?backend eng q

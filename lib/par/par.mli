@@ -17,9 +17,17 @@ val partition : parts:int -> 'a array -> 'a partitioned
 
 val concat : 'a partitioned -> 'a array
 
-(** {1 Explicit parallel operators} *)
+(** {1 Explicit parallel operators}
+
+    Every operator takes an optional [?engine]: the queries prepare and
+    run through it (its backend, plugin cache and failure policy), and
+    its telemetry sink receives one ["partition"] span per vertex — timed
+    on the worker domain that ran it — plus an ["agg-merge"] span for the
+    combining step.  Default: [Steno.default_engine ()].  [?backend]
+    overrides the engine's backend per call. *)
 
 val homomorphic_apply :
+  ?engine:Steno.Engine.t ->
   ?backend:Steno.backend ->
   ?workers:int ->
   'a Ty.t ->
@@ -33,6 +41,7 @@ val homomorphic_apply :
     all partitions (identical source, different capture environment). *)
 
 val scalar_per_partition :
+  ?engine:Steno.Engine.t ->
   ?backend:Steno.backend ->
   ?workers:int ->
   ('a array -> 's Query.sq) ->
@@ -68,12 +77,22 @@ val split_scalar : 's Query.sq -> 's split option
     source). *)
 
 val scalar_auto :
-  ?backend:Steno.backend -> ?workers:int -> ?parts:int -> 's Query.sq -> 's
+  ?engine:Steno.Engine.t ->
+  ?backend:Steno.backend ->
+  ?workers:int ->
+  ?parts:int ->
+  's Query.sq ->
+  's
 (** Run a scalar query in parallel when {!split_scalar} finds a plan, and
     sequentially otherwise. *)
 
 val to_array_auto :
-  ?backend:Steno.backend -> ?workers:int -> ?parts:int -> 'a Query.t -> 'a array
+  ?engine:Steno.Engine.t ->
+  ?backend:Steno.backend ->
+  ?workers:int ->
+  ?parts:int ->
+  'a Query.t ->
+  'a array
 (** Run a collection query in parallel when it is a homomorphic prefix
     over a captured array source (per-partition results concatenate in
     partition order, preserving the sequential result exactly);

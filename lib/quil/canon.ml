@@ -578,7 +578,12 @@ and lower_scalar : type s. s Query.sq -> Quil.chain = function
 
 (* Entry points: run the GroupBy-Aggregate specialization (section 4.3)
    before lowering, so the generated code stores per-key partial
-   aggregates wherever the pattern applies. *)
-let of_query q = lower (Specialize.query q)
+   aggregates wherever the pattern applies.  The [of_specialized*] forms
+   skip that pass for callers that have already run it (and timed it). *)
+let of_specialized q = lower q
 
-let of_scalar sq = lower_scalar (Specialize.scalar sq)
+let of_specialized_scalar sq = lower_scalar sq
+
+let of_query q = of_specialized (Specialize.query q)
+
+let of_scalar sq = of_specialized_scalar (Specialize.scalar sq)

@@ -30,6 +30,13 @@ val of_query : 'a Query.t -> Quil.chain
 val of_scalar : 's Query.sq -> Quil.chain
 (** The resulting chain always ends in [Agg]. *)
 
+val of_specialized : 'a Query.t -> Quil.chain
+(** Lower a query that has already been through {!Specialize.query} —
+    for drivers that run (and account for) the specialization pass
+    themselves. *)
+
+val of_specialized_scalar : 's Query.sq -> Quil.chain
+
 val default_literal : 'a Ty.t -> string option
 (** OCaml source for a placeholder value of the type, used to initialize
     first-element accumulators; [None] when the type has no closed literal

@@ -5,140 +5,327 @@ type backend =
 
 let native_available = Dynload.is_available
 
-let default_backend = ref Fused
+let backend_name = function
+  | Linq -> "linq"
+  | Fused -> "fused"
+  | Native -> "native"
 
-let () = if native_available () then default_backend := Native
+type fallback_reason =
+  | Compiler_unavailable
+  | Compile_timeout of int
+  | Compile_error of string
+  | Load_error of string
+
+let fallback_reason_message = function
+  | Compiler_unavailable -> "native compiler unavailable"
+  | Compile_timeout ms -> Printf.sprintf "compiler timed out after %d ms" ms
+  | Compile_error msg -> "compiler failed: " ^ msg
+  | Load_error msg -> "plugin load failed: " ^ msg
+
+let fallback_reason_label = function
+  | Compiler_unavailable -> "compiler-unavailable"
+  | Compile_timeout _ -> "compile-timeout"
+  | Compile_error _ -> "compile-error"
+  | Load_error _ -> "load-error"
 
 type compile_info = {
   backend : backend;
+  requested : backend;
   cache_hit : bool;
   prepare_ms : float;
   codegen_ms : float;
   compile_ms : float;
+  fallback : fallback_reason option;
 }
 
-type 'a prepared = {
-  run_fn : unit -> 'a array;
+(* Collection and scalar preparations share one representation; the
+   public ['a prepared] / ['s prepared_scalar] are typed views of it. *)
+type 'r prep = {
+  run_fn : unit -> 'r;
   p_info : compile_info;
 }
 
-type 's prepared_scalar = {
-  run_sfn : unit -> 's;
-  s_info : compile_info;
-}
+type 'a prepared = 'a array prep
+type 's prepared_scalar = 's prep
 
-(* Query cache: generated source text -> loaded plugin.  Captured values
-   print as environment slots, so two structurally identical queries over
-   different data share one plugin (section 7.1's cached query object). *)
-let cache : (string, Dynload.compiled) Hashtbl.t = Hashtbl.create 16
-
-let cache_mutex = Mutex.create ()
-
-let cache_size () = Mutex.protect cache_mutex (fun () -> Hashtbl.length cache)
-
-let clear_cache () =
-  Mutex.protect cache_mutex (fun () -> Hashtbl.reset cache)
-
-let now_ms () = Unix.gettimeofday () *. 1000.0
+let now_ms = Telemetry.now_ms
 
 (* Map the generated code's empty-sequence failure back to the exception
-   the iterator pipeline raises, so backends agree observably. *)
+   the iterator pipeline raises, so backends agree observably.  Matched
+   by prefix: the generated message may carry operator detail after it. *)
 let translate_exn : exn -> exn = function
-  | Failure msg when msg = Codegen.empty_sequence_message ->
+  | Failure msg
+    when String.starts_with ~prefix:Codegen.empty_sequence_prefix msg ->
     Iterator.No_such_element
   | e -> e
 
-let compile_native (chain : Quil.chain) =
-  let t0 = now_ms () in
-  let out = Codegen.generate chain in
-  let t1 = now_ms () in
-  let cached, plugin =
-    Mutex.protect cache_mutex (fun () ->
-        match Hashtbl.find_opt cache out.Codegen.source with
-        | Some p -> true, Some p
-        | None -> false, None)
-  in
-  let plugin =
-    match plugin with
-    | Some p -> p
-    | None ->
-      let p = Dynload.compile ~source:out.Codegen.source in
-      Mutex.protect cache_mutex (fun () ->
-          Hashtbl.replace cache out.Codegen.source p);
-      p
-  in
-  let t2 = now_ms () in
-  let env = Expr.Capture_table.to_env out.Codegen.table in
-  let run () =
-    try plugin.Dynload.run env with e -> raise (translate_exn e)
-  in
-  let info =
-    {
-      backend = Native;
-      cache_hit = cached;
-      prepare_ms = t2 -. t0;
-      codegen_ms = t1 -. t0;
-      compile_ms = (if cached then 0.0 else t2 -. t1);
-    }
-  in
-  run, info
+(* How each backend stages one query, packaged so the engine's prepare
+   logic (timing, caching, fallback, telemetry) exists once for both
+   collection and scalar queries. *)
+type 'r plan = {
+  stage_linq : Telemetry.sink -> unit -> 'r;
+  stage_fused : Telemetry.sink -> unit -> 'r;
+  chain : Telemetry.sink -> Quil.chain;
+  of_raw : Obj.t -> 'r;
+}
 
-let no_compile backend t0 =
+let query_plan (q : 'a Query.t) : 'a array plan =
   {
-    backend;
-    cache_hit = false;
-    prepare_ms = now_ms () -. t0;
-    codegen_ms = 0.0;
-    compile_ms = 0.0;
+    stage_linq =
+      (fun sink ->
+        let staged =
+          Telemetry.with_span sink "stage" (fun () -> Linq.stage q)
+        in
+        fun () -> Enumerable.to_array (staged Expr.Open.empty));
+    stage_fused =
+      (fun sink ->
+        let spec =
+          Telemetry.with_span sink "specialize" (fun () -> Specialize.query q)
+        in
+        let staged =
+          Telemetry.with_span sink "stage" (fun () -> Fused.stage spec)
+        in
+        fun () -> Fused.materialize (staged Expr.Open.empty));
+    chain =
+      (fun sink ->
+        let spec =
+          Telemetry.with_span sink "specialize" (fun () -> Specialize.query q)
+        in
+        Telemetry.with_span sink "canon" (fun () -> Canon.of_specialized spec));
+    of_raw = (fun r : _ array -> Obj.obj r);
   }
 
-let prepare ?backend (q : 'a Query.t) : 'a prepared =
-  let backend = Option.value backend ~default:!default_backend in
-  let t0 = now_ms () in
-  match backend with
-  | Linq ->
-    let staged = Linq.stage q in
-    {
-      run_fn = (fun () -> Enumerable.to_array (staged Expr.Open.empty));
-      p_info = no_compile Linq t0;
-    }
-  | Fused ->
-    let staged = Fused.stage (Specialize.query q) in
-    {
-      run_fn = (fun () -> Fused.materialize (staged Expr.Open.empty));
-      p_info = no_compile Fused t0;
-    }
-  | Native ->
-    let run, info = compile_native (Canon.of_query q) in
-    { run_fn = (fun () : 'a array -> Obj.obj (run ())); p_info = info }
+let scalar_plan (sq : 's Query.sq) : 's plan =
+  {
+    stage_linq =
+      (fun sink ->
+        let staged =
+          Telemetry.with_span sink "stage" (fun () -> Linq.stage_sq sq)
+        in
+        fun () -> staged Expr.Open.empty);
+    stage_fused =
+      (fun sink ->
+        let spec =
+          Telemetry.with_span sink "specialize" (fun () ->
+              Specialize.scalar sq)
+        in
+        let staged =
+          Telemetry.with_span sink "stage" (fun () -> Fused.stage_sq spec)
+        in
+        fun () -> staged Expr.Open.empty);
+    chain =
+      (fun sink ->
+        let spec =
+          Telemetry.with_span sink "specialize" (fun () ->
+              Specialize.scalar sq)
+        in
+        Telemetry.with_span sink "canon" (fun () ->
+            Canon.of_specialized_scalar spec));
+    of_raw = Obj.obj;
+  }
 
-let prepare_scalar ?backend (sq : 's Query.sq) : 's prepared_scalar =
-  let backend = Option.value backend ~default:!default_backend in
-  let t0 = now_ms () in
-  match backend with
-  | Linq ->
-    let staged = Linq.stage_sq sq in
+module Engine = struct
+  type config = {
+    backend : backend;
+    fallback : bool;
+    compile_timeout_ms : int option;
+    cache_capacity : int;
+    telemetry : Telemetry.sink;
+  }
+
+  type t = {
+    cfg : config;
+    cache : (string, Dynload.compiled) Steno_lru.t;
+  }
+
+  let default_config =
     {
-      run_sfn = (fun () -> staged Expr.Open.empty);
-      s_info = no_compile Linq t0;
+      backend = (if native_available () then Native else Fused);
+      fallback = true;
+      compile_timeout_ms = None;
+      cache_capacity = 128;
+      telemetry = Telemetry.null;
     }
-  | Fused ->
-    let staged = Fused.stage_sq (Specialize.scalar sq) in
+
+  let create cfg =
+    { cfg; cache = Steno_lru.create ~capacity:cfg.cache_capacity }
+
+  let config e = e.cfg
+
+  let telemetry e = e.cfg.telemetry
+
+  type cache_stats = {
+    capacity : int;
+    entries : int;
+    hits : int;
+    misses : int;
+    evictions : int;
+  }
+
+  let cache_stats e =
+    let s = Steno_lru.stats e.cache in
     {
-      run_sfn = (fun () -> staged Expr.Open.empty);
-      s_info = no_compile Fused t0;
+      capacity = s.Steno_lru.capacity;
+      entries = s.Steno_lru.entries;
+      hits = s.Steno_lru.hits;
+      misses = s.Steno_lru.misses;
+      evictions = s.Steno_lru.evictions;
     }
-  | Native ->
-    let run, info = compile_native (Canon.of_scalar sq) in
-    { run_sfn = (fun () : 's -> Obj.obj (run ())); s_info = info }
+
+  let cache_size e = Steno_lru.length e.cache
+
+  let clear_cache e = Steno_lru.clear e.cache
+
+  let traced_run sink backend f =
+    if not (Telemetry.enabled sink) then f
+    else
+      fun () ->
+        Telemetry.with_span sink "run"
+          ~attrs:[ "backend", backend_name backend ]
+          f
+
+  let error_to_reason : Dynload.error -> fallback_reason = function
+    | Dynload.Unavailable -> Compiler_unavailable
+    | Dynload.Timeout { timeout_ms } -> Compile_timeout timeout_ms
+    | Dynload.Compile_error msg -> Compile_error msg
+    | Dynload.Load_error msg -> Load_error msg
+
+  (* The full Native pipeline: specialize/canon/codegen (spans emitted by
+     the plan), then the bounded plugin cache, then compile+load under
+     the engine's timeout, then environment binding. *)
+  let compile_native eng (plan : 'r plan) ~t0 :
+      ((unit -> 'r) * compile_info, fallback_reason) result =
+    let sink = eng.cfg.telemetry in
+    let chain = plan.chain sink in
+    let out =
+      Telemetry.with_span sink "codegen" (fun () -> Codegen.generate chain)
+    in
+    let t1 = now_ms () in
+    let looked_up =
+      match Steno_lru.find eng.cache out.Codegen.source with
+      | Some p ->
+        Telemetry.count sink "cache.hit" 1;
+        Ok (true, p)
+      | None -> (
+        match
+          Dynload.compile_result ?timeout_ms:eng.cfg.compile_timeout_ms
+            ~source:out.Codegen.source ()
+        with
+        | Error e -> Error (error_to_reason e)
+        | Ok p ->
+          Telemetry.count sink "cache.miss" 1;
+          if Steno_lru.add eng.cache out.Codegen.source p then
+            Telemetry.count sink "cache.eviction" 1;
+          Telemetry.emit sink "compile" ~start_ms:t1
+            ~duration_ms:p.Dynload.timings.Dynload.compile_ms ();
+          Telemetry.emit sink "dynlink"
+            ~start_ms:(t1 +. p.Dynload.timings.Dynload.compile_ms)
+            ~duration_ms:p.Dynload.timings.Dynload.load_ms ();
+          Ok (false, p))
+    in
+    match looked_up with
+    | Error _ as e -> e
+    | Ok (cache_hit, plugin) ->
+      let t2 = now_ms () in
+      let env =
+        Telemetry.with_span sink "env-bind" (fun () ->
+            Expr.Capture_table.to_env out.Codegen.table)
+      in
+      let raw_run () =
+        try plugin.Dynload.run env with e -> raise (translate_exn e)
+      in
+      let info =
+        {
+          backend = Native;
+          requested = Native;
+          cache_hit;
+          prepare_ms = now_ms () -. t0;
+          codegen_ms = t1 -. t0;
+          compile_ms = (if cache_hit then 0.0 else t2 -. t1);
+          fallback = None;
+        }
+      in
+      Ok ((fun () -> plan.of_raw (raw_run ())), info)
+
+  let prep_of_staged ~sink ~t0 ~requested ~actual ~fallback staged =
+    let ts = now_ms () in
+    let run = staged sink in
+    let staging_ms = now_ms () -. ts in
+    {
+      run_fn = traced_run sink actual run;
+      p_info =
+        {
+          backend = actual;
+          requested;
+          cache_hit = false;
+          prepare_ms = now_ms () -. t0;
+          codegen_ms = staging_ms;
+          compile_ms = 0.0;
+          fallback;
+        };
+    }
+
+  let prepare_plan (eng : t) ?backend (plan : 'r plan) : 'r prep =
+    let requested = Option.value backend ~default:eng.cfg.backend in
+    let sink = eng.cfg.telemetry in
+    let t0 = now_ms () in
+    Telemetry.with_span sink "prepare"
+      ~attrs:[ "backend", backend_name requested ]
+    @@ fun () ->
+    match requested with
+    | Linq ->
+      prep_of_staged ~sink ~t0 ~requested ~actual:Linq ~fallback:None
+        plan.stage_linq
+    | Fused ->
+      prep_of_staged ~sink ~t0 ~requested ~actual:Fused ~fallback:None
+        plan.stage_fused
+    | Native -> (
+      match compile_native eng plan ~t0 with
+      | Ok (run, info) ->
+        {
+          run_fn = traced_run sink Native run;
+          p_info = { info with prepare_ms = now_ms () -. t0 };
+        }
+      | Error reason when eng.cfg.fallback ->
+        Telemetry.count sink "engine.fallback" 1;
+        Telemetry.emit sink "fallback"
+          ~attrs:[ "reason", fallback_reason_label reason ]
+          ~start_ms:(now_ms ()) ~duration_ms:0.0 ();
+        prep_of_staged ~sink ~t0 ~requested ~actual:Fused
+          ~fallback:(Some reason) plan.stage_fused
+      | Error reason ->
+        raise (Dynload.Compilation_failed (fallback_reason_message reason)))
+
+  let prepare ?backend eng q = prepare_plan eng ?backend (query_plan q)
+
+  let prepare_scalar ?backend eng sq =
+    prepare_plan eng ?backend (scalar_plan sq)
+
+  let to_array ?backend eng q = (prepare ?backend eng q).run_fn ()
+
+  let to_list ?backend eng q = Array.to_list (to_array ?backend eng q)
+
+  let scalar ?backend eng sq = (prepare_scalar ?backend eng sq).run_fn ()
+end
+
+(* The compatibility default engine: the only process-global engine
+   state, created on first use. *)
+let default_engine_v = lazy (Engine.create Engine.default_config)
+
+let default_engine () = Lazy.force default_engine_v
+
+let prepare ?backend q = Engine.prepare ?backend (default_engine ()) q
+
+let prepare_scalar ?backend sq =
+  Engine.prepare_scalar ?backend (default_engine ()) sq
 
 let run p = p.run_fn ()
 
-let run_scalar p = p.run_sfn ()
+let run_scalar p = p.run_fn ()
 
 let info p = p.p_info
 
-let info_scalar p = p.s_info
+let info_scalar p = p.p_info
 
 let to_array ?backend q = run (prepare ?backend q)
 
@@ -154,3 +341,7 @@ let generated_source_scalar sq =
 let quil q = Quil.symbol_string (Canon.of_query q)
 
 let quil_scalar sq = Quil.symbol_string (Canon.of_scalar sq)
+
+let cache_size () = Engine.cache_size (default_engine ())
+
+let clear_cache () = Engine.clear_cache (default_engine ())

@@ -20,16 +20,129 @@
     code is cached by generated source text, so a structurally identical
     query (e.g. the same query over a different captured array) reuses the
     compiled plugin and pays only environment re-extraction — the query
-    caching the paper describes in section 7.1. *)
+    caching the paper describes in section 7.1.
+
+    All execution goes through an {!Engine}: an explicit value packaging
+    the backend choice, the bounded plugin cache, the failure policy for
+    the external compiler, and a telemetry sink.  The free functions below
+    are thin wrappers over a lazily-created {!default_engine}; servers
+    hosting several tenants or configurations create their own engines. *)
 
 type backend =
   | Linq  (** Unoptimized iterator pipeline (the baseline). *)
   | Fused  (** In-process closure fusion (no compiler invocation). *)
   | Native  (** Full Steno: generated, natively compiled loop code. *)
 
-val default_backend : backend ref
-(** Initially [Native] when a native compiler is available, [Fused]
-    otherwise. *)
+val backend_name : backend -> string
+(** ["linq"], ["fused"] or ["native"]. *)
+
+(** Why a [Native] preparation executed on the [Fused] backend instead
+    (recorded in {!compile_info.fallback} and in telemetry). *)
+type fallback_reason =
+  | Compiler_unavailable
+  | Compile_timeout of int  (** the engine's [compile_timeout_ms] *)
+  | Compile_error of string
+  | Load_error of string
+
+val fallback_reason_message : fallback_reason -> string
+
+type compile_info = {
+  backend : backend;  (** The backend that actually executes the query. *)
+  requested : backend;
+      (** The backend asked for; differs from [backend] only when the
+          engine fell back. *)
+  cache_hit : bool;  (** Compiled plugin reused from the query cache. *)
+  prepare_ms : float;
+      (** Total preparation cost: specialization, canonicalization, code
+          generation or staging, and — on a cache miss — compiler
+          invocation and loading. *)
+  codegen_ms : float;
+      (** Of which QUIL lowering and code generation ([Native]), or
+          specialization and staging ([Fused]/[Linq]) — so backend
+          comparisons account for the work each backend really does at
+          prepare time. *)
+  compile_ms : float;  (** Of which external compiler + dynlink. *)
+  fallback : fallback_reason option;
+      (** Set when a [Native] request executed on [Fused]. *)
+}
+
+type 'a prepared
+type 's prepared_scalar
+
+(** {1 Engines}
+
+    An engine is the host-side runtime contract made explicit: which
+    backend to use, how many compiled plugins to keep (bounded LRU),
+    what to do when the external compiler fails or stalls, and where
+    pipeline telemetry goes.  Engines are independent — each has its own
+    cache and counters — and safe to share across domains. *)
+
+module Engine : sig
+  type t
+
+  type config = {
+    backend : backend;  (** Default backend for this engine's queries. *)
+    fallback : bool;
+        (** When true, a [Native] preparation that cannot compile
+            (compiler missing, compile/load error, or timeout) falls
+            back to [Fused] and records the reason, instead of raising.
+            When false, such failures raise
+            [Dynload.Compilation_failed]. *)
+    compile_timeout_ms : int option;
+        (** Deadline for one external compiler invocation; the process
+            is killed past it.  [None] waits indefinitely. *)
+    cache_capacity : int;
+        (** Bound on cached compiled plugins (per engine, LRU).  [0]
+            disables caching. *)
+    telemetry : Telemetry.sink;
+        (** Receives a span per pipeline stage (specialize, canon,
+            codegen, compile, dynlink, env-bind, run) and cache /
+            fallback counters.  {!Telemetry.null} costs one branch per
+            stage. *)
+  }
+
+  val default_config : config
+  (** [Native] when a compiler is available ([Fused] otherwise),
+      [fallback = true], no timeout, capacity 128, null telemetry. *)
+
+  val create : config -> t
+
+  val config : t -> config
+
+  val telemetry : t -> Telemetry.sink
+
+  (** {2 Execution} *)
+
+  val prepare : ?backend:backend -> t -> 'a Query.t -> 'a prepared
+  (** [?backend] overrides the engine's configured backend for this
+      query only. *)
+
+  val prepare_scalar : ?backend:backend -> t -> 's Query.sq -> 's prepared_scalar
+  val to_array : ?backend:backend -> t -> 'a Query.t -> 'a array
+  val to_list : ?backend:backend -> t -> 'a Query.t -> 'a list
+  val scalar : ?backend:backend -> t -> 's Query.sq -> 's
+
+  (** {2 Plugin cache} *)
+
+  type cache_stats = {
+    capacity : int;
+    entries : int;
+    hits : int;
+    misses : int;
+    evictions : int;
+  }
+
+  val cache_stats : t -> cache_stats
+  val cache_size : t -> int
+  val clear_cache : t -> unit
+  (** Counters are cumulative and survive {!clear_cache}. *)
+end
+
+val default_engine : unit -> Engine.t
+(** The engine behind the free functions, created on first use from
+    {!Engine.default_config}.  This is the only process-global engine
+    state; code that needs different settings builds its own
+    {!Engine.t}. *)
 
 (** {1 Running queries} *)
 
@@ -42,24 +155,10 @@ val scalar : ?backend:backend -> 's Query.sq -> 's
     Separate optimization from execution to amortize or measure the
     one-off compilation cost. *)
 
-type 'a prepared
-type 's prepared_scalar
-
 val prepare : ?backend:backend -> 'a Query.t -> 'a prepared
 val prepare_scalar : ?backend:backend -> 's Query.sq -> 's prepared_scalar
 val run : 'a prepared -> 'a array
 val run_scalar : 's prepared_scalar -> 's
-
-type compile_info = {
-  backend : backend;
-  cache_hit : bool;  (** Compiled plugin reused from the query cache. *)
-  prepare_ms : float;
-      (** Total preparation cost: canonicalization, code generation, and —
-          on a cache miss — compiler invocation and loading. *)
-  codegen_ms : float;  (** Of which QUIL lowering and code generation. *)
-  compile_ms : float;  (** Of which external compiler + dynlink. *)
-}
-
 val info : 'a prepared -> compile_info
 val info_scalar : 's prepared_scalar -> compile_info
 
@@ -75,7 +174,9 @@ val quil : 'a Query.t -> string
 
 val quil_scalar : 's Query.sq -> string
 
-(** {1 Cache control} *)
+(** {1 Default-engine cache control}
+
+    Compatibility wrappers over [default_engine ()]'s cache. *)
 
 val cache_size : unit -> int
 val clear_cache : unit -> unit

@@ -1,0 +1,90 @@
+type 'v entry = {
+  value : 'v;
+  mutable last_use : int;
+}
+
+type ('k, 'v) t = {
+  capacity : int;
+  table : ('k, 'v entry) Hashtbl.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mu : Mutex.t;
+}
+
+type stats = {
+  capacity : int;
+  entries : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+let create ~capacity =
+  {
+    capacity;
+    table = Hashtbl.create (max 16 (min capacity 256));
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    mu = Mutex.create ();
+  }
+
+let next_tick (t : (_, _) t) =
+  t.tick <- t.tick + 1;
+  t.tick
+
+let find (t : (_, _) t) k =
+  Mutex.protect t.mu @@ fun () ->
+  match Hashtbl.find_opt t.table k with
+  | Some e ->
+    e.last_use <- next_tick t;
+    t.hits <- t.hits + 1;
+    Some e.value
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let evict_lru (t : (_, _) t) =
+  let victim =
+    Hashtbl.fold
+      (fun k e acc ->
+        match acc with
+        | Some (_, best) when best.last_use <= e.last_use -> acc
+        | _ -> Some (k, e))
+      t.table None
+  in
+  match victim with
+  | Some (k, _) ->
+    Hashtbl.remove t.table k;
+    t.evictions <- t.evictions + 1
+  | None -> ()
+
+let add (t : (_, _) t) k v =
+  if t.capacity <= 0 then false
+  else
+    Mutex.protect t.mu @@ fun () ->
+    let evict =
+      (not (Hashtbl.mem t.table k)) && Hashtbl.length t.table >= t.capacity
+    in
+    if evict then evict_lru t;
+    Hashtbl.replace t.table k { value = v; last_use = next_tick t };
+    evict
+
+let mem (t : (_, _) t) k = Mutex.protect t.mu (fun () -> Hashtbl.mem t.table k)
+
+let length (t : (_, _) t) = Mutex.protect t.mu (fun () -> Hashtbl.length t.table)
+
+let stats (t : (_, _) t) : stats =
+  Mutex.protect t.mu @@ fun () ->
+  {
+    capacity = t.capacity;
+    entries = Hashtbl.length t.table;
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+  }
+
+let clear (t : (_, _) t) = Mutex.protect t.mu (fun () -> Hashtbl.reset t.table)

@@ -1,0 +1,42 @@
+(** A small bounded LRU cache with hit/miss/eviction accounting — the
+    per-engine plugin cache behind [Steno.Engine] (the paper's section
+    7.1 query cache, made bounded and observable).
+
+    Thread-safe: every operation holds the cache's internal mutex.
+    Recency is exact LRU ({!find} promotes); eviction scans for the
+    least-recently-used entry, which is linear in the entry count —
+    entries are compiled plugins, so capacities are small and an eviction
+    is always dwarfed by the compile that triggered it. *)
+
+type ('k, 'v) t
+
+type stats = {
+  capacity : int;
+  entries : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+val create : capacity:int -> ('k, 'v) t
+(** [capacity <= 0] disables the cache: every {!find} misses and {!add}
+    drops the value. *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Promotes the entry to most-recently-used and counts a hit; counts a
+    miss on [None]. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> bool
+(** Insert as most-recently-used, evicting the least-recently-used entry
+    if the cache is full; returns [true] when an entry was evicted.
+    Re-adding an existing key replaces its value and promotes it. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Membership without touching recency or counters. *)
+
+val length : ('k, 'v) t -> int
+
+val stats : ('k, 'v) t -> stats
+
+val clear : ('k, 'v) t -> unit
+(** Drop all entries.  Counters are cumulative and survive a clear. *)

@@ -1,0 +1,179 @@
+(* Engine values: the bounded LRU plugin cache and the Native -> Fused
+   compile fallback. *)
+
+module I = Expr.Infix
+
+let ints xs = Query.of_array Ty.Int xs
+
+let with_native f = if Steno.native_available () then f () else ()
+
+let engine ?(fallback = true) ?compile_timeout_ms ?(cache_capacity = 128)
+    ?(telemetry = Telemetry.null) backend =
+  Steno.Engine.create
+    { backend; fallback; compile_timeout_ms; cache_capacity; telemetry }
+
+(* A family of structurally distinct scalar queries: [nth_query k] sums
+   x + 1 + ... + 1 (k + 1 additions), so each k compiles separately. *)
+let nth_query k xs =
+  let rec grow e n = if n = 0 then e else grow I.(e + Expr.int 1) (n - 1) in
+  Query.sum_int (ints xs |> Query.select (fun x -> grow x (k + 1)))
+
+(* LRU unit tests (no compiler needed). *)
+
+let test_lru_eviction_order () =
+  let c = Steno_lru.create ~capacity:2 in
+  Alcotest.(check bool) "no eviction on a" false (Steno_lru.add c "a" 1);
+  Alcotest.(check bool) "no eviction on b" false (Steno_lru.add c "b" 2);
+  (* Touch [a] so [b] becomes least recently used. *)
+  Alcotest.(check (option int)) "find a" (Some 1) (Steno_lru.find c "a");
+  Alcotest.(check bool) "adding c evicts" true (Steno_lru.add c "c" 3);
+  Alcotest.(check bool) "b was the LRU victim" false (Steno_lru.mem c "b");
+  Alcotest.(check bool) "a survived" true (Steno_lru.mem c "a");
+  Alcotest.(check bool) "c inserted" true (Steno_lru.mem c "c");
+  Alcotest.(check int) "still at capacity" 2 (Steno_lru.length c)
+
+let test_lru_stats () =
+  let c = Steno_lru.create ~capacity:1 in
+  ignore (Steno_lru.find c "missing");
+  ignore (Steno_lru.add c "x" 0);
+  ignore (Steno_lru.find c "x");
+  ignore (Steno_lru.add c "y" 1);
+  (* evicts x *)
+  ignore (Steno_lru.find c "x");
+  (* miss *)
+  let s = Steno_lru.stats c in
+  Alcotest.(check int) "capacity" 1 s.Steno_lru.capacity;
+  Alcotest.(check int) "entries" 1 s.Steno_lru.entries;
+  Alcotest.(check int) "hits" 1 s.Steno_lru.hits;
+  Alcotest.(check int) "misses" 2 s.Steno_lru.misses;
+  Alcotest.(check int) "evictions" 1 s.Steno_lru.evictions;
+  Steno_lru.clear c;
+  let s = Steno_lru.stats c in
+  Alcotest.(check int) "clear drops entries" 0 s.Steno_lru.entries;
+  Alcotest.(check int) "counters survive clear" 1 s.Steno_lru.hits
+
+let test_lru_zero_capacity () =
+  let c = Steno_lru.create ~capacity:0 in
+  Alcotest.(check bool) "add is a no-op" false (Steno_lru.add c "a" 1);
+  Alcotest.(check (option int)) "never stores" None (Steno_lru.find c "a");
+  Alcotest.(check int) "empty" 0 (Steno_lru.length c)
+
+(* Engine-level cache accounting. *)
+
+let test_engine_cache_stats () =
+  with_native @@ fun () ->
+  let eng = engine ~cache_capacity:2 Steno.Native in
+  (* Three distinct queries through a capacity-2 cache: the third insert
+     evicts the first. *)
+  Alcotest.(check int) "q0" 8 (Steno.Engine.scalar eng (nth_query 0 [| 3; 3 |]));
+  Alcotest.(check int) "q1" 10 (Steno.Engine.scalar eng (nth_query 1 [| 3; 3 |]));
+  (* Re-run q1: structural cache hit. *)
+  Alcotest.(check int) "q1 hit" 14 (Steno.Engine.scalar eng (nth_query 1 [| 5; 5 |]));
+  Alcotest.(check int) "q2" 12 (Steno.Engine.scalar eng (nth_query 2 [| 3; 3 |]));
+  let s = Steno.Engine.cache_stats eng in
+  Alcotest.(check int) "entries bounded" 2 s.Steno.Engine.entries;
+  Alcotest.(check int) "capacity" 2 s.Steno.Engine.capacity;
+  Alcotest.(check int) "hits" 1 s.Steno.Engine.hits;
+  Alcotest.(check int) "misses" 3 s.Steno.Engine.misses;
+  Alcotest.(check int) "evictions" 1 s.Steno.Engine.evictions;
+  (* q0 was evicted, so preparing it again misses and compiles afresh. *)
+  Alcotest.(check int) "q0 again" 8 (Steno.Engine.scalar eng (nth_query 0 [| 3; 3 |]));
+  let s = Steno.Engine.cache_stats eng in
+  Alcotest.(check int) "recompiled after eviction" 4 s.Steno.Engine.misses;
+  Steno.Engine.clear_cache eng;
+  Alcotest.(check int) "clear empties" 0 (Steno.Engine.cache_size eng)
+
+let test_engines_are_independent () =
+  with_native @@ fun () ->
+  let a = engine Steno.Native and b = engine Steno.Native in
+  ignore (Steno.Engine.scalar a (nth_query 0 [| 1 |]));
+  Alcotest.(check int) "a cached one plugin" 1 (Steno.Engine.cache_size a);
+  Alcotest.(check int) "b untouched" 0 (Steno.Engine.cache_size b)
+
+(* Fallback. *)
+
+let without_compiler f =
+  Dynload.disabled := true;
+  Fun.protect ~finally:(fun () -> Dynload.disabled := false) f
+
+let test_fallback_compiler_unavailable () =
+  without_compiler @@ fun () ->
+  let eng = engine Steno.Native in
+  let sq = nth_query 0 [| 2; 5 |] in
+  let p = Steno.Engine.prepare_scalar eng sq in
+  let i = Steno.info_scalar p in
+  Alcotest.(check bool) "requested native" true (i.Steno.requested = Steno.Native);
+  Alcotest.(check bool) "ran fused" true (i.Steno.backend = Steno.Fused);
+  Alcotest.(check bool) "reason recorded" true
+    (i.Steno.fallback = Some Steno.Compiler_unavailable);
+  (* Differential check: the fallback result matches a straight Fused run. *)
+  Alcotest.(check int) "correct result via fallback"
+    (Steno.scalar ~backend:Steno.Fused sq)
+    (Steno.run_scalar p)
+
+let test_fallback_disabled_raises () =
+  without_compiler @@ fun () ->
+  let eng = engine ~fallback:false Steno.Native in
+  Alcotest.(check bool) "strict engine raises" true
+    (match Steno.Engine.scalar eng (nth_query 0 [| 1 |]) with
+    | exception Dynload.Compilation_failed _ -> true
+    | _ -> false)
+
+let test_fallback_on_timeout () =
+  with_native @@ fun () ->
+  (* A zero deadline kills the compiler immediately; the engine must
+     still answer, via Fused, and record the timeout. *)
+  let eng = engine ~compile_timeout_ms:0 Steno.Native in
+  let sq = nth_query 0 [| 4; 6 |] in
+  let p = Steno.Engine.prepare_scalar eng sq in
+  let i = Steno.info_scalar p in
+  Alcotest.(check bool) "timeout recorded" true
+    (i.Steno.fallback = Some (Steno.Compile_timeout 0));
+  Alcotest.(check bool) "ran fused" true (i.Steno.backend = Steno.Fused);
+  Alcotest.(check int) "correct result"
+    (Steno.scalar ~backend:Steno.Fused sq)
+    (Steno.run_scalar p)
+
+(* Exception parity: all backends raise the same exception for an empty
+   sequence, whatever path (iterator, fused closure, compiled plugin with
+   message translation) produced it. *)
+
+let test_exception_parity_all_backends () =
+  let backends =
+    if Steno.native_available () then
+      [ Steno.Linq; Steno.Fused; Steno.Native ]
+    else [ Steno.Linq; Steno.Fused ]
+  in
+  List.iter
+    (fun b ->
+      let sq = Query.min_elt (ints [||]) in
+      Alcotest.check_raises
+        (Steno.backend_name b ^ " raises No_such_element")
+        Iterator.No_such_element
+        (fun () -> ignore (Steno.scalar ~backend:b sq)))
+    backends
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "lru",
+        [
+          Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "stats" `Quick test_lru_stats;
+          Alcotest.test_case "zero capacity" `Quick test_lru_zero_capacity;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "engine stats" `Quick test_engine_cache_stats;
+          Alcotest.test_case "independence" `Quick test_engines_are_independent;
+        ] );
+      ( "fallback",
+        [
+          Alcotest.test_case "compiler unavailable" `Quick
+            test_fallback_compiler_unavailable;
+          Alcotest.test_case "strict raises" `Quick test_fallback_disabled_raises;
+          Alcotest.test_case "timeout" `Quick test_fallback_on_timeout;
+          Alcotest.test_case "exception parity" `Quick
+            test_exception_parity_all_backends;
+        ] );
+    ]

@@ -1,0 +1,189 @@
+(* The telemetry layer: span nesting, counters, the in-memory collector,
+   and the spans the engine emits per pipeline stage. *)
+
+module I = Expr.Infix
+module T = Telemetry
+module C = Telemetry.Collector
+
+let ints xs = Query.of_array Ty.Int xs
+
+(* Collector mechanics. *)
+
+let test_span_nesting () =
+  let c = C.create () in
+  let sink = C.sink c in
+  let v =
+    T.with_span sink "outer" (fun () ->
+        T.with_span sink "inner" (fun () -> 41) + 1)
+  in
+  Alcotest.(check int) "value threaded through" 42 v;
+  let spans = C.spans c in
+  Alcotest.(check int) "two spans" 2 (List.length spans);
+  let inner = Option.get (C.find c "inner") in
+  let outer = Option.get (C.find c "outer") in
+  Alcotest.(check (list string)) "inner nests under outer" [ "outer" ]
+    inner.T.path;
+  Alcotest.(check (list string)) "outer is a root" [] outer.T.path;
+  Alcotest.(check bool) "outer covers inner" true
+    (outer.T.duration_ms >= inner.T.duration_ms)
+
+let test_span_on_exception () =
+  let c = C.create () in
+  let sink = C.sink c in
+  Alcotest.check_raises "exception propagates" Exit (fun () ->
+      T.with_span sink "failing" (fun () -> raise Exit));
+  let s = Option.get (C.find c "failing") in
+  Alcotest.(check bool) "error attr recorded" true
+    (List.mem_assoc "error" s.T.attrs);
+  (* The stack must be unwound: the next span is a root again. *)
+  T.with_span sink "after" (fun () -> ());
+  let after = Option.get (C.find c "after") in
+  Alcotest.(check (list string)) "stack unwound" [] after.T.path
+
+let test_counters () =
+  let c = C.create () in
+  let sink = C.sink c in
+  T.count sink "widgets" 2;
+  T.count sink "widgets" 3;
+  T.count sink "gadgets" 1;
+  Alcotest.(check int) "accumulated" 5 (C.counter c "widgets");
+  Alcotest.(check int) "separate counter" 1 (C.counter c "gadgets");
+  Alcotest.(check int) "absent counter" 0 (C.counter c "nothing");
+  Alcotest.(check (list (pair string int)))
+    "sorted listing"
+    [ "gadgets", 1; "widgets", 5 ]
+    (C.counters c);
+  C.reset c;
+  Alcotest.(check int) "reset" 0 (C.counter c "widgets")
+
+let test_null_sink_is_inert () =
+  Alcotest.(check bool) "null is disabled" false (T.enabled T.null);
+  (* with_span on the null sink must still run the function. *)
+  Alcotest.(check int) "pass-through" 7 (T.with_span T.null "x" (fun () -> 7))
+
+let test_tree_rendering () =
+  let c = C.create () in
+  let sink = C.sink c in
+  T.with_span sink "parent" (fun () ->
+      T.with_span sink "child" (fun () -> ()));
+  let tree = C.tree c in
+  let lines = String.split_on_char '\n' tree in
+  Alcotest.(check bool) "parent line first" true
+    (match lines with
+    | first :: _ -> String.starts_with ~prefix:"parent" first
+    | [] -> false);
+  Alcotest.(check bool) "child indented" true
+    (List.exists (String.starts_with ~prefix:"  child") lines)
+
+let test_to_json () =
+  let c = C.create () in
+  let sink = C.sink c in
+  T.with_span sink {|na"me|} (fun () -> ());
+  T.count sink "n" 3;
+  let j = C.to_json c in
+  Alcotest.(check bool) "quotes escaped" true
+    (let needle = {|na\"me|} in
+     let rec go i =
+       i + String.length needle <= String.length j
+       && (String.sub j i (String.length needle) = needle || go (i + 1))
+     in
+     go 0);
+  Alcotest.(check bool) "counter serialized" true
+    (let needle = {|"n":3|} in
+     let rec go i =
+       i + String.length needle <= String.length j
+       && (String.sub j i (String.length needle) = needle || go (i + 1))
+     in
+     go 0)
+
+(* Engine instrumentation: the spans emitted while preparing and running
+   a query. *)
+
+let pipeline_collector backend =
+  let c = C.create () in
+  let eng =
+    Steno.Engine.create
+      {
+        Steno.Engine.default_config with
+        backend;
+        telemetry = C.sink c;
+      }
+  in
+  let sq = Query.sum_int (ints [| 1; 2; 3 |] |> Query.select (fun x -> I.(x * x))) in
+  let p = Steno.Engine.prepare_scalar eng sq in
+  Alcotest.(check int) "query result" 14 (Steno.run_scalar p);
+  c
+
+let child_names c =
+  List.filter_map
+    (fun s -> if s.T.path = [ "prepare" ] then Some s.T.name else None)
+    (C.spans c)
+
+let test_engine_spans_fused () =
+  let c = pipeline_collector Steno.Fused in
+  Alcotest.(check bool) "prepare span" true (C.find c "prepare" <> None);
+  Alcotest.(check bool) "run span" true (C.find c "run" <> None);
+  let kids = child_names c in
+  List.iter
+    (fun stage ->
+      Alcotest.(check bool) (stage ^ " under prepare") true
+        (List.mem stage kids))
+    (* Fused never lowers to QUIL: it specializes and stages closures. *)
+    [ "specialize"; "stage" ]
+
+let test_engine_spans_native () =
+  if not (Steno.native_available ()) then ()
+  else begin
+    let c = pipeline_collector Steno.Native in
+    let kids = child_names c in
+    List.iter
+      (fun stage ->
+        Alcotest.(check bool) (stage ^ " under prepare") true
+          (List.mem stage kids))
+      [ "specialize"; "canon"; "codegen"; "compile"; "dynlink"; "env-bind" ];
+    Alcotest.(check int) "one cache miss" 1 (C.counter c "cache.miss");
+    let prepare = Option.get (C.find c "prepare") in
+    let compile = Option.get (C.find c "compile") in
+    Alcotest.(check bool) "prepare covers compile" true
+      (prepare.T.duration_ms >= compile.T.duration_ms)
+  end
+
+let test_fallback_counter () =
+  let c = C.create () in
+  let eng =
+    Steno.Engine.create
+      {
+        Steno.Engine.default_config with
+        backend = Steno.Native;
+        fallback = true;
+        telemetry = C.sink c;
+      }
+  in
+  Dynload.disabled := true;
+  Fun.protect ~finally:(fun () -> Dynload.disabled := false) @@ fun () ->
+  let sq = Query.sum_int (ints [| 1; 2 |]) in
+  Alcotest.(check int) "answers via fused" 3 (Steno.Engine.scalar eng sq);
+  Alcotest.(check int) "fallback counted" 1 (C.counter c "engine.fallback");
+  let fb = Option.get (C.find c "fallback") in
+  Alcotest.(check bool) "reason attr" true
+    (List.mem_assoc "reason" fb.T.attrs)
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "collector",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "exception" `Quick test_span_on_exception;
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "null sink" `Quick test_null_sink_is_inert;
+          Alcotest.test_case "tree" `Quick test_tree_rendering;
+          Alcotest.test_case "json" `Quick test_to_json;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "fused spans" `Quick test_engine_spans_fused;
+          Alcotest.test_case "native spans" `Quick test_engine_spans_native;
+          Alcotest.test_case "fallback counter" `Quick test_fallback_counter;
+        ] );
+    ]

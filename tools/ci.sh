@@ -1,0 +1,17 @@
+#!/bin/sh
+# CI entry point: full build, the complete test suite, and a benchmark
+# smoke run that also refreshes the machine-readable results file.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build @all
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== bench smoke (scale 0.01) =="
+dune exec bench/main.exe -- --scale 0.01 --json BENCH_PR1.json
+
+echo "== ok =="

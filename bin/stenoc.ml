@@ -122,6 +122,24 @@ let demos =
             |> Query.min_by (fun j ->
                    Expr.let_ "d" I.(c.%(j) -. Expr.float 0.5) (fun d -> I.(d *. d))));
       };
+    Collection
+      {
+        name = "redundant";
+        descr =
+          "stacked wheres/selects/takes/skips + rev rev: optimizer showcase";
+        elem = Ty.Int;
+        build =
+          (fun n ->
+            Query.of_array Ty.Int (int_input n)
+            |> Query.where (fun x -> I.(x mod Expr.int 2 = Expr.int 0))
+            |> Query.where (fun x -> I.(x < Expr.int 900))
+            |> Query.where (fun _ -> Expr.bool true)
+            |> Query.select (fun x -> I.(x * x))
+            |> Query.select (fun x -> I.(x + Expr.int 1))
+            |> Query.skip 2 |> Query.skip 3
+            |> Query.take 100 |> Query.take 50
+            |> Query.rev |> Query.rev);
+      };
     Scalar
       {
         name = "exists";
@@ -209,6 +227,10 @@ let describe_fallback info =
       (Steno.backend_name info.Steno.backend)
       (Steno.fallback_reason_message reason)
 
+let describe_rewrites = function
+  | [] -> print_endline "rewrites: (none)"
+  | rules -> Printf.printf "rewrites: %s\n" (String.concat ", " rules)
+
 let cmd_run name backend n trace =
   match find name, backend_of_string backend with
   | Error e, _ | _, Error e ->
@@ -223,18 +245,20 @@ let cmd_run name backend n trace =
     (match demo with
     | Collection { elem; build; _ } ->
       let p, t_prep = time (fun () -> Steno.Engine.prepare eng (build n)) in
-      let result, t_run = time (fun () -> Steno.run p) in
+      let result, t_run = time (fun () -> Steno.Prepared.run p) in
       Printf.printf "%s\nprepare: %.1f ms, run: %.1f ms\n" (preview elem result)
         t_prep t_run;
-      describe_fallback (Steno.info p)
+      describe_fallback (Steno.Prepared.compile_info p);
+      if trace then describe_rewrites (Steno.Prepared.rewrite_log p)
     | Scalar { ty; build; _ } ->
       let p, t_prep =
         time (fun () -> Steno.Engine.prepare_scalar eng (build n))
       in
-      let result, t_run = time (fun () -> Steno.run_scalar p) in
+      let result, t_run = time (fun () -> Steno.Prepared_scalar.run p) in
       Format.printf "%a@." (Ty.pp_value ty) result;
       Printf.printf "prepare: %.1f ms, run: %.1f ms\n" t_prep t_run;
-      describe_fallback (Steno.info_scalar p));
+      describe_fallback (Steno.Prepared_scalar.compile_info p);
+      if trace then describe_rewrites (Steno.Prepared_scalar.rewrite_log p));
     if trace then begin
       Printf.printf "\ntrace:\n%s" (Telemetry.Collector.tree collector);
       match Telemetry.Collector.counters collector with
@@ -288,8 +312,8 @@ let cmd_stats name backend n reps =
             (total /. float_of_int (List.length matching))
         end)
       [
-        "prepare"; "specialize"; "canon"; "codegen"; "compile"; "dynlink";
-        "env-bind"; "stage"; "run";
+        "prepare"; "optimize"; "specialize"; "canon"; "codegen"; "compile";
+        "dynlink"; "env-bind"; "stage"; "run";
       ];
     (match Telemetry.Collector.counters collector with
     | [] -> ()
@@ -355,20 +379,33 @@ let cmd_eval src backend n =
       Printf.eprintf "error at offset %d: %s\n" pos msg;
       1)
 
+(* Explain a demo query by name (the optimizer's before/after view), or
+   fall back to elaborating the argument as query text. *)
 let cmd_explain src n =
-  let lang_inputs : Elab.inputs =
-    [
-      "xs", Elab.Input (Ty.Int, int_input n);
-      "fs", Elab.Input (Ty.Float, float_input n);
-    ]
-  in
-  match Lang.explain ~inputs:lang_inputs src with
-  | s ->
-    print_endline s;
+  match find src with
+  | Ok demo ->
+    let eng = Steno.default_engine () in
+    let ex =
+      match demo with
+      | Collection { build; _ } -> Steno.Engine.explain eng (build n)
+      | Scalar { build; _ } -> Steno.Engine.explain_scalar eng (build n)
+    in
+    print_string (Steno.Engine.explain_to_string ex);
     0
-  | exception Lang.Error (msg, pos) ->
-    Printf.eprintf "error at offset %d: %s\n" pos msg;
-    1
+  | Error _ -> (
+    let lang_inputs : Elab.inputs =
+      [
+        "xs", Elab.Input (Ty.Int, int_input n);
+        "fs", Elab.Input (Ty.Float, float_input n);
+      ]
+    in
+    match Lang.explain ~inputs:lang_inputs src with
+    | s ->
+      print_endline s;
+      0
+    | exception Lang.Error (msg, pos) ->
+      Printf.eprintf "error at offset %d: %s\n" pos msg;
+      1)
 
 (* Command line. *)
 
@@ -438,7 +475,10 @@ let eval_cmd =
 let explain_cmd =
   Cmd.v
     (Cmd.info "explain"
-       ~doc:"Show the QUIL sentence and generated code for a textual query.")
+       ~doc:
+         "For a demo query: show the optimizer's plan before/after and the \
+          rewrite rules applied.  For query text: show the QUIL sentence \
+          and generated code.")
     Term.(const cmd_explain $ src_arg $ size)
 
 let () =

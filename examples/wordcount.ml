@@ -7,6 +7,7 @@
    Run with: dune exec examples/wordcount.exe -- [records] *)
 
 module I = Expr.Infix
+open Query.Pipe
 
 let record_ty = Ty.Triple (Ty.Int, Ty.Int, Ty.Float)
 
@@ -21,7 +22,7 @@ let () =
           Random.State.float rng 250.0 ))
   in
   Printf.printf "analyzing %d log records\n\n" n;
-  let logs = Query.of_array record_ty records in
+  let logs = of_array record_ty records in
   let status r = Expr.Proj3_1 r in
   let url r = Expr.Proj3_2 r in
   let latency r = Expr.Proj3_3 r in
@@ -31,13 +32,13 @@ let () =
      of buffering each group. *)
   let per_status =
     logs
-    |> Query.group_by_agg
+    |> group_by_agg
          ~key:(fun r -> status r)
          ~seed:(Expr.Pair (Expr.int 0, Expr.float 0.0))
          ~step:(fun acc r ->
            Expr.Pair
              (I.(Expr.Fst acc + Expr.int 1), I.(Expr.Snd acc +. latency r)))
-    |> Query.order_by (fun kv -> Expr.Fst kv)
+    |> order_by (fun kv -> Expr.Fst kv)
   in
   Printf.printf "QUIL: %s\n" (Steno.quil per_status);
   Array.iter
@@ -50,13 +51,13 @@ let () =
   (* 2. Slowest error-serving URLs: filter, group, aggregate, sort, take. *)
   let slow_errors =
     logs
-    |> Query.where (fun r -> I.(status r >= Expr.int 400))
-    |> Query.group_by_agg
+    |> where (fun r -> I.(status r >= Expr.int 400))
+    |> group_by_agg
          ~key:(fun r -> url r)
          ~seed:(Expr.float 0.0)
          ~step:(fun acc r -> Expr.Prim2 (Prim.Max_float, acc, latency r))
-    |> Query.order_by ~order:Query.Descending (fun kv -> Expr.Snd kv)
-    |> Query.take 5
+    |> order_by ~order:Query.Descending (fun kv -> Expr.Snd kv)
+    |> take 5
   in
   Printf.printf "\nslowest URLs among errors (max latency):\n";
   Array.iter
@@ -65,7 +66,7 @@ let () =
 
   (* 3. Overall error rate as a scalar aggregate. *)
   let errors =
-    Query.count (logs |> Query.where (fun r -> I.(status r >= Expr.int 400)))
+    count (logs |> where (fun r -> I.(status r >= Expr.int 400)))
   in
   Printf.printf "\nerror rate: %.2f%%\n"
     (100.0 *. float_of_int (Steno.scalar errors) /. float_of_int n);
@@ -75,8 +76,8 @@ let () =
   let cluster = Dryad.create () in
   let ds = Dataset.of_array ~parts:8 records in
   let stage1 part =
-    Query.of_array record_ty part
-    |> Query.group_by_agg
+    of_array record_ty part
+    |> group_by_agg
          ~key:(fun r -> status r)
          ~seed:(Expr.Pair (Expr.int 0, Expr.float 0.0))
          ~step:(fun acc r ->

@@ -1,0 +1,324 @@
+(* Algebraic rewrites over the query AST and the canonicalized QUIL
+   chain.  See opt.mli for the rule table.
+
+   Every rule strictly decreases the operator count, so the per-node rule
+   loop and the fixpoint driver both terminate; the fuel bound is a
+   belt-and-braces guard, not a load-bearing one. *)
+
+let default_fuel = 32
+
+let rule_names =
+  [
+    "where-fuse";
+    "select-fuse";
+    "take-take";
+    "skip-skip";
+    "skip-zero";
+    "take-zero";
+    "where-const-true";
+    "where-const-false";
+    "take-while-const";
+    "skip-while-const";
+    "distinct-distinct";
+    "empty-collapse";
+    "quil-rev-rev";
+    "quil-drop-to-array";
+  ]
+
+(* The canonical empty source for an element type.  Empty arrays share
+   one runtime representation, so repeated collapses also share a capture
+   slot. *)
+let empty : type a. a Ty.t -> a Query.t =
+ fun ty -> Query.Of_array (ty, Expr.capture (Ty.Array ty) [||])
+
+let empty_like : type a. a Query.t -> a Query.t =
+ fun q -> empty (Query.elem_ty q)
+
+(* A source that is statically known to produce no elements. *)
+let is_empty : type a. a Query.t -> bool = function
+  | Query.Of_array (_, Expr.Capture (_, arr)) -> Array.length arr = 0
+  | Query.Range (_, Expr.Const_int n) -> n <= 0
+  | Query.Repeat (_, _, Expr.Const_int n) -> n <= 0
+  | _ -> false
+
+(* Dead-operator elimination: any operator fed only by an empty source
+   produces no elements itself.  (A [Join] is empty as soon as either
+   side is; a [Select_many] as soon as the outer or the element-independent
+   inner is.) *)
+let collapsible : type a. a Query.t -> bool = function
+  | Query.Of_array _ | Query.Range _ | Query.Repeat _ -> false
+  | Query.Select (q, _) -> is_empty q
+  | Query.Select_i (q, _) -> is_empty q
+  | Query.Select_q (q, _, _) -> is_empty q
+  | Query.Where (q, _)
+  | Query.Where_i (q, _)
+  | Query.Take (q, _)
+  | Query.Skip (q, _)
+  | Query.Take_while (q, _)
+  | Query.Skip_while (q, _)
+  | Query.Order_by (q, _, _)
+  | Query.Distinct q
+  | Query.Rev q
+  | Query.Materialize q ->
+    is_empty q
+  | Query.Where_q (q, _, _) -> is_empty q
+  | Query.Select_many (q, _, inner) -> is_empty q || is_empty inner
+  | Query.Select_many_result (q, _, inner, _) -> is_empty q || is_empty inner
+  | Query.Join (outer, inner, _, _, _) -> is_empty outer || is_empty inner
+  | Query.Group_by (q, _) -> is_empty q
+  | Query.Group_by_elem (q, _, _) -> is_empty q
+  | Query.Group_by_agg (q, _, _, _) -> is_empty q
+
+(* One rule application at the root of [q], or [None] when no rule
+   matches.  Children are assumed already rewritten (the pass below is
+   bottom-up). *)
+let rewrite_top : type a. a Query.t -> (a Query.t * string) option =
+ fun q ->
+  if collapsible q then Some (empty_like q, "empty-collapse")
+  else
+    match q with
+    | Query.Where (q0, p) -> (
+      match Expr.simplify p.Expr.body with
+      | Expr.Const_bool true -> Some (q0, "where-const-true")
+      | Expr.Const_bool false ->
+        Some (empty (Query.elem_ty q0), "where-const-false")
+      | _ -> (
+        match q0 with
+        | Query.Where (q1, p1) ->
+          (* Test p1 then p2 on the same element; [If] keeps the second
+             predicate unevaluated when the first already rejected. *)
+          let p2_body =
+            Expr.subst p.Expr.param (Expr.Var p1.Expr.param) p.Expr.body
+          in
+          let fused =
+            {
+              p1 with
+              Expr.body = Expr.If (p1.Expr.body, p2_body, Expr.Const_bool false);
+            }
+          in
+          Some (Query.Where (q1, fused), "where-fuse")
+        | _ -> None))
+    | Query.Select (Query.Select (q0, f), g) ->
+      (* Bind the intermediate element once, so a selector using its
+         parameter twice does not duplicate the upstream computation. *)
+      let composed =
+        {
+          Expr.param = f.Expr.param;
+          body = Expr.Let (g.Expr.param, f.Expr.body, g.Expr.body);
+        }
+      in
+      Some (Query.Select (q0, composed), "select-fuse")
+    | Query.Take (q0, Expr.Const_int n) when n <= 0 ->
+      Some (empty (Query.elem_ty q0), "take-zero")
+    | Query.Take (Query.Take (q0, n), m) ->
+      let count =
+        match n, m with
+        | Expr.Const_int a, Expr.Const_int b -> Expr.Const_int (min a b)
+        | n, m -> Expr.Prim2 (Prim.Min_int, n, m)
+      in
+      Some (Query.Take (q0, count), "take-take")
+    | Query.Skip (q0, Expr.Const_int n) when n <= 0 ->
+      Some (q0, "skip-zero")
+    | Query.Skip (Query.Skip (q0, Expr.Const_int a), Expr.Const_int b) ->
+      Some (Query.Skip (q0, Expr.Const_int (max 0 a + max 0 b)), "skip-skip")
+    | Query.Take_while (q0, p) -> (
+      match Expr.simplify p.Expr.body with
+      | Expr.Const_bool true -> Some (q0, "take-while-const")
+      | Expr.Const_bool false ->
+        Some (empty (Query.elem_ty q0), "take-while-const")
+      | _ -> None)
+    | Query.Skip_while (q0, p) -> (
+      match Expr.simplify p.Expr.body with
+      | Expr.Const_bool false -> Some (q0, "skip-while-const")
+      | Expr.Const_bool true ->
+        Some (empty (Query.elem_ty q0), "skip-while-const")
+      | _ -> None)
+    | Query.Distinct (Query.Distinct q0) ->
+      Some (Query.Distinct q0, "distinct-distinct")
+    | _ -> None
+
+(* Apply rules at this node until none fires.  Terminates: every rule
+   strictly decreases the operator count. *)
+let rec apply_rules :
+    type a. a Query.t -> string list -> a Query.t * string list =
+ fun q log ->
+  match rewrite_top q with
+  | Some (q', r) -> apply_rules q' (log @ [ r ])
+  | None -> q, log
+
+let rec pass : type a. a Query.t -> a Query.t * string list =
+ fun q ->
+  let q, log =
+    match q with
+    | Query.Of_array _ as q -> q, []
+    | Query.Range _ as q -> q, []
+    | Query.Repeat _ as q -> q, []
+    | Query.Select (q0, f) ->
+      let q0, l = pass q0 in
+      Query.Select (q0, f), l
+    | Query.Select_i (q0, f) ->
+      let q0, l = pass q0 in
+      Query.Select_i (q0, f), l
+    | Query.Select_q (q0, v, sq) ->
+      let q0, l1 = pass q0 in
+      let sq, l2 = pass_sq sq in
+      Query.Select_q (q0, v, sq), l1 @ l2
+    | Query.Where (q0, p) ->
+      let q0, l = pass q0 in
+      Query.Where (q0, p), l
+    | Query.Where_i (q0, p) ->
+      let q0, l = pass q0 in
+      Query.Where_i (q0, p), l
+    | Query.Where_q (q0, v, sq) ->
+      let q0, l1 = pass q0 in
+      let sq, l2 = pass_sq sq in
+      Query.Where_q (q0, v, sq), l1 @ l2
+    | Query.Take (q0, n) ->
+      let q0, l = pass q0 in
+      Query.Take (q0, n), l
+    | Query.Skip (q0, n) ->
+      let q0, l = pass q0 in
+      Query.Skip (q0, n), l
+    | Query.Take_while (q0, p) ->
+      let q0, l = pass q0 in
+      Query.Take_while (q0, p), l
+    | Query.Skip_while (q0, p) ->
+      let q0, l = pass q0 in
+      Query.Skip_while (q0, p), l
+    | Query.Select_many (q0, v, inner) ->
+      let q0, l1 = pass q0 in
+      let inner, l2 = pass inner in
+      Query.Select_many (q0, v, inner), l1 @ l2
+    | Query.Select_many_result (q0, v, inner, r) ->
+      let q0, l1 = pass q0 in
+      let inner, l2 = pass inner in
+      Query.Select_many_result (q0, v, inner, r), l1 @ l2
+    | Query.Join (outer, inner, ok, ik, res) ->
+      let outer, l1 = pass outer in
+      let inner, l2 = pass inner in
+      Query.Join (outer, inner, ok, ik, res), l1 @ l2
+    | Query.Group_by (q0, k) ->
+      let q0, l = pass q0 in
+      Query.Group_by (q0, k), l
+    | Query.Group_by_elem (q0, k, e) ->
+      let q0, l = pass q0 in
+      Query.Group_by_elem (q0, k, e), l
+    | Query.Group_by_agg (q0, k, seed, step) ->
+      let q0, l = pass q0 in
+      Query.Group_by_agg (q0, k, seed, step), l
+    | Query.Order_by (q0, k, dir) ->
+      let q0, l = pass q0 in
+      Query.Order_by (q0, k, dir), l
+    | Query.Distinct q0 ->
+      let q0, l = pass q0 in
+      Query.Distinct q0, l
+    | Query.Rev q0 ->
+      let q0, l = pass q0 in
+      Query.Rev q0, l
+    | Query.Materialize q0 ->
+      let q0, l = pass q0 in
+      Query.Materialize q0, l
+  in
+  apply_rules q log
+
+and pass_sq : type s. s Query.sq -> s Query.sq * string list = function
+  | Query.Aggregate (q, seed, step) ->
+    let q, l = pass q in
+    Query.Aggregate (q, seed, step), l
+  | Query.Aggregate_full (q, seed, step, res) ->
+    let q, l = pass q in
+    Query.Aggregate_full (q, seed, step, res), l
+  | Query.Sum_int q ->
+    let q, l = pass q in
+    Query.Sum_int q, l
+  | Query.Sum_float q ->
+    let q, l = pass q in
+    Query.Sum_float q, l
+  | Query.Count q ->
+    let q, l = pass q in
+    Query.Count q, l
+  | Query.Average q ->
+    let q, l = pass q in
+    Query.Average q, l
+  | Query.Min q ->
+    let q, l = pass q in
+    Query.Min q, l
+  | Query.Max q ->
+    let q, l = pass q in
+    Query.Max q, l
+  | Query.Min_by (q, k) ->
+    let q, l = pass q in
+    Query.Min_by (q, k), l
+  | Query.Max_by (q, k) ->
+    let q, l = pass q in
+    Query.Max_by (q, k), l
+  | Query.First q ->
+    let q, l = pass q in
+    Query.First q, l
+  | Query.Last q ->
+    let q, l = pass q in
+    Query.Last q, l
+  | Query.Element_at (q, n) ->
+    let q, l = pass q in
+    Query.Element_at (q, n), l
+  | Query.Any q ->
+    let q, l = pass q in
+    Query.Any q, l
+  | Query.Exists (q, p) ->
+    let q, l = pass q in
+    Query.Exists (q, p), l
+  | Query.For_all (q, p) ->
+    let q, l = pass q in
+    Query.For_all (q, p), l
+  | Query.Contains (q, v) ->
+    let q, l = pass q in
+    Query.Contains (q, v), l
+  | Query.Map_scalar (sq, f) ->
+    let sq, l = pass_sq sq in
+    Query.Map_scalar (sq, f), l
+
+let run_fix ~fuel step x =
+  let rec loop n x acc =
+    if n <= 0 then x, acc
+    else
+      let x', fired = step x in
+      if fired = [] then x', acc else loop (n - 1) x' (acc @ fired)
+  in
+  loop fuel x []
+
+let query ?(fuel = default_fuel) q = run_fix ~fuel pass q
+
+let scalar ?(fuel = default_fuel) sq = run_fix ~fuel pass_sq sq
+
+(* ------------------------------------------------------------------ *)
+(* The string-level pass over the canonicalized QUIL chain. *)
+
+let chain ?(fuel = default_fuel) (c : Quil.chain) =
+  let log = ref [] in
+  let fire r = log := !log @ [ r ] in
+  let rec once c =
+    let ops = List.map (Quil.map_nested once) c.Quil.ops in
+    let rec squash = function
+      | Quil.Sink Quil.Reverse_sink :: Quil.Sink Quil.Reverse_sink :: rest ->
+        fire "quil-rev-rev";
+        squash rest
+      | Quil.Sink Quil.To_array_sink
+        :: ((Quil.Sink _ | Quil.Agg _) :: _ as rest) ->
+        (* The downstream sink rebuffers (or the aggregate folds) the
+           whole input anyway, so the intermediate array is dead. *)
+        fire "quil-drop-to-array";
+        squash rest
+      | op :: rest -> op :: squash rest
+      | [] -> []
+    in
+    { c with Quil.ops = squash ops }
+  in
+  let rec loop n c =
+    if n <= 0 then c
+    else
+      let before = List.length !log in
+      let c' = once c in
+      if List.length !log = before then c' else loop (n - 1) c'
+  in
+  let c' = loop fuel c in
+  c', !log

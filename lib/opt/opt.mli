@@ -1,0 +1,65 @@
+(** Algebraic plan optimization: rewrite rules over the declarative query
+    AST, plus a second pass over the canonicalized QUIL chain.
+
+    The paper's pipeline consumes the query AST as written, so a
+    semantically redundant operator chain ([Where p] directly over
+    [Where q], [Select f] over [Select g], stacked [Take]/[Skip]s, a
+    constant predicate) pays a full operator's worth of iterator state,
+    closure calls, generated code and cache-key entropy.  This module is
+    the classic next step for a loop-based relational IR: a small
+    algebraic rewrite engine that runs between query construction and
+    specialization, under a fixpoint driver with a fuel bound.
+
+    Every rule is semantics-preserving for the pure expression language of
+    {!Expr} (predicate fusion short-circuits via [If], transformation
+    fusion binds the intermediate value with [Let], so evaluation count
+    and order are preserved even for captured host functions).  Rules that
+    eliminate a sub-query ([where-const-false], [take-zero],
+    [empty-collapse]) assume predicates and selectors are effect-free, the
+    standing assumption of the whole pipeline.
+
+    {b AST rules} (applied by {!query} / {!scalar}):
+    - [where-fuse]: [Where p ∘ Where q] → one [Where] testing [p] then [q]
+      (short-circuit preserved);
+    - [select-fuse]: [Select f ∘ Select g] → one [Select] of the [Let]-bound
+      composition;
+    - [take-take]: [Take n ∘ Take m] → [Take (min n m)] (constants folded,
+      otherwise a [min] expression);
+    - [skip-skip]: [Skip n ∘ Skip m] → [Skip (n + m)] (constant counts,
+      clamped at zero);
+    - [skip-zero]: [Skip 0] dropped;
+    - [take-zero]: [Take n], [n <= 0] → the empty source;
+    - [where-const-true] / [where-const-false]: a predicate that constant
+      folds to [true] is dropped; [false] short-circuits to the empty
+      source;
+    - [take-while-const] / [skip-while-const]: likewise for the stateful
+      predicates;
+    - [distinct-distinct]: adjacent [Distinct]s collapse;
+    - [empty-collapse]: dead-operator elimination — any operator whose
+      source is statically empty (after a collapsing rewrite) becomes the
+      empty source of its element type.
+
+    {b QUIL chain rules} (applied by {!chain} to the canonicalized form):
+    - [quil-rev-rev]: adjacent [Sink:Reverse] pairs cancel;
+    - [quil-drop-to-array]: a [Sink:ToArray] immediately followed by
+      another sink or an aggregate is redundant (the downstream operator
+      rebuffers or folds the whole input anyway). *)
+
+val default_fuel : int
+(** Bound on fixpoint passes (each pass may fire many rules); rewriting
+    stops early as soon as a pass fires nothing. *)
+
+val query : ?fuel:int -> 'a Query.t -> 'a Query.t * string list
+(** [query q] is the rewritten query together with the names of the rules
+    applied, in application order (one entry per firing, so a rule fusing
+    three stacked [Where]s appears twice). *)
+
+val scalar : ?fuel:int -> 's Query.sq -> 's Query.sq * string list
+
+val chain : ?fuel:int -> Quil.chain -> Quil.chain * string list
+(** The string-level pass over the canonicalized QUIL chain, recursing
+    into nested sub-chains. *)
+
+val rule_names : string list
+(** Every rule this engine can fire, AST rules first — the documentation
+    table and the differential test enumerate it. *)

@@ -368,3 +368,54 @@ let pp fmt q =
 
 let pp_sq fmt sq =
   Format.pp_print_string fmt (String.concat " -> " (sq_chain sq @ [ "Ret" ]))
+
+(* The pipeline vocabulary: one module to open at a query construction
+   site.  Everything here is an alias of (or a one-liner over) the
+   combinators above, which are themselves thin wrappers over the GADT
+   constructors — no new semantics, just the names a [|>] chain reads
+   best with, plus the common source shorthands. *)
+module Pipe = struct
+  let of_array = of_array
+  let of_list ty xs = of_array ty (Array.of_list xs)
+  let ints xs = of_array Ty.Int xs
+  let floats xs = of_array Ty.Float xs
+  let range = range
+  let repeat = repeat
+
+  let where = where
+  let where_i = where_i
+  let select = select
+  let select_i = select_i
+  let select_many = select_many
+  let take = take
+  let skip = skip
+  let take_while = take_while
+  let skip_while = skip_while
+  let join = join
+  let group_by = group_by
+  let group_by_agg = group_by_agg
+  let order_by = order_by
+  let distinct = distinct
+  let rev = rev
+
+  let to_array_q q = materialize q
+
+  let sum_int = sum_int
+  let sum_float = sum_float
+  let sum_by_int = sum_by_int
+  let sum_by_float = sum_by_float
+  let count = count
+  let count_where = count_where
+  let average = average
+  let average_by = average_by
+  let min_elt = min_elt
+  let max_elt = max_elt
+  let min_by = min_by
+  let max_by = max_by
+  let first = first
+  let last = last
+  let any = any
+  let exists = exists
+  let for_all = for_all
+  let contains = contains
+end

@@ -199,3 +199,92 @@ val pp : Format.formatter -> 'a t -> unit
 (** Operator-chain dump, e.g. ["Src -> Where(p) -> Select(f) -> Ret"]. *)
 
 val pp_sq : Format.formatter -> 's sq -> unit
+
+(** {1 Pipeline builders}
+
+    The query vocabulary packaged for [|>] chains: open (or
+    locally-open) this module at a construction site and write
+
+    {[
+      Query.Pipe.(
+        ints xs
+        |> where (fun x -> Expr.Infix.(x mod Expr.int 2 = Expr.int 0))
+        |> select (fun x -> Expr.Infix.(x * x))
+        |> to_array_q)
+    ]}
+
+    Every function is an alias of — or a one-line convenience over — the
+    toplevel combinators, which are themselves thin wrappers over the
+    GADT constructors; the two styles build identical ASTs and may be
+    mixed freely. *)
+module Pipe : sig
+  (** {2 Sources} *)
+
+  val of_array : 'a Ty.t -> 'a array -> 'a t
+  val of_list : 'a Ty.t -> 'a list -> 'a t
+  val ints : int array -> int t
+  (** [of_array Ty.Int]. *)
+
+  val floats : float array -> float t
+  val range : start:int -> count:int -> int t
+  val repeat : 'a Ty.t -> 'a -> count:int -> 'a t
+
+  (** {2 Operators} *)
+
+  val where : ('a Expr.t -> bool Expr.t) -> 'a t -> 'a t
+  val where_i : (int Expr.t -> 'a Expr.t -> bool Expr.t) -> 'a t -> 'a t
+  val select : ('a Expr.t -> 'b Expr.t) -> 'a t -> 'b t
+  val select_i : (int Expr.t -> 'a Expr.t -> 'b Expr.t) -> 'a t -> 'b t
+  val select_many : ('a Expr.t -> 'b t) -> 'a t -> 'b t
+  val take : int -> 'a t -> 'a t
+  val skip : int -> 'a t -> 'a t
+  val take_while : ('a Expr.t -> bool Expr.t) -> 'a t -> 'a t
+  val skip_while : ('a Expr.t -> bool Expr.t) -> 'a t -> 'a t
+
+  val join :
+    inner:'b t ->
+    outer_key:('a Expr.t -> 'k Expr.t) ->
+    inner_key:('b Expr.t -> 'k Expr.t) ->
+    result:('a Expr.t -> 'b Expr.t -> 'c Expr.t) ->
+    'a t ->
+    'c t
+
+  val group_by : ('a Expr.t -> 'k Expr.t) -> 'a t -> ('k * 'a array) t
+
+  val group_by_agg :
+    key:('a Expr.t -> 'k Expr.t) ->
+    seed:'s Expr.t ->
+    step:('s Expr.t -> 'a Expr.t -> 's Expr.t) ->
+    'a t ->
+    ('k * 's) t
+
+  val order_by : ?order:order -> ('a Expr.t -> 'k Expr.t) -> 'a t -> 'a t
+  val distinct : 'a t -> 'a t
+  val rev : 'a t -> 'a t
+
+  val to_array_q : 'a t -> 'a t
+  (** Force materialization at this point in the pipeline
+      ({!materialize}): the terminal of a collection pipeline in the
+      LINQ idiom. *)
+
+  (** {2 Scalar terminals} *)
+
+  val sum_int : int t -> int sq
+  val sum_float : float t -> float sq
+  val sum_by_int : ('a Expr.t -> int Expr.t) -> 'a t -> int sq
+  val sum_by_float : ('a Expr.t -> float Expr.t) -> 'a t -> float sq
+  val count : 'a t -> int sq
+  val count_where : ('a Expr.t -> bool Expr.t) -> 'a t -> int sq
+  val average : float t -> float sq
+  val average_by : ('a Expr.t -> float Expr.t) -> 'a t -> float sq
+  val min_elt : 'a t -> 'a sq
+  val max_elt : 'a t -> 'a sq
+  val min_by : ('a Expr.t -> 'k Expr.t) -> 'a t -> 'a sq
+  val max_by : ('a Expr.t -> 'k Expr.t) -> 'a t -> 'a sq
+  val first : 'a t -> 'a sq
+  val last : 'a t -> 'a sq
+  val any : 'a t -> bool sq
+  val exists : ('a Expr.t -> bool Expr.t) -> 'a t -> bool sq
+  val for_all : ('a Expr.t -> bool Expr.t) -> 'a t -> bool sq
+  val contains : 'a Expr.t -> 'a t -> bool sq
+end

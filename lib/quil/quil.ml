@@ -165,3 +165,12 @@ let rec operator_count chain =
     | Hash_join j -> 1 + operator_count j.join_inner
   in
   1 + List.fold_left (fun acc op -> acc + op_count op) 0 chain.ops
+
+let map_nested f = function
+  | Trans_nested n -> Trans_nested { n with inner_s = f n.inner_s }
+  | Pred_nested n -> Pred_nested { n with inner_s = f n.inner_s }
+  | Nested n -> Nested { n with inner = f n.inner }
+  | Hash_join j -> Hash_join { j with join_inner = f j.join_inner }
+  | (Trans _ | Trans_idx _ | Pred _ | Pred_idx _ | Pred_stateful _
+    | Sink _ | Agg _) as op ->
+    op

@@ -149,3 +149,10 @@ val symbol_string : chain -> string
     specialization is visible in dumps. *)
 
 val operator_count : chain -> int
+
+val map_nested : (chain -> chain) -> op -> op
+(** [map_nested f op] rebuilds [op] with [f] applied to every chain nested
+    directly inside it (the sub-query of [Nested], [Trans_nested],
+    [Pred_nested], and the build side of [Hash_join]); operators without a
+    nested chain are returned unchanged.  Used by chain-level rewrite
+    passes to recurse uniformly. *)

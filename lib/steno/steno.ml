@@ -43,6 +43,10 @@ type compile_info = {
 type 'r prep = {
   run_fn : unit -> 'r;
   p_info : compile_info;
+  p_rules : string list;
+      (* Optimizer rewrite log for this preparation, AST rules first,
+         then QUIL chain rules (the latter only when the preparation
+         actually lowered to QUIL, i.e. on the Native path). *)
 }
 
 type 'a prepared = 'a array prep
@@ -128,6 +132,7 @@ module Engine = struct
   type config = {
     backend : backend;
     fallback : bool;
+    optimize : bool;
     compile_timeout_ms : int option;
     cache_capacity : int;
     telemetry : Telemetry.sink;
@@ -142,6 +147,7 @@ module Engine = struct
     {
       backend = (if native_available () then Native else Fused);
       fallback = true;
+      optimize = true;
       compile_timeout_ms = None;
       cache_capacity = 128;
       telemetry = Telemetry.null;
@@ -201,8 +207,16 @@ module Engine = struct
       Telemetry.with_span sink "codegen" (fun () -> Codegen.generate chain)
     in
     let t1 = now_ms () in
+    (* The generated source already reflects any rewriting, but the key
+       still carries the optimizer flag explicitly: a plugin compiled
+       with optimization off must never satisfy an optimized lookup of a
+       coincidentally identical source (and vice versa), e.g. across a
+       config change on a shared engine. *)
+    let cache_key =
+      (if eng.cfg.optimize then "O1:" else "O0:") ^ out.Codegen.source
+    in
     let looked_up =
-      match Steno_lru.find eng.cache out.Codegen.source with
+      match Steno_lru.find eng.cache cache_key with
       | Some p ->
         Telemetry.count sink "cache.hit" 1;
         Ok (true, p)
@@ -214,7 +228,7 @@ module Engine = struct
         | Error e -> Error (error_to_reason e)
         | Ok p ->
           Telemetry.count sink "cache.miss" 1;
-          if Steno_lru.add eng.cache out.Codegen.source p then
+          if Steno_lru.add eng.cache cache_key p then
             Telemetry.count sink "cache.eviction" 1;
           Telemetry.emit sink "compile" ~start_ms:t1
             ~duration_ms:p.Dynload.timings.Dynload.compile_ms ();
@@ -263,6 +277,7 @@ module Engine = struct
           compile_ms = 0.0;
           fallback;
         };
+      p_rules = [];
     }
 
   let prepare_plan (eng : t) ?backend (plan : 'r plan) : 'r prep =
@@ -285,6 +300,7 @@ module Engine = struct
         {
           run_fn = traced_run sink Native run;
           p_info = { info with prepare_ms = now_ms () -. t0 };
+          p_rules = [];
         }
       | Error reason when eng.cfg.fallback ->
         Telemetry.count sink "engine.fallback" 1;
@@ -296,16 +312,116 @@ module Engine = struct
       | Error reason ->
         raise (Dynload.Compilation_failed (fallback_reason_message reason)))
 
-  let prepare ?backend eng q = prepare_plan eng ?backend (query_plan q)
+  (* AST-level rewriting, as its own telemetry span.  [opt] is
+     [Opt.query] or [Opt.scalar], kept abstract so collection and scalar
+     preparation share this. *)
+  let optimize_ast eng opt q =
+    if not eng.cfg.optimize then q, []
+    else begin
+      let sink = eng.cfg.telemetry in
+      let q', rules =
+        Telemetry.with_span sink "optimize"
+          ~attrs:[ "level", "ast" ]
+          (fun () -> opt q)
+      in
+      Telemetry.count sink "optimize.rules_applied" (List.length rules);
+      q', rules
+    end
+
+  (* Hook the QUIL chain pass into a plan.  The chain is only built on
+     the Native path, and synchronously within [prepare_plan], so the
+     returned ref holds the fired chain rules by the time the
+     preparation exists. *)
+  let with_chain_pass eng plan =
+    if not eng.cfg.optimize then plan, ref []
+    else begin
+      let fired = ref [] in
+      let chain sink =
+        let c = plan.chain sink in
+        let c, rules =
+          Telemetry.with_span sink "optimize"
+            ~attrs:[ "level", "quil" ]
+            (fun () -> Opt.chain c)
+        in
+        Telemetry.count sink "optimize.rules_applied" (List.length rules);
+        fired := rules;
+        c
+      in
+      { plan with chain }, fired
+    end
+
+  let prepare ?backend eng q =
+    let q, ast_rules = optimize_ast eng Opt.query q in
+    let plan, chain_rules = with_chain_pass eng (query_plan q) in
+    let p = prepare_plan eng ?backend plan in
+    { p with p_rules = ast_rules @ !chain_rules }
 
   let prepare_scalar ?backend eng sq =
-    prepare_plan eng ?backend (scalar_plan sq)
+    let sq, ast_rules = optimize_ast eng Opt.scalar sq in
+    let plan, chain_rules = with_chain_pass eng (scalar_plan sq) in
+    let p = prepare_plan eng ?backend plan in
+    { p with p_rules = ast_rules @ !chain_rules }
 
   let to_array ?backend eng q = (prepare ?backend eng q).run_fn ()
 
   let to_list ?backend eng q = Array.to_list (to_array ?backend eng q)
 
   let scalar ?backend eng sq = (prepare_scalar ?backend eng sq).run_fn ()
+
+  (* {2 Explain} *)
+
+  type explanation = {
+    quil_before : string;
+    quil_after : string;
+    operators_before : int;
+    operators_after : int;
+    rules : string list;
+  }
+
+  let explain_chains eng ~before ~after_canon ~ast_rules =
+    let after, chain_rules =
+      if eng.cfg.optimize then Opt.chain after_canon else after_canon, []
+    in
+    {
+      quil_before = Quil.symbol_string before;
+      quil_after = Quil.symbol_string after;
+      operators_before = Quil.operator_count before;
+      operators_after = Quil.operator_count after;
+      rules = ast_rules @ chain_rules;
+    }
+
+  let explain eng q =
+    let before = Canon.of_query q in
+    let after_canon, ast_rules =
+      if eng.cfg.optimize then
+        let q', rules = Opt.query q in
+        Canon.of_query q', rules
+      else before, []
+    in
+    explain_chains eng ~before ~after_canon ~ast_rules
+
+  let explain_scalar eng sq =
+    let before = Canon.of_scalar sq in
+    let after_canon, ast_rules =
+      if eng.cfg.optimize then
+        let sq', rules = Opt.scalar sq in
+        Canon.of_scalar sq', rules
+      else before, []
+    in
+    explain_chains eng ~before ~after_canon ~ast_rules
+
+  let explain_to_string ex =
+    let b = Buffer.create 256 in
+    Printf.bprintf b "plan before: %s\n" ex.quil_before;
+    Printf.bprintf b "plan after:  %s\n" ex.quil_after;
+    Printf.bprintf b "operators:   %d -> %d\n" ex.operators_before
+      ex.operators_after;
+    (match ex.rules with
+    | [] -> Buffer.add_string b "rules applied: (none)\n"
+    | rules ->
+      Buffer.add_string b "rules applied:\n";
+      List.iter (fun r -> Printf.bprintf b "  - %s\n" r) rules);
+    Buffer.contents b
 end
 
 (* The compatibility default engine: the only process-global engine
@@ -326,6 +442,28 @@ let run_scalar p = p.run_fn ()
 let info p = p.p_info
 
 let info_scalar p = p.p_info
+
+let rewrite_log p = p.p_rules
+
+let rewrite_log_scalar p = p.p_rules
+
+module Prepared = struct
+  type 'a t = 'a prepared
+
+  let run p = p.run_fn ()
+  let backend_used p = p.p_info.backend
+  let compile_info p = p.p_info
+  let rewrite_log p = p.p_rules
+end
+
+module Prepared_scalar = struct
+  type 's t = 's prepared_scalar
+
+  let run p = p.run_fn ()
+  let backend_used p = p.p_info.backend
+  let compile_info p = p.p_info
+  let rewrite_log p = p.p_rules
+end
 
 let to_array ?backend q = run (prepare ?backend q)
 

@@ -88,6 +88,17 @@ module Engine : sig
             back to [Fused] and records the reason, instead of raising.
             When false, such failures raise
             [Dynload.Compilation_failed]. *)
+    optimize : bool;
+        (** When true (the default), every preparation first runs the
+            {!Opt} algebraic rewrite engine over the query AST, and the
+            Native path additionally runs the chain-level pass over the
+            canonicalized QUIL.  The applied rules are recorded in the
+            preparation ({!Prepared.rewrite_log}) and counted in
+            telemetry ([optimize.rules_applied], under an ["optimize"]
+            span).  The plugin cache key incorporates this flag, so
+            optimized and unoptimized compilations never alias.  Set
+            [false] to run plans exactly as written (the escape hatch
+            for debugging a suspected rewrite). *)
     compile_timeout_ms : int option;
         (** Deadline for one external compiler invocation; the process
             is killed past it.  [None] waits indefinitely. *)
@@ -95,15 +106,16 @@ module Engine : sig
         (** Bound on cached compiled plugins (per engine, LRU).  [0]
             disables caching. *)
     telemetry : Telemetry.sink;
-        (** Receives a span per pipeline stage (specialize, canon,
-            codegen, compile, dynlink, env-bind, run) and cache /
-            fallback counters.  {!Telemetry.null} costs one branch per
-            stage. *)
+        (** Receives a span per pipeline stage (optimize, specialize,
+            canon, codegen, compile, dynlink, env-bind, run) and cache /
+            fallback / rewrite counters.  {!Telemetry.null} costs one
+            branch per stage. *)
   }
 
   val default_config : config
   (** [Native] when a compiler is available ([Fused] otherwise),
-      [fallback = true], no timeout, capacity 128, null telemetry. *)
+      [fallback = true], [optimize = true], no timeout, capacity 128,
+      null telemetry. *)
 
   val create : config -> t
 
@@ -136,6 +148,32 @@ module Engine : sig
   val cache_size : t -> int
   val clear_cache : t -> unit
   (** Counters are cumulative and survive {!clear_cache}. *)
+
+  (** {2 Explain}
+
+      What the optimizer would do to a query under this engine's
+      configuration, without preparing or running it.  With
+      [optimize = false] the before and after plans are identical and
+      [rules] is empty. *)
+
+  type explanation = {
+    quil_before : string;  (** QUIL sentence of the plan as written. *)
+    quil_after : string;  (** QUIL sentence after both rewrite passes. *)
+    operators_before : int;
+    operators_after : int;
+        (** {!Quil.operator_count} of each plan; rewriting never
+            increases it. *)
+    rules : string list;
+        (** Rules applied in order: AST rules, then chain rules.  One
+            entry per firing. *)
+  }
+
+  val explain : t -> 'a Query.t -> explanation
+  val explain_scalar : t -> 's Query.sq -> explanation
+
+  val explain_to_string : explanation -> string
+  (** Multi-line rendering: plan before/after, operator counts, and the
+      applied-rule list — what [stenoc explain] prints. *)
 end
 
 val default_engine : unit -> Engine.t
@@ -153,14 +191,60 @@ val scalar : ?backend:backend -> 's Query.sq -> 's
 (** {1 Prepared queries}
 
     Separate optimization from execution to amortize or measure the
-    one-off compilation cost. *)
+    one-off compilation cost.  [prepare] returns an abstract handle;
+    interrogate it through {!Prepared} (and scalar preparations through
+    {!Prepared_scalar}). *)
 
 val prepare : ?backend:backend -> 'a Query.t -> 'a prepared
 val prepare_scalar : ?backend:backend -> 's Query.sq -> 's prepared_scalar
+
+(** Accessors on a prepared collection query. *)
+module Prepared : sig
+  type 'a t = 'a prepared
+
+  val run : 'a t -> 'a array
+  (** Execute.  Reusable: captured inputs are re-read on each run. *)
+
+  val backend_used : 'a t -> backend
+  (** The backend that actually executes (after any fallback). *)
+
+  val compile_info : 'a t -> compile_info
+
+  val rewrite_log : 'a t -> string list
+  (** Optimizer rules applied while preparing this query, in order (AST
+      rules first, then QUIL chain rules — the latter only on the
+      Native path, which is the only one that builds the chain).  Empty
+      when the engine was configured with [optimize = false]. *)
+end
+
+(** Accessors on a prepared scalar query. *)
+module Prepared_scalar : sig
+  type 's t = 's prepared_scalar
+
+  val run : 's t -> 's
+  val backend_used : 's t -> backend
+  val compile_info : 's t -> compile_info
+  val rewrite_log : 's t -> string list
+end
+
 val run : 'a prepared -> 'a array
+(** Alias of {!Prepared.run}, kept for one release; new code should use
+    the {!Prepared} accessors. *)
+
 val run_scalar : 's prepared_scalar -> 's
+(** Alias of {!Prepared_scalar.run}, kept for one release. *)
+
 val info : 'a prepared -> compile_info
+(** Alias of {!Prepared.compile_info}, kept for one release. *)
+
 val info_scalar : 's prepared_scalar -> compile_info
+(** Alias of {!Prepared_scalar.compile_info}, kept for one release. *)
+
+val rewrite_log : 'a prepared -> string list
+(** Alias of {!Prepared.rewrite_log}. *)
+
+val rewrite_log_scalar : 's prepared_scalar -> string list
+(** Alias of {!Prepared_scalar.rewrite_log}. *)
 
 (** {1 Inspection} *)
 

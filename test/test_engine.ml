@@ -7,10 +7,17 @@ let ints xs = Query.of_array Ty.Int xs
 
 let with_native f = if Steno.native_available () then f () else ()
 
-let engine ?(fallback = true) ?compile_timeout_ms ?(cache_capacity = 128)
-    ?(telemetry = Telemetry.null) backend =
+let engine ?(fallback = true) ?(optimize = true) ?compile_timeout_ms
+    ?(cache_capacity = 128) ?(telemetry = Telemetry.null) backend =
   Steno.Engine.create
-    { backend; fallback; compile_timeout_ms; cache_capacity; telemetry }
+    {
+      backend;
+      fallback;
+      optimize;
+      compile_timeout_ms;
+      cache_capacity;
+      telemetry;
+    }
 
 (* A family of structurally distinct scalar queries: [nth_query k] sums
    x + 1 + ... + 1 (k + 1 additions), so each k compiles separately. *)

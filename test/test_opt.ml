@@ -1,0 +1,401 @@
+(* The algebraic optimizer: per-rule unit tests on the rewrite log, a
+   differential suite (every backend, optimization on and off, against
+   the Reference semantics), and property tests for idempotence and
+   operator-count monotonicity. *)
+
+module I = Expr.Infix
+
+let ints xs = Query.of_array Ty.Int xs
+
+let backends =
+  if Steno.native_available () then [ Steno.Linq; Steno.Fused; Steno.Native ]
+  else [ Steno.Linq; Steno.Fused ]
+
+let engine ~optimize backend =
+  Steno.Engine.(create { default_config with backend; optimize })
+
+(* Every backend, with and without the optimizer, must agree with the
+   Reference evaluation of the query as written. *)
+let check_differential name (q : int Query.t) =
+  let expected = Reference.to_list q in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun optimize ->
+          let got = Steno.Engine.to_list (engine ~optimize b) q in
+          if got <> expected then
+            Alcotest.failf "%s/%s/optimize=%b: got [%s], want [%s]" name
+              (Steno.backend_name b) optimize
+              (String.concat ";" (List.map string_of_int got))
+              (String.concat ";" (List.map string_of_int expected)))
+        [ true; false ])
+    backends
+
+(* One rule check: the expected log, operator count not increased, and
+   the differential guarantee. *)
+let check_rule name q expected_log =
+  let q', log = Opt.query q in
+  Alcotest.(check (list string)) (name ^ " log") expected_log log;
+  if Query.operator_count q' > Query.operator_count q then
+    Alcotest.failf "%s: operator count grew %d -> %d" name
+      (Query.operator_count q) (Query.operator_count q');
+  check_differential name q
+
+let data = [| 5; 2; 8; 2; 11; 14; 3; 8; 0; 7; 12; 9 |]
+
+let even x = I.(x mod Expr.int 2 = Expr.int 0)
+
+let test_where_fuse () =
+  check_rule "two wheres"
+    (ints data |> Query.where even |> Query.where (fun x -> I.(x < Expr.int 10)))
+    [ "where-fuse" ];
+  check_rule "three wheres"
+    (ints data |> Query.where even
+    |> Query.where (fun x -> I.(x < Expr.int 10))
+    |> Query.where (fun x -> I.(x > Expr.int 1)))
+    [ "where-fuse"; "where-fuse" ]
+
+let test_select_fuse () =
+  check_rule "two selects"
+    (ints data
+    |> Query.select (fun x -> I.(x * x))
+    |> Query.select (fun x -> I.(x + Expr.int 1)))
+    [ "select-fuse" ];
+  (* The composed selector must evaluate the first stage once even when
+     the second uses its parameter twice ([Let] binding, not textual
+     substitution): check via the value semantics. *)
+  check_rule "reused parameter"
+    (ints data
+    |> Query.select (fun x -> I.(x + Expr.int 3))
+    |> Query.select (fun y -> I.(y * y)))
+    [ "select-fuse" ]
+
+let test_take_take () =
+  check_rule "take take" (ints data |> Query.take 7 |> Query.take 4)
+    [ "take-take" ];
+  check_rule "take take larger" (ints data |> Query.take 3 |> Query.take 9)
+    [ "take-take" ]
+
+let test_skip_skip () =
+  check_rule "skip skip" (ints data |> Query.skip 2 |> Query.skip 3)
+    [ "skip-skip" ];
+  check_rule "skip zero" (ints data |> Query.skip 0) [ "skip-zero" ]
+
+let test_take_zero () =
+  (* take 0 collapses to the empty source; the downstream select then
+     collapses too. *)
+  check_rule "take zero"
+    (ints data |> Query.take 0 |> Query.select (fun x -> I.(x * x)))
+    [ "take-zero"; "empty-collapse" ]
+
+let test_where_const () =
+  check_rule "constant true" (ints data |> Query.where (fun _ -> Expr.bool true))
+    [ "where-const-true" ];
+  check_rule "constant false"
+    (ints data |> Query.where (fun _ -> Expr.bool false))
+    [ "where-const-false" ];
+  (* A predicate that only folds to a constant: 1 + 1 = 2. *)
+  check_rule "foldable predicate"
+    (ints data
+    |> Query.where (fun _ -> I.(Expr.int 1 + Expr.int 1 = Expr.int 2)))
+    [ "where-const-true" ]
+
+let test_while_const () =
+  check_rule "take_while true"
+    (ints data |> Query.take_while (fun _ -> Expr.bool true))
+    [ "take-while-const" ];
+  check_rule "take_while false"
+    (ints data |> Query.take_while (fun _ -> Expr.bool false))
+    [ "take-while-const" ];
+  check_rule "skip_while false"
+    (ints data |> Query.skip_while (fun _ -> Expr.bool false))
+    [ "skip-while-const" ];
+  check_rule "skip_while true"
+    (ints data |> Query.skip_while (fun _ -> Expr.bool true))
+    [ "skip-while-const" ]
+
+let test_distinct_distinct () =
+  check_rule "distinct distinct"
+    (ints data |> Query.distinct |> Query.distinct)
+    [ "distinct-distinct" ]
+
+let test_empty_collapse () =
+  check_rule "operators over empty source"
+    (ints [||] |> Query.select (fun x -> I.(x * x)) |> Query.rev)
+    [ "empty-collapse"; "empty-collapse" ];
+  check_rule "empty range"
+    (Query.range ~start:5 ~count:0 |> Query.distinct)
+    [ "empty-collapse" ];
+  (* Join with one statically empty side. *)
+  check_rule "join with empty inner"
+    (ints data
+    |> Query.join ~inner:(ints [||])
+         ~outer_key:(fun x -> x)
+         ~inner_key:(fun x -> x)
+         ~result:(fun x y -> I.(x + y)))
+    [ "empty-collapse" ]
+
+let test_scalar_rewrites () =
+  let sq =
+    ints data |> Query.where even
+    |> Query.where (fun x -> I.(x < Expr.int 10))
+    |> Query.sum_int
+  in
+  let _, log = Opt.scalar sq in
+  Alcotest.(check (list string)) "scalar log" [ "where-fuse" ] log;
+  let expected = Reference.scalar sq in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun optimize ->
+          Alcotest.(check int)
+            (Printf.sprintf "sum on %s" (Steno.backend_name b))
+            expected
+            (Steno.Engine.scalar (engine ~optimize b) sq))
+        [ true; false ])
+    backends
+
+(* Chain-level rules (these act on canonicalized QUIL, below the AST). *)
+
+let test_chain_rev_rev () =
+  let q = ints data |> Query.where even |> Query.rev |> Query.rev in
+  let c = Canon.of_query q in
+  let c', log = Opt.chain c in
+  Alcotest.(check (list string)) "chain log" [ "quil-rev-rev" ] log;
+  Alcotest.(check int) "two sinks removed"
+    (Quil.operator_count c - 2)
+    (Quil.operator_count c');
+  check_differential "rev rev" q
+
+let test_chain_drop_to_array () =
+  let q =
+    ints data |> Query.materialize |> Query.order_by (fun x -> x)
+  in
+  let c = Canon.of_query q in
+  let c', log = Opt.chain c in
+  Alcotest.(check (list string)) "chain log" [ "quil-drop-to-array" ] log;
+  Alcotest.(check int) "one sink removed"
+    (Quil.operator_count c - 1)
+    (Quil.operator_count c');
+  check_differential "materialize before sort" q
+
+let test_chain_fixpoint () =
+  (* Rev ; ToArray ; ToArray ; Rev needs a second pass: dropping the
+     ToArrays only then makes the Reverse pair adjacent. *)
+  let q =
+    ints data |> Query.rev |> Query.materialize |> Query.materialize
+    |> Query.rev
+  in
+  let c = Canon.of_query q in
+  let c', log = Opt.chain c in
+  Alcotest.(check (list string))
+    "chain log"
+    [ "quil-drop-to-array"; "quil-drop-to-array"; "quil-rev-rev" ]
+    log;
+  Alcotest.(check int) "all four ops removed"
+    (Quil.operator_count c - 4)
+    (Quil.operator_count c');
+  check_differential "rev toarray toarray rev" q
+
+(* The engine surface: rewrite logs on preparations, explain, and the
+   optimize=false escape hatch. *)
+
+let test_prepared_rewrite_log () =
+  let q = ints data |> Query.where even |> Query.where even in
+  let p = Steno.Engine.prepare (engine ~optimize:true Steno.Fused) q in
+  Alcotest.(check (list string))
+    "log on" [ "where-fuse" ]
+    (Steno.Prepared.rewrite_log p);
+  Alcotest.(check bool) "backend accessor" true
+    (Steno.Prepared.backend_used p = Steno.Fused);
+  let p0 = Steno.Engine.prepare (engine ~optimize:false Steno.Fused) q in
+  Alcotest.(check (list string)) "log off" [] (Steno.Prepared.rewrite_log p0);
+  (* The old free functions remain as aliases. *)
+  Alcotest.(check bool) "run alias" true (Steno.run p = Steno.Prepared.run p);
+  Alcotest.(check bool) "info alias" true
+    (Steno.info p = Steno.Prepared.compile_info p)
+
+let test_native_rewrite_log_has_chain_rules () =
+  if not (Steno.native_available ()) then ()
+  else begin
+    let q = ints data |> Query.where even |> Query.rev |> Query.rev in
+    let p = Steno.Engine.prepare (engine ~optimize:true Steno.Native) q in
+    Alcotest.(check (list string))
+      "ast + chain rules" [ "quil-rev-rev" ]
+      (Steno.Prepared.rewrite_log p)
+  end
+
+let test_explain () =
+  let eng = engine ~optimize:true Steno.Fused in
+  let q =
+    ints data |> Query.where even |> Query.where even |> Query.take 5
+    |> Query.take 3
+  in
+  let ex = Steno.Engine.explain eng q in
+  Alcotest.(check (list string))
+    "rules" [ "where-fuse"; "take-take" ]
+    ex.Steno.Engine.rules;
+  Alcotest.(check bool) "shrinks" true
+    (ex.Steno.Engine.operators_after < ex.Steno.Engine.operators_before);
+  let rendered = Steno.Engine.explain_to_string ex in
+  List.iter
+    (fun needle ->
+      if
+        not
+          (List.exists
+             (fun line ->
+               String.length line >= String.length needle
+               && String.sub line 0 (String.length needle) = needle)
+             (String.split_on_char '\n' rendered
+             |> List.map String.trim))
+      then Alcotest.failf "explain_to_string misses %S in:\n%s" needle rendered)
+    [ "plan before:"; "plan after:"; "operators:"; "rules applied:"; "- where-fuse" ];
+  (* With the optimizer off, explain reports the plan unchanged. *)
+  let ex0 = Steno.Engine.explain (engine ~optimize:false Steno.Fused) q in
+  Alcotest.(check (list string)) "no rules" [] ex0.Steno.Engine.rules;
+  Alcotest.(check int) "same plan" ex0.Steno.Engine.operators_before
+    ex0.Steno.Engine.operators_after
+
+let test_optimize_off_escape_hatch () =
+  (* optimize=false runs the plan as written: the telemetry trace shows
+     no optimize span and the results still agree. *)
+  let collector = Telemetry.Collector.create () in
+  let eng =
+    Steno.Engine.(
+      create
+        {
+          default_config with
+          backend = Steno.Fused;
+          optimize = false;
+          telemetry = Telemetry.Collector.sink collector;
+        })
+  in
+  let q = ints data |> Query.where even |> Query.where even in
+  ignore (Steno.Engine.to_array eng q);
+  let spans = Telemetry.Collector.spans collector in
+  Alcotest.(check bool) "no optimize span" false
+    (List.exists (fun s -> s.Telemetry.name = "optimize") spans)
+
+let test_optimize_telemetry () =
+  let collector = Telemetry.Collector.create () in
+  let eng =
+    Steno.Engine.(
+      create
+        {
+          default_config with
+          backend = Steno.Fused;
+          optimize = true;
+          telemetry = Telemetry.Collector.sink collector;
+        })
+  in
+  let q = ints data |> Query.where even |> Query.where even in
+  ignore (Steno.Engine.to_array eng q);
+  let spans = Telemetry.Collector.spans collector in
+  Alcotest.(check bool) "optimize span" true
+    (List.exists (fun s -> s.Telemetry.name = "optimize") spans);
+  Alcotest.(check bool) "rules counter" true
+    (List.mem_assoc "optimize.rules_applied"
+       (Telemetry.Collector.counters collector))
+
+(* Property tests: random redundant pipelines. *)
+
+let op_gen =
+  let open QCheck in
+  Gen.oneof
+    [
+      Gen.map
+        (fun k q -> Query.select (fun x -> I.(x + Expr.int k)) q)
+        Gen.small_int;
+      Gen.map
+        (fun k q ->
+          Query.where
+            (fun x -> I.(x mod Expr.int Stdlib.(2 + (k mod 3)) = Expr.int 0))
+            q)
+        Gen.small_int;
+      Gen.return (fun q -> Query.where (fun _ -> Expr.bool true) q);
+      Gen.return (fun q -> Query.where (fun _ -> Expr.bool false) q);
+      Gen.map (fun n q -> Query.take (n mod 12) q) Gen.small_int;
+      Gen.map (fun n q -> Query.skip (n mod 6) q) Gen.small_int;
+      Gen.return (fun q -> Query.distinct q);
+      Gen.return (fun q -> Query.rev q);
+      Gen.return (fun q -> Query.materialize q);
+      Gen.return
+        (fun q -> Query.take_while (fun _ -> Expr.bool true) q);
+      Gen.return (fun q -> Query.order_by (fun x -> I.(x mod Expr.int 5)) q);
+    ]
+
+let pipeline_gen =
+  QCheck.Gen.(
+    pair (list_size (int_bound 8) op_gen) (array_size (int_bound 12) (int_bound 20)))
+
+let build (ops, data) = List.fold_left (fun q op -> op q) (ints data) ops
+
+(* Second rewrite is a no-op: the fixpoint really is a normal form. *)
+let random_idempotent =
+  QCheck.Test.make ~name:"rewrite is idempotent (second pass fires no rules)"
+    ~count:200 (QCheck.make pipeline_gen) (fun input ->
+      let q1, _ = Opt.query (build input) in
+      let q2, log2 = Opt.query q1 in
+      log2 = [] && Query.operator_count q2 = Query.operator_count q1)
+
+(* Rewriting (AST pass + chain pass) never grows the canonicalized plan. *)
+let random_operator_count =
+  QCheck.Test.make
+    ~name:"optimized QUIL never has more operators than the original"
+    ~count:200 (QCheck.make pipeline_gen) (fun input ->
+      let q = build input in
+      let before = Quil.operator_count (Canon.of_query q) in
+      let q', _ = Opt.query q in
+      let c', _ = Opt.chain (Canon.of_query q') in
+      Quil.operator_count c' <= before)
+
+(* Rewritten queries still mean the same thing (Linq/Fused only: a native
+   compile per random case would dominate the suite's runtime). *)
+let random_differential =
+  QCheck.Test.make ~name:"optimized results match reference" ~count:100
+    (QCheck.make pipeline_gen) (fun input ->
+      let q = build input in
+      let expected = Reference.to_list q in
+      List.for_all
+        (fun b -> Steno.Engine.to_list (engine ~optimize:true b) q = expected)
+        [ Steno.Linq; Steno.Fused ])
+
+let () =
+  Alcotest.run "opt"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "where-fuse" `Quick test_where_fuse;
+          Alcotest.test_case "select-fuse" `Quick test_select_fuse;
+          Alcotest.test_case "take-take" `Quick test_take_take;
+          Alcotest.test_case "skip-skip" `Quick test_skip_skip;
+          Alcotest.test_case "take-zero" `Quick test_take_zero;
+          Alcotest.test_case "where-const" `Quick test_where_const;
+          Alcotest.test_case "while-const" `Quick test_while_const;
+          Alcotest.test_case "distinct-distinct" `Quick test_distinct_distinct;
+          Alcotest.test_case "empty-collapse" `Quick test_empty_collapse;
+          Alcotest.test_case "scalar" `Quick test_scalar_rewrites;
+        ] );
+      ( "chain",
+        [
+          Alcotest.test_case "rev-rev" `Quick test_chain_rev_rev;
+          Alcotest.test_case "drop-to-array" `Quick test_chain_drop_to_array;
+          Alcotest.test_case "fixpoint" `Quick test_chain_fixpoint;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "rewrite log" `Quick test_prepared_rewrite_log;
+          Alcotest.test_case "native chain log" `Quick
+            test_native_rewrite_log_has_chain_rules;
+          Alcotest.test_case "explain" `Quick test_explain;
+          Alcotest.test_case "escape hatch" `Quick
+            test_optimize_off_escape_hatch;
+          Alcotest.test_case "telemetry" `Quick test_optimize_telemetry;
+        ] );
+      ( "property",
+        [
+          QCheck_alcotest.to_alcotest random_idempotent;
+          QCheck_alcotest.to_alcotest random_operator_count;
+          QCheck_alcotest.to_alcotest random_differential;
+        ] );
+    ]

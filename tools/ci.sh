@@ -1,6 +1,7 @@
 #!/bin/sh
-# CI entry point: full build, the complete test suite, and a benchmark
-# smoke run that also refreshes the machine-readable results file.
+# CI entry point: full build, the complete test suite, the examples, and
+# a benchmark smoke run that also refreshes the machine-readable results
+# file.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -11,7 +12,14 @@ dune build @all
 echo "== dune runtest =="
 dune runtest
 
+echo "== optimizer differential tests =="
+dune exec test/test_opt.exe
+
+echo "== examples =="
+dune exec examples/quickstart.exe > /dev/null
+dune exec examples/wordcount.exe -- 20000 > /dev/null
+
 echo "== bench smoke (scale 0.01) =="
-dune exec bench/main.exe -- --scale 0.01 --json BENCH_PR1.json
+dune exec bench/main.exe -- --scale 0.01 --json BENCH_PR2.json
 
 echo "== ok =="

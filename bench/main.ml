@@ -631,6 +631,95 @@ let bechamel () =
         names)
     instances
 
+(* Profiled-vs-unprofiled overhead (PR 3): the same query prepared
+   through a [profile = false] and a [profile = true] engine, per
+   backend, with the hand-written loop as the reference point.  The
+   [profile = false] column IS the ordinary execution path — staging
+   applies the identity wrapper and generated code carries no probe
+   increments — so comparing it against [hand] bounds the cost of
+   having the profiling layer compiled in at all. *)
+let profile_overhead_rows () =
+  let n = scaled 4_000_000 in
+  let xs = uniform_floats n in
+  let sq = sumsq_query xs in
+  let measure backend profile =
+    let eng =
+      Steno.Engine.(
+        create
+          {
+            default_config with
+            backend;
+            profile;
+            metrics = Metrics.create ();
+          })
+    in
+    let p = Steno.Engine.prepare_scalar eng sq in
+    time_ms ~runs:5 (fun () -> Steno.run_scalar p)
+  in
+  let backends =
+    [ "linq", Steno.Linq; "fused", Steno.Fused ]
+    @ (if native then [ "native", Steno.Native ] else [])
+  in
+  ( n,
+    time_ms ~runs:5 (sumsq_hand xs),
+    List.map
+      (fun (name, b) ->
+        let off = measure b false in
+        let on = measure b true in
+        name, off, on)
+      backends )
+
+let overhead_pct ~off ~on = 100.0 *. ((on /. off) -. 1.0)
+
+let profiling () =
+  header "Profiling overhead: profile:false vs profile:true, per backend";
+  let n, hand, rows = profile_overhead_rows () in
+  row "sumsq over %d doubles (hand loop: %.2f ms), median of 5 runs\n" n hand;
+  row "%-8s %12s %12s %10s\n" "backend" "off(ms)" "on(ms)" "overhead";
+  List.iter
+    (fun (name, off, on) ->
+      row "%-8s %12.2f %12.2f %+9.1f%%\n" name off on
+        (overhead_pct ~off ~on))
+    rows
+
+let json_profile_report file =
+  header (Printf.sprintf "profiling JSON report -> %s" file);
+  let n, hand, rows = profile_overhead_rows () in
+  let oc =
+    try open_out file
+    with Sys_error msg ->
+      Printf.eprintf "cannot write %s: %s\n" file msg;
+      exit 2
+  in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "profile-overhead",
+  "query": "sumsq",
+  "n": %d,
+  "scale": %.3f,
+  "native_available": %b,
+  "hand_ms": %.3f,
+  "backends": {
+%s
+  }
+}
+|}
+    n !scale native hand
+    (String.concat ",\n"
+       (List.map
+          (fun (name, off, on) ->
+            Printf.sprintf
+              "    %S: {\"unprofiled_ms\": %.3f, \"profiled_ms\": %.3f, \
+               \"overhead_pct\": %.1f}"
+              name off on (overhead_pct ~off ~on))
+          rows));
+  close_out oc;
+  List.iter
+    (fun (name, off, on) ->
+      row "%-8s %.2f ms -> %.2f ms profiled (%+.1f%%)\n" name off on
+        (overhead_pct ~off ~on))
+    rows
+
 (* Machine-readable results for CI trend tracking: the Fig. 1 sumsq
    headline across backends plus the section 7.1 query-cache numbers
    (cold prepare vs cache-hit prepare). *)
@@ -719,12 +808,14 @@ let experiments =
     "ablation-early-exit", ablation_early_exit;
     "optimizer", optimizer;
     "par", par_scaling;
+    "profiling", profiling;
     "bechamel", bechamel;
   ]
 
 let () =
   let args = Array.to_list Sys.argv in
   let json_file = ref None in
+  let json_profile_file = ref None in
   let rec parse = function
     | [] -> []
     | "--scale" :: v :: rest ->
@@ -733,17 +824,21 @@ let () =
     | "--json" :: file :: rest ->
       json_file := Some file;
       parse rest
-    | [ ("--scale" | "--json") as flag ] ->
+    | "--json-profile" :: file :: rest ->
+      json_profile_file := Some file;
+      parse rest
+    | [ ("--scale" | "--json" | "--json-profile") as flag ] ->
       Printf.eprintf "%s requires a value\n" flag;
       exit 2
     | x :: rest -> x :: parse rest
   in
   let picks = parse (List.tl args) in
   let named =
-    match picks, !json_file with
-    | [], Some _ -> [] (* --json alone: just the JSON measurement *)
-    | [], None -> List.map fst experiments
-    | picks, _ -> picks
+    match picks, !json_file, !json_profile_file with
+    | [], Some _, _ | [], _, Some _ ->
+      [] (* --json/--json-profile alone: just those measurements *)
+    | [], None, None -> List.map fst experiments
+    | picks, _, _ -> picks
   in
   Printf.printf "Steno benchmark harness (scale = %.2f, native = %b)\n" !scale
     native;
@@ -755,4 +850,5 @@ let () =
         Printf.printf "unknown experiment %S; available: %s\n" name
           (String.concat ", " (List.map fst experiments)))
     named;
-  Option.iter json_report !json_file
+  Option.iter json_report !json_file;
+  Option.iter json_profile_report !json_profile_file

@@ -292,11 +292,20 @@ let cmd_stats name backend n reps =
     Printf.printf "%d x prepare+run of %S on %s (n = %d)\n\n" reps name
       (Steno.backend_name b) n;
     let stats = Steno.Engine.cache_stats eng in
-    Printf.printf
-      "plugin cache: %d/%d entries, %d hits, %d misses, %d evictions\n\n"
-      stats.Steno.Engine.entries stats.Steno.Engine.capacity
-      stats.Steno.Engine.hits stats.Steno.Engine.misses
-      stats.Steno.Engine.evictions;
+    if
+      stats.Steno.Engine.entries = 0
+      && stats.Steno.Engine.hits + stats.Steno.Engine.misses = 0
+    then
+      (* Nothing went through the cache (staged backends don't compile):
+         say so instead of printing a row of zeros. *)
+      Printf.printf "plugin cache: empty (capacity %d)\n\n"
+        stats.Steno.Engine.capacity
+    else
+      Printf.printf
+        "plugin cache: %d/%d entries, %d hits, %d misses, %d evictions\n\n"
+        stats.Steno.Engine.entries stats.Steno.Engine.capacity
+        stats.Steno.Engine.hits stats.Steno.Engine.misses
+        stats.Steno.Engine.evictions;
     Printf.printf "%-12s %8s %12s %12s\n" "stage" "spans" "total(ms)"
       "mean(ms)";
     let spans = Telemetry.Collector.spans collector in
@@ -322,6 +331,87 @@ let cmd_stats name backend n reps =
       print_endline "counters:";
       List.iter (fun (k, v) -> Printf.printf "  %-18s %d\n" k v) counters);
     0
+
+(* Profiled execution of one demo on every available backend: the
+   optimizer's before/after view annotated with what actually flowed
+   through each operator. *)
+let cmd_analyze name n =
+  match find name with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok demo ->
+    let backends =
+      if Steno.native_available () then
+        [ Steno.Linq; Steno.Fused; Steno.Native ]
+      else [ Steno.Linq; Steno.Fused ]
+    in
+    List.iter
+      (fun b ->
+        let eng = engine_with b Telemetry.null in
+        let a =
+          match demo with
+          | Collection { build; _ } ->
+            Steno.Engine.explain_analyze eng (build n)
+          | Scalar { build; _ } ->
+            Steno.Engine.explain_analyze_scalar eng (build n)
+        in
+        Printf.printf "=== %s ===\n%s\n" (Steno.backend_name b)
+          (Steno.Engine.analysis_to_string a))
+      backends;
+    0
+
+(* Exercise a profiling engine across the demo gallery and dump the
+   resulting registry in OpenMetrics text format. *)
+let cmd_metrics n =
+  let reg = Metrics.create () in
+  let eng =
+    Steno.Engine.(
+      create
+        {
+          default_config with
+          profile = true;
+          metrics = reg;
+          telemetry = Telemetry.metrics reg;
+        })
+  in
+  let backends =
+    if Steno.native_available () then
+      [ Steno.Linq; Steno.Fused; Steno.Native ]
+    else [ Steno.Linq; Steno.Fused ]
+  in
+  List.iter
+    (fun demo ->
+      List.iter
+        (fun b ->
+          match demo with
+          | Collection { build; _ } ->
+            ignore (Steno.Engine.to_array ~backend:b eng (build n))
+          | Scalar { build; _ } ->
+            ignore (Steno.Engine.scalar ~backend:b eng (build n)))
+        backends)
+    demos;
+  (* A parallel run so the per-partition families appear too. *)
+  let xs = int_input n in
+  ignore
+    (Par.scalar_auto ~engine:eng
+       (Query.of_array Ty.Int xs
+       |> Query.select (fun x -> I.(x * x))
+       |> Query.sum_int));
+  let stats = Steno.Engine.cache_stats eng in
+  let set name help v =
+    Metrics.set_gauge
+      (Metrics.gauge reg name ~help ~labels:[])
+      (float_of_int v)
+  in
+  set "steno_cache_entries" "Compiled plugins currently cached"
+    stats.Steno.Engine.entries;
+  set "steno_cache_hits" "Plugin cache hits" stats.Steno.Engine.hits;
+  set "steno_cache_misses" "Plugin cache misses" stats.Steno.Engine.misses;
+  set "steno_cache_evictions" "Plugin cache evictions"
+    stats.Steno.Engine.evictions;
+  print_string (Metrics.render reg);
+  0
 
 let cmd_bench name n =
   match find name with
@@ -481,9 +571,29 @@ let explain_cmd =
           and generated code.")
     Term.(const cmd_explain $ src_arg $ size)
 
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Run a demo query under per-operator probes on every available \
+          backend and print the optimized plan annotated with actual row \
+          counts, indirect-call counts and timings.")
+    Term.(const cmd_analyze $ query_arg $ size)
+
+let metrics_cmd =
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run the demo gallery through a profiling engine and dump the \
+          metrics registry in OpenMetrics text format.")
+    Term.(const cmd_metrics $ size)
+
 let () =
   let doc = "Steno: automatic optimization of declarative queries" in
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "stenoc" ~doc ~version:"1.0.0")
-          [ list_cmd; show_cmd; run_cmd; bench_cmd; stats_cmd; eval_cmd; explain_cmd ]))
+          [
+            list_cmd; show_cmd; run_cmd; bench_cmd; stats_cmd; eval_cmd;
+            explain_cmd; analyze_cmd; metrics_cmd;
+          ]))

@@ -10,12 +10,74 @@ type output = {
   symbols : string;
 }
 
+(* Profiling support: when generating under [?probe], the emitted code
+   increments one cell of a captured [int array] per operator {e edge} —
+   after the Src element binding and after each top-level operator — so a
+   profiled run yields exact rows-in/rows-out per operator.  The counter
+   array reaches the plugin through an ordinary capture slot, and the
+   increments are part of the source text, so profiled and unprofiled
+   compilations can never alias in the plugin cache. *)
+type probe = {
+  probe_rows : int array;  (* one cell per edge, mutated by the plugin *)
+  probe_labels : string array;  (* edge labels, Src first *)
+}
+
+let probe_of_chain (chain : Quil.chain) =
+  (* One edge per top-level operator that passes elements downstream; a
+     terminal Agg produces a scalar, not an edge.  Nested chains run
+     inside their enclosing operator and are not separate edges. *)
+  let labels =
+    "Src"
+    :: List.filter_map
+         (function Quil.Agg _ -> None | op -> Some (Quil.op_symbol op))
+         chain.Quil.ops
+  in
+  {
+    probe_rows = Array.make (List.length labels) 0;
+    probe_labels = Array.of_list labels;
+  }
+
 (* Generation context: a name counter and the capture table that render
-   closures register slots into. *)
+   closures register slots into; [probe_var]/[probe_on]/[next_edge] carry
+   the profiling state ([probe_on] is cleared while generating nested
+   chains, which are not top-level edges). *)
 type ctx = {
   mutable counter : int;
   tbl : Expr.Capture_table.t;
+  mutable probe_var : string option;
+  mutable probe_on : bool;
+  mutable next_edge : int;
 }
+
+let mark_edge ctx block =
+  match ctx.probe_var with
+  | Some var when ctx.probe_on ->
+    let e = ctx.next_edge in
+    ctx.next_edge <- e + 1;
+    Block.linef block
+      "Stdlib.Array.unsafe_set %s %d (Stdlib.Array.unsafe_get %s %d + 1);"
+      var e var e
+  | _ -> ()
+
+(* A sink's edge is counted in one step at ω, where the materialized
+   array's length is the row count. *)
+let mark_edge_len ctx block arr =
+  match ctx.probe_var with
+  | Some var when ctx.probe_on ->
+    let e = ctx.next_edge in
+    ctx.next_edge <- e + 1;
+    Block.linef block
+      "Stdlib.Array.unsafe_set %s %d (Stdlib.Array.unsafe_get %s %d + \
+       Stdlib.Array.length %s);"
+      var e var e arr
+  | _ -> ()
+
+let with_probe_off ctx f =
+  let saved = ctx.probe_on in
+  ctx.probe_on <- false;
+  let r = f () in
+  ctx.probe_on <- saved;
+  r
 
 let fresh ctx prefix =
   let n = ctx.counter in
@@ -350,6 +412,7 @@ let rec gen_ops ctx frame nenv elem (ops : Quil.op list) : final =
   | Quil.Trans lam :: rest ->
     let elem' = fresh ctx "elem" in
     Block.linef frame.mu "let %s = %s in" elem' (app1 ctx nenv lam elem);
+    mark_edge ctx frame.mu;
     gen_ops ctx frame nenv elem' rest
   | Quil.Trans_idx lam2 :: rest ->
     (* Indexed transform: a position counter in the loop prelude. *)
@@ -359,6 +422,7 @@ let rec gen_ops ctx frame nenv elem (ops : Quil.op list) : final =
     let elem' = fresh ctx "elem" in
     Block.linef frame.mu "let %s = %s in" elem'
       (app2 ctx nenv lam2 (Printf.sprintf "(!%s)" idx) elem);
+    mark_edge ctx frame.mu;
     gen_ops ctx frame nenv elem' rest
   | Quil.Pred lam :: rest ->
     (* Fig. 6b: the paper emits [if (!p) continue]; structurally, the rest
@@ -366,6 +430,7 @@ let rec gen_ops ctx frame nenv elem (ops : Quil.op list) : final =
     Block.linef frame.mu "if %s then begin" (app1 ctx nenv lam elem);
     let body = Block.indented frame.mu in
     Block.line frame.mu "end;";
+    mark_edge ctx body;
     gen_ops ctx { frame with mu = body } nenv elem rest
   | Quil.Pred_idx lam2 :: rest ->
     let idx = fresh ctx "pos" in
@@ -375,6 +440,7 @@ let rec gen_ops ctx frame nenv elem (ops : Quil.op list) : final =
       (app2 ctx nenv lam2 (Printf.sprintf "(!%s)" idx) elem);
     let body = Block.indented frame.mu in
     Block.line frame.mu "end;";
+    mark_edge ctx body;
     gen_ops ctx { frame with mu = body } nenv elem rest
   | Quil.Pred_stateful sp :: rest -> (
     match sp with
@@ -386,6 +452,7 @@ let rec gen_ops ctx frame nenv elem (ops : Quil.op list) : final =
       Block.linef frame.mu
         "if !%s >= %s then Stdlib.raise_notrace %s else Stdlib.incr %s;" c
         n_var frame.brk c;
+      mark_edge ctx frame.mu;
       gen_ops ctx frame nenv elem rest
     | Quil.Skip_n n ->
       let c = fresh ctx "skipped" in
@@ -396,10 +463,12 @@ let rec gen_ops ctx frame nenv elem (ops : Quil.op list) : final =
         n_var c;
       let body = Block.indented frame.mu in
       Block.line frame.mu "end;";
+      mark_edge ctx body;
       gen_ops ctx { frame with mu = body } nenv elem rest
     | Quil.Take_while_p p ->
       Block.linef frame.mu "if not %s then Stdlib.raise_notrace %s;"
         (app1 ctx nenv p elem) frame.brk;
+      mark_edge ctx frame.mu;
       gen_ops ctx frame nenv elem rest
     | Quil.Skip_while_p p ->
       let skipping = fresh ctx "skipping" in
@@ -408,9 +477,11 @@ let rec gen_ops ctx frame nenv elem (ops : Quil.op list) : final =
         skipping (app1 ctx nenv p elem) skipping;
       let body = Block.indented frame.mu in
       Block.line frame.mu "end;";
+      mark_edge ctx body;
       gen_ops ctx { frame with mu = body } nenv elem rest)
   | Quil.Sink sink :: rest -> (
     let arr = gen_sink ctx frame nenv elem sink in
+    mark_edge_len ctx frame.omega arr;
     match rest with
     | [] -> Final_array { var = arr }
     | _ :: _ ->
@@ -421,13 +492,19 @@ let rec gen_ops ctx frame nenv elem (ops : Quil.op list) : final =
       in
       gen_ops ctx frame' nenv elem' rest)
   | Quil.Trans_nested ns :: rest ->
-    let var = gen_nested_scalar ctx frame nenv elem ns in
+    let var =
+      with_probe_off ctx (fun () -> gen_nested_scalar ctx frame nenv elem ns)
+    in
+    mark_edge ctx frame.mu;
     gen_ops ctx frame nenv var rest
   | Quil.Pred_nested ns :: rest ->
-    let var = gen_nested_scalar ctx frame nenv elem ns in
+    let var =
+      with_probe_off ctx (fun () -> gen_nested_scalar ctx frame nenv elem ns)
+    in
     Block.linef frame.mu "if %s then begin" var;
     let body = Block.indented frame.mu in
     Block.line frame.mu "end;";
+    mark_edge ctx body;
     gen_ops ctx { frame with mu = body } nenv elem rest
   | Quil.Hash_join j :: rest ->
     (* Build phase (once, in the loop prelude): index the inner chain's
@@ -449,8 +526,10 @@ let rec gen_ops ctx frame nenv elem (ops : Quil.op list) : final =
          !__b | None -> Stdlib.Hashtbl.replace %s %s (ref [ %s ]));"
         tbl k ielem tbl k ielem
     in
+    (* The build side is a nested chain, not a top-level edge. *)
     (match
-       gen_ops ctx build_frame nenv build_elem j.Quil.join_inner.Quil.ops
+       with_probe_off ctx (fun () ->
+           gen_ops ctx build_frame nenv build_elem j.Quil.join_inner.Quil.ops)
      with
     | Final_iter { elem = ie; mu = im } -> add_to_table im ie
     | Final_array { var } ->
@@ -476,6 +555,7 @@ let rec gen_ops ctx frame nenv elem (ops : Quil.op list) : final =
     let joined = fresh ctx "elem" in
     Block.linef body "let %s = %s in" joined
       (app2 ctx nenv j.Quil.join_result elem probe_elem);
+    mark_edge ctx body;
     gen_ops ctx { frame with mu = body } nenv joined rest
   | Quil.Nested n :: rest -> (
     (* SelectMany (Fig. 11): generate the inner loop inside the current
@@ -488,8 +568,11 @@ let rec gen_ops ctx frame nenv elem (ops : Quil.op list) : final =
         ~breakable:(needs_break n.Quil.inner.Quil.ops)
         nenv' n.Quil.inner.Quil.src
     in
+    (* The inner chain's operators are not top-level edges; the Nested
+       edge itself counts flattened elements at the continuation point. *)
     let inner_final =
-      gen_ops ctx inner_frame nenv' inner_elem n.Quil.inner.Quil.ops
+      with_probe_off ctx (fun () ->
+          gen_ops ctx inner_frame nenv' inner_elem n.Quil.inner.Quil.ops)
     in
     let continue_at mu inner_elem =
       let elem', mu' =
@@ -500,6 +583,7 @@ let rec gen_ops ctx frame nenv elem (ops : Quil.op list) : final =
           Block.linef mu "let %s = %s in" e (app2 ctx nenv res elem inner_elem);
           e, mu
       in
+      mark_edge ctx mu';
       gen_ops ctx { frame with mu = mu' } nenv elem' rest
     in
     match inner_final with
@@ -529,11 +613,26 @@ and gen_nested_scalar ctx frame nenv elem (ns : Quil.nested_scalar) =
   | Final_iter _ | Final_array _ ->
     raise (Invalid_chain "nested Trans/Pred sub-query must end in Agg")
 
-let generate chain =
+let generate ?probe chain =
   (match Quil.validate chain with
   | Ok () -> ()
   | Error msg -> raise (Invalid_chain msg));
-  let ctx = { counter = 0; tbl = Expr.Capture_table.create () } in
+  let ctx =
+    {
+      counter = 0;
+      tbl = Expr.Capture_table.create ();
+      probe_var = None;
+      probe_on = true;
+      next_edge = 0;
+    }
+  in
+  (match probe with
+  | None -> ()
+  | Some pr ->
+    let slot =
+      Expr.Capture_table.register ctx.tbl Ty.(Array Int) pr.probe_rows
+    in
+    ctx.probe_var <- Some (Expr.Capture_table.slot_name slot));
   let top = Block.create () in
   let captures_block = Block.inline top in
   let body = Block.inline top in
@@ -543,6 +642,7 @@ let generate chain =
       ~breakable:(needs_break chain.Quil.ops)
       nenv chain.Quil.src
   in
+  mark_edge ctx frame.mu;
   (match gen_ops ctx frame nenv elem chain.Quil.ops with
   | Final_scalar { var } ->
     Block.linef body "__result := Stdlib.Obj.repr %s;" var

@@ -38,7 +38,28 @@ type output = {
   symbols : string;  (** The QUIL sentence, for diagnostics. *)
 }
 
-val generate : Quil.chain -> output
+type probe = {
+  probe_rows : int array;
+      (** One cell per operator edge, incremented by the generated code;
+          registered as a capture slot so re-preparations of a cached
+          plugin can bind a fresh array. *)
+  probe_labels : string array;
+      (** Label of each edge, parallel to [probe_rows]: ["Src"] then the
+          {!Quil.op_symbol} of every top-level non-[Agg] operator. *)
+}
+
+val probe_of_chain : Quil.chain -> probe
+(** Fresh, zeroed probe sized for [chain]'s top-level operator edges.
+    Edge [k] counts the rows {e leaving} the [k]-th probed point: rows
+    into operator [k] = rows out of edge [k-1].  A terminal [Agg]
+    produces a scalar, not an edge; nested sub-chains are not probed
+    (their cost lands in the enclosing operator's edge). *)
+
+val generate : ?probe:probe -> Quil.chain -> output
+(** With [?probe], the emitted loops additionally increment the probe's
+    row cells at each operator edge — the profiled source therefore
+    differs textually from the unprofiled one and cannot alias it in a
+    plugin cache. *)
 
 val empty_sequence_message : string
 (** Payload of the [Failure] raised by generated code when a

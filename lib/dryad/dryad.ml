@@ -43,12 +43,36 @@ let reset_metrics c =
 (* One stage = one vertex per partition, fanned out on the pool.  The
    whole stage runs under a "stage" span; each vertex records its own
    "vertex" span from the domain that executed it, so the sink sees both
-   the stage wall time and the per-vertex distribution. *)
+   the stage wall time and the per-vertex distribution.  The same
+   quantities feed the engine's metrics registry: stage wall time and
+   per-vertex queue wait (stage start to vertex start) as histograms,
+   cumulative stage/vertex counts as gauges. *)
 let run_stage c f parts =
   let sink = Steno.Engine.telemetry c.engine in
+  let reg = Steno.Engine.metrics c.engine in
+  let stage_h =
+    Metrics.histogram reg "steno_stage_ms"
+      ~help:"Wall time of one Dryad stage (all vertices, milliseconds)"
+  in
+  let vertex_wait_h =
+    Metrics.histogram reg "steno_vertex_queue_wait_ms"
+      ~help:"Delay between stage start and a worker starting each vertex"
+  in
+  let vertex_h =
+    Metrics.histogram reg "steno_vertex_ms"
+      ~help:"Wall time of one vertex's execution (milliseconds)"
+  in
   let stage_id = c.m.stages in
   c.m.stages <- c.m.stages + 1;
   c.m.vertices <- c.m.vertices + Array.length parts;
+  Metrics.set_gauge
+    (Metrics.gauge reg "steno_dryad_stages"
+       ~help:"Stages executed by this cluster")
+    (float_of_int c.m.stages);
+  Metrics.set_gauge
+    (Metrics.gauge reg "steno_dryad_vertices"
+       ~help:"Vertices executed by this cluster")
+    (float_of_int c.m.vertices);
   let t0 = Telemetry.now_ms () in
   let out =
     Telemetry.with_span sink "stage"
@@ -60,12 +84,20 @@ let run_stage c f parts =
       (fun () ->
         Domain_pool.run ~workers:c.workers ~tasks:(Array.length parts)
           (fun i ->
-            Telemetry.with_span sink "vertex"
-              ~attrs:
-                [ "stage", string_of_int stage_id; "index", string_of_int i ]
-              (fun () -> f parts.(i))))
+            let vstart = Telemetry.now_ms () in
+            Metrics.observe vertex_wait_h (vstart -. t0);
+            let r =
+              Telemetry.with_span sink "vertex"
+                ~attrs:
+                  [ "stage", string_of_int stage_id; "index", string_of_int i ]
+                (fun () -> f parts.(i))
+            in
+            Metrics.observe vertex_h (Telemetry.now_ms () -. vstart);
+            r))
   in
-  c.m.busy_ms <- c.m.busy_ms +. (Telemetry.now_ms () -. t0);
+  let dt = Telemetry.now_ms () -. t0 in
+  c.m.busy_ms <- c.m.busy_ms +. dt;
+  Metrics.observe stage_h dt;
   out
 
 let map_partitions c f ds =

@@ -557,3 +557,33 @@ let sequence_equal a b =
     | true, false | false, true -> false
   in
   go ()
+
+(* Profiling decorator: counts the iterator protocol itself.  Each
+   [move_next] and each [current] is one indirect call — the per-element
+   cost structure the paper's section 2 describes — so wrapping every
+   operator boundary of a chain measures exactly the overhead Steno's
+   fused code removes.  [move_next] time is inclusive of everything
+   upstream; per-operator exclusive time falls out by subtracting
+   consecutive probe points. *)
+let probe (pt : Metrics.Probe.point) src =
+  {
+    enumerate =
+      (fun () ->
+        let it = src.enumerate () in
+        {
+          Iterator.move_next =
+            (fun () ->
+              pt.Metrics.Probe.pt_calls <- pt.Metrics.Probe.pt_calls + 1;
+              let t0 = Metrics.Probe.now_ns () in
+              let more = it.Iterator.move_next () in
+              pt.Metrics.Probe.pt_ns <-
+                pt.Metrics.Probe.pt_ns + (Metrics.Probe.now_ns () - t0);
+              if more then
+                pt.Metrics.Probe.pt_rows <- pt.Metrics.Probe.pt_rows + 1;
+              more);
+          current =
+            (fun () ->
+              pt.Metrics.Probe.pt_calls <- pt.Metrics.Probe.pt_calls + 1;
+              it.Iterator.current ());
+        });
+  }

@@ -132,3 +132,11 @@ val to_list : 'a t -> 'a list
 val to_seq : 'a t -> 'a Seq.t
 val iter : ('a -> unit) -> 'a t -> unit
 val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+(** {1 Profiling} *)
+
+val probe : Metrics.Probe.point -> 'a t -> 'a t
+(** Count the iterator protocol through this point: one indirect call per
+    [move_next] and per [current], one row per successful [move_next],
+    and the wall time spent inside upstream [move_next] (inclusive).
+    Used by [profile:true] engines; never on the unprofiled path. *)

@@ -18,6 +18,22 @@ val stage : 'a Query.t -> Expr.Open.env -> 'a folder
 
 val stage_sq : 's Query.sq -> Expr.Open.env -> 's
 
+type wrapper = { fwrap : 'x. string -> 'x folder -> 'x folder }
+(** A staging-time decorator around every top-level operator's folder;
+    the [string] is an operator label.  [fwrap label] is evaluated once
+    per operator at staging (profile mode allocates its probe point
+    there); the returned decorator runs once per preparation. *)
+
+val unprobed : wrapper
+(** The identity wrapper: [stage] is [stage_probed unprobed]. *)
+
+val stage_probed : wrapper -> 'a Query.t -> Expr.Open.env -> 'a folder
+(** [stage] with a wrapper around every top-level operator, source to
+    sink order.  Nested sub-queries stage unprobed (their cost lands in
+    the enclosing operator's point). *)
+
+val stage_sq_probed : wrapper -> 's Query.sq -> Expr.Open.env -> 's
+
 val materialize : 'a folder -> 'a array
 (** Collect the folded elements into an array, in order. *)
 

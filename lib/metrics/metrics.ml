@@ -1,0 +1,316 @@
+(* Shard layout: every counter/histogram holds [nshards] independent
+   Atomic cells; a writer picks the cell indexed by its domain id, so
+   domains running on distinct cores update distinct cells.  Reads merge.
+   [nshards] must be a power of two for the mask to be a cheap hash. *)
+let nshards = 8
+
+let shard_ix () = (Domain.self () :> int) land (nshards - 1)
+
+(* Atomic float accumulation: [compare_and_set] compares the exact boxed
+   value read by [get], so the retry loop is a standard CAS spin. *)
+let rec atomic_add_float cell x =
+  let cur = Atomic.get cell in
+  if not (Atomic.compare_and_set cell cur (cur +. x)) then
+    atomic_add_float cell x
+
+type counter = {
+  c_labels : (string * string) list;
+  c_shards : int Atomic.t array;
+}
+
+type gauge = {
+  g_labels : (string * string) list;
+  g_cell : float Atomic.t;
+}
+
+type hshard = {
+  hb_counts : int Atomic.t array;  (* one per bound, plus the +Inf bucket *)
+  hb_sum : float Atomic.t;
+}
+
+type histogram = {
+  h_labels : (string * string) list;
+  h_bounds : float array;  (* strictly increasing upper bounds, no +Inf *)
+  h_shards : hshard array;
+}
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type family = {
+  f_name : string;
+  f_help : string;
+  f_kind : string;  (* "counter" | "gauge" | "histogram" *)
+  f_series : (string, instrument) Hashtbl.t;  (* keyed by rendered labels *)
+  mutable f_order : string list;  (* series keys, reverse insertion order *)
+}
+
+type t = {
+  mu : Mutex.t;
+  families : (string, family) Hashtbl.t;
+}
+
+let create () = { mu = Mutex.create (); families = Hashtbl.create 16 }
+
+let default_v = lazy (create ())
+
+let default () = Lazy.force default_v
+
+let reset t = Mutex.protect t.mu (fun () -> Hashtbl.reset t.families)
+
+(* Label rendering doubles as the series identity, so sort first: the
+   same label set in any order names the same series. *)
+let escape_label_value s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let render_labels = function
+  | [] -> ""
+  | labels ->
+    let labels = List.sort compare labels in
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+           labels)
+    ^ "}"
+
+(* Find or create the series [name]+[labels]; [build] makes the
+   instrument on first registration, [select] projects the found one and
+   rejects kind mismatches. *)
+let register t ~name ~help ~kind ~labels ~build ~select =
+  Mutex.protect t.mu (fun () ->
+      let fam =
+        match Hashtbl.find_opt t.families name with
+        | Some f ->
+          if f.f_kind <> kind then
+            invalid_arg
+              (Printf.sprintf "Metrics: %s is a %s, not a %s" name f.f_kind
+                 kind);
+          f
+        | None ->
+          let f =
+            {
+              f_name = name;
+              f_help = (if help = "" then name else help);
+              f_kind = kind;
+              f_series = Hashtbl.create 4;
+              f_order = [];
+            }
+          in
+          Hashtbl.replace t.families name f;
+          f
+      in
+      let key = render_labels labels in
+      match Hashtbl.find_opt fam.f_series key with
+      | Some inst -> select inst
+      | None ->
+        let inst = build () in
+        Hashtbl.replace fam.f_series key inst;
+        fam.f_order <- key :: fam.f_order;
+        select inst)
+
+let kind_error name = invalid_arg ("Metrics: instrument kind changed: " ^ name)
+
+(* Counters *)
+
+let counter ?(help = "") ?(labels = []) t name =
+  register t ~name ~help ~kind:"counter" ~labels
+    ~build:(fun () ->
+      Counter
+        {
+          c_labels = labels;
+          c_shards = Array.init nshards (fun _ -> Atomic.make 0);
+        })
+    ~select:(function Counter c -> c | _ -> kind_error name)
+
+let add c n =
+  if n < 0 then invalid_arg "Metrics.add: counters never decrease";
+  if n <> 0 then
+    ignore (Atomic.fetch_and_add c.c_shards.(shard_ix ()) n)
+
+let inc c = ignore (Atomic.fetch_and_add c.c_shards.(shard_ix ()) 1)
+
+let counter_value c =
+  Array.fold_left (fun acc cell -> acc + Atomic.get cell) 0 c.c_shards
+
+(* Gauges *)
+
+let gauge ?(help = "") ?(labels = []) t name =
+  register t ~name ~help ~kind:"gauge" ~labels
+    ~build:(fun () -> Gauge { g_labels = labels; g_cell = Atomic.make 0.0 })
+    ~select:(function Gauge g -> g | _ -> kind_error name)
+
+let set_gauge g v = Atomic.set g.g_cell v
+
+let gauge_value g = Atomic.get g.g_cell
+
+(* Histograms *)
+
+let log_buckets ?(base = 2.0) ~lo ~hi () =
+  if not (lo > 0.0 && hi > lo && base > 1.0) then
+    invalid_arg "Metrics.log_buckets: need lo > 0, hi > lo, base > 1";
+  let rec grow acc b = if b >= hi then List.rev (b :: acc) else grow (b :: acc) (b *. base) in
+  Array.of_list (grow [] lo)
+
+let default_buckets = log_buckets ~lo:0.001 ~hi:1000.0 ()
+
+let histogram ?(help = "") ?(labels = []) ?(buckets = default_buckets) t name =
+  let ok = ref (Array.length buckets > 0) in
+  Array.iteri
+    (fun i b -> if i > 0 && b <= buckets.(i - 1) then ok := false)
+    buckets;
+  if not !ok then
+    invalid_arg "Metrics.histogram: buckets must be strictly increasing";
+  register t ~name ~help ~kind:"histogram" ~labels
+    ~build:(fun () ->
+      Histogram
+        {
+          h_labels = labels;
+          h_bounds = Array.copy buckets;
+          h_shards =
+            Array.init nshards (fun _ ->
+                {
+                  hb_counts =
+                    Array.init (Array.length buckets + 1) (fun _ ->
+                        Atomic.make 0);
+                  hb_sum = Atomic.make 0.0;
+                });
+        })
+    ~select:(function Histogram h -> h | _ -> kind_error name)
+
+let observe h v =
+  let nb = Array.length h.h_bounds in
+  (* Linear scan: bucket counts are small (tens) and the loop is
+     branch-predictable; a binary search would not pay for itself. *)
+  let rec find i = if i >= nb || v <= h.h_bounds.(i) then i else find (i + 1) in
+  let shard = h.h_shards.(shard_ix ()) in
+  ignore (Atomic.fetch_and_add shard.hb_counts.(find 0) 1);
+  atomic_add_float shard.hb_sum v
+
+type histogram_snapshot = {
+  hs_buckets : (float * int) list;
+  hs_sum : float;
+  hs_count : int;
+}
+
+let histogram_snapshot h =
+  let nb = Array.length h.h_bounds in
+  let merged = Array.make (nb + 1) 0 in
+  let sum = ref 0.0 in
+  Array.iter
+    (fun shard ->
+      Array.iteri
+        (fun i cell -> merged.(i) <- merged.(i) + Atomic.get cell)
+        shard.hb_counts;
+      sum := !sum +. Atomic.get shard.hb_sum)
+    h.h_shards;
+  let cumulative = ref 0 in
+  let buckets =
+    List.init (nb + 1) (fun i ->
+        cumulative := !cumulative + merged.(i);
+        let bound = if i < nb then h.h_bounds.(i) else infinity in
+        bound, !cumulative)
+  in
+  { hs_buckets = buckets; hs_sum = !sum; hs_count = !cumulative }
+
+(* Rendering *)
+
+let fmt_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.12g" v
+
+let fmt_bound b = if b = infinity then "+Inf" else fmt_float b
+
+(* Inject [extra] labels (e.g. [le]) into an already-rendered label
+   suffix. *)
+let labels_with labels extra =
+  render_labels (labels @ extra)
+
+let render t =
+  let b = Buffer.create 1024 in
+  let families =
+    Mutex.protect t.mu (fun () ->
+        Hashtbl.fold (fun _ f acc -> f :: acc) t.families []
+        |> List.sort (fun a b -> compare a.f_name b.f_name)
+        |> List.map (fun f ->
+               ( f,
+                 List.rev_map
+                   (fun key -> Hashtbl.find f.f_series key)
+                   f.f_order )))
+  in
+  List.iter
+    (fun (f, series) ->
+      Printf.bprintf b "# HELP %s %s\n" f.f_name f.f_help;
+      Printf.bprintf b "# TYPE %s %s\n" f.f_name f.f_kind;
+      List.iter
+        (fun inst ->
+          match inst with
+          | Counter c ->
+            Printf.bprintf b "%s_total%s %d\n" f.f_name
+              (render_labels c.c_labels) (counter_value c)
+          | Gauge g ->
+            Printf.bprintf b "%s%s %s\n" f.f_name (render_labels g.g_labels)
+              (fmt_float (gauge_value g))
+          | Histogram h ->
+            let snap = histogram_snapshot h in
+            List.iter
+              (fun (bound, count) ->
+                Printf.bprintf b "%s_bucket%s %d\n" f.f_name
+                  (labels_with h.h_labels [ "le", fmt_bound bound ])
+                  count)
+              snap.hs_buckets;
+            Printf.bprintf b "%s_sum%s %s\n" f.f_name
+              (render_labels h.h_labels) (fmt_float snap.hs_sum);
+            Printf.bprintf b "%s_count%s %d\n" f.f_name
+              (render_labels h.h_labels) snap.hs_count)
+        series)
+    families;
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b
+
+(* Probe points *)
+
+module Probe = struct
+  type point = {
+    pt_label : string;
+    pt_index : int;
+    mutable pt_rows : int;
+    mutable pt_calls : int;
+    mutable pt_ns : int;
+    mutable pt_derived : bool;
+  }
+
+  type t = { mutable pts : point list (* reverse creation order *) }
+
+  let create () = { pts = [] }
+
+  let point t label =
+    let p =
+      {
+        pt_label = label;
+        pt_index = List.length t.pts;
+        pt_rows = 0;
+        pt_calls = 0;
+        pt_ns = 0;
+        pt_derived = false;
+      }
+    in
+    t.pts <- p :: t.pts;
+    p
+
+  let points t = List.rev t.pts
+
+  let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+end

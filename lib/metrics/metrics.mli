@@ -1,0 +1,146 @@
+(** Runtime metrics: counters, gauges and log-scale histograms with an
+    OpenMetrics/Prometheus text renderer.
+
+    The write path is lock-free: every counter and histogram keeps one
+    cell per {e shard}, the shard is selected by the writing domain's id,
+    and each cell is an [Atomic.t] — so concurrent domains never contend
+    on a mutex and rarely contend on a cell.  Reads ([counter_value],
+    [histogram_snapshot], [render]) merge the shards.  Registration
+    (looking an instrument up by name and labels) takes a mutex; callers
+    are expected to register once and hold on to the returned handle.
+
+    Instrument identity is the metric name plus the (sorted) label set;
+    registering the same identity twice returns the same instrument.
+    Registering one name with two different instrument kinds is an error.
+
+    The {!Probe} submodule is the lighter mechanism used by profiled
+    query execution ([profile:true] engines): unsynchronized per-operator
+    points recording rows, indirect calls and inclusive time, attached to
+    one preparation rather than to the process-wide registry. *)
+
+type t
+(** A metrics registry. *)
+
+val create : unit -> t
+
+val default : unit -> t
+(** The process-wide registry, created on first use. *)
+
+val reset : t -> unit
+(** Drop every registered instrument.  Existing handles keep working but
+    are no longer rendered; intended for tests. *)
+
+(** {1 Counters} *)
+
+type counter
+
+val counter :
+  ?help:string -> ?labels:(string * string) list -> t -> string -> counter
+(** [counter t name] registers (or finds) a monotonically increasing
+    counter.  The rendered sample name is [name ^ "_total"], per
+    OpenMetrics; pass the bare family name.  @raise Invalid_argument if
+    [name] is already registered as a different instrument kind. *)
+
+val inc : counter -> unit
+val add : counter -> int -> unit
+(** [add c n] requires [n >= 0]; counters never decrease. *)
+
+val counter_value : counter -> int
+(** Merged over shards. *)
+
+(** {1 Gauges} *)
+
+type gauge
+
+val gauge :
+  ?help:string -> ?labels:(string * string) list -> t -> string -> gauge
+
+val set_gauge : gauge -> float -> unit
+(** Last write wins (a plain atomic store; no merging needed). *)
+
+val gauge_value : gauge -> float
+
+(** {1 Histograms} *)
+
+type histogram
+
+val log_buckets : ?base:float -> lo:float -> hi:float -> unit -> float array
+(** Logarithmically spaced upper bounds [lo, lo*base, lo*base^2, ...] up
+    to the first bound >= [hi].  Default [base] is [2.0].
+    @raise Invalid_argument unless [lo > 0.], [hi > lo] and [base > 1.]. *)
+
+val default_buckets : float array
+(** [log_buckets ~lo:0.001 ~hi:1000. ()] — suits millisecond latencies
+    from a microsecond to a second. *)
+
+val histogram :
+  ?help:string ->
+  ?labels:(string * string) list ->
+  ?buckets:float array ->
+  t ->
+  string ->
+  histogram
+(** [buckets] are strictly increasing upper bounds (le semantics); a
+    [+Inf] bucket is always added implicitly.  Defaults to
+    {!default_buckets}.  The bucket layout is fixed by the first
+    registration of an identity. *)
+
+val observe : histogram -> float -> unit
+
+type histogram_snapshot = {
+  hs_buckets : (float * int) list;
+      (** (upper bound, cumulative count), in bound order, ending with
+          the [+Inf] bucket — rendered exactly as OpenMetrics expects. *)
+  hs_sum : float;
+  hs_count : int;
+}
+
+val histogram_snapshot : histogram -> histogram_snapshot
+
+(** {1 Rendering} *)
+
+val render : t -> string
+(** The whole registry in OpenMetrics text format: families sorted by
+    name, [# HELP] / [# TYPE] headers, counter samples suffixed
+    [_total], histogram [_bucket]/[_sum]/[_count] series, and the
+    [# EOF] terminator. *)
+
+(** {1 Per-operator probe points} *)
+
+module Probe : sig
+  (** One point per operator edge of a profiled query.  Mutation is
+      unsynchronized (plain mutable fields): a profiled preparation is
+      expected to run on one domain at a time; racing runs lose counts
+      but cannot crash. *)
+
+  type point = {
+    pt_label : string;  (** operator label, e.g. ["where"] or ["Pred"] *)
+    pt_index : int;  (** position in source-to-sink order *)
+    mutable pt_rows : int;  (** elements that passed this point *)
+    mutable pt_calls : int;  (** indirect calls observed at this point *)
+    mutable pt_ns : int;
+        (** cumulative inclusive wall time, nanoseconds; semantics are
+            backend-specific (pull backends: time inside upstream
+            [move_next]), [0] where per-operator time is meaningless
+            (fused loops) *)
+    mutable pt_derived : bool;
+        (** when true, [pt_rows] is not counted on the hot path but
+            settled once per run from the preceding point — used for
+            cardinality-preserving operators whose output row count
+            always equals their input's *)
+  }
+
+  type t
+  (** An ordered collection of points, one per profiled preparation. *)
+
+  val create : unit -> t
+
+  val point : t -> string -> point
+  (** Append a fresh point; creation order is source-to-sink order. *)
+
+  val points : t -> point list
+  (** In creation order. *)
+
+  val now_ns : unit -> int
+  (** Wall clock in nanoseconds ([Unix.gettimeofday] based). *)
+end

@@ -14,13 +14,41 @@ let engine_of = function
   | Some e -> e
   | None -> Steno.default_engine ()
 
+(* Upper bounds suited to partition row counts rather than the
+   millisecond-scale default buckets. *)
+let row_buckets = Metrics.log_buckets ~base:4.0 ~lo:1.0 ~hi:1e9 ()
+
 (* Run one vertex per partition on the pool, each under a "partition"
-   span so per-domain timings reach the engine's telemetry sink. *)
-let map_partitions_traced ~sink ~workers f parts =
+   span so per-domain timings reach the engine's telemetry sink, and
+   recorded in the engine's metrics registry: rows fed to each
+   partition, the wait between job submission and a worker picking the
+   partition up, and the partition's wall time. *)
+let map_partitions_traced ~eng ~sink ~workers f parts =
+  let m = Steno.Engine.metrics eng in
+  let rows_h =
+    Metrics.histogram m "steno_partition_rows"
+      ~help:"Input rows per partition" ~buckets:row_buckets
+  in
+  let wait_h =
+    Metrics.histogram m "steno_partition_queue_wait_ms"
+      ~help:"Delay between partition submission and a worker starting it"
+  in
+  let time_h =
+    Metrics.histogram m "steno_partition_ms"
+      ~help:"Wall time of one partition's execution (milliseconds)"
+  in
+  let submit_ms = Telemetry.now_ms () in
   Domain_pool.run ~workers ~tasks:(Array.length parts) (fun i ->
-      Telemetry.with_span sink "partition"
-        ~attrs:[ "index", string_of_int i ]
-        (fun () -> f parts.(i)))
+      let start_ms = Telemetry.now_ms () in
+      Metrics.observe rows_h (float_of_int (Array.length parts.(i)));
+      Metrics.observe wait_h (start_ms -. submit_ms);
+      let r =
+        Telemetry.with_span sink "partition"
+          ~attrs:[ "index", string_of_int i ]
+          (fun () -> f parts.(i))
+      in
+      Metrics.observe time_h (Telemetry.now_ms () -. start_ms);
+      r)
 
 let homomorphic_apply ?engine ?backend ?workers _ty build parts =
   let eng = engine_of engine in
@@ -32,7 +60,7 @@ let homomorphic_apply ?engine ?backend ?workers _ty build parts =
      source, so the parallel runs below are cache hits. *)
   if Array.length parts > 0 then
     ignore (Steno.Engine.prepare ?backend eng (build parts.(0)));
-  map_partitions_traced ~sink ~workers
+  map_partitions_traced ~eng ~sink ~workers
     (fun part -> Steno.Engine.to_array ?backend eng (build part))
     parts
 
@@ -45,7 +73,7 @@ let scalar_per_partition ?engine ?backend ?workers build ~combine parts =
   if Array.length parts > 0 then
     ignore (Steno.Engine.prepare_scalar ?backend eng (build parts.(0)));
   let partials =
-    map_partitions_traced ~sink ~workers
+    map_partitions_traced ~eng ~sink ~workers
       (fun part ->
         match Steno.Engine.scalar ?backend eng (build part) with
         | s -> Some s

@@ -15,6 +15,25 @@ val stage : 'a Query.t -> Expr.Open.env -> 'a Enumerable.t
 val stage_sq : 's Query.sq -> Expr.Open.env -> 's
 (** Build the eager evaluator for a scalar query. *)
 
+type wrapper = { wrap : 'x. string -> 'x Enumerable.t -> 'x Enumerable.t }
+(** A staging-time decorator applied to every top-level operator's output
+    enumerable; the [string] is an operator label ("select", "where",
+    ...).  [wrap label] is evaluated once per operator at staging, so a
+    profiling wrapper allocates its probe point there and only the
+    returned decorator runs per preparation. *)
+
+val unprobed : wrapper
+(** The identity wrapper: [stage] is [stage_probed unprobed]. *)
+
+val stage_probed : wrapper -> 'a Query.t -> Expr.Open.env -> 'a Enumerable.t
+(** [stage] with a wrapper around every top-level operator (source to
+    sink order).  Nested sub-queries stage unprobed: their cost is
+    attributed to the enclosing operator. *)
+
+val stage_sq_probed : wrapper -> 's Query.sq -> Expr.Open.env -> 's
+(** Scalar variant: the collection part of the query is wrapped; the
+    eager terminal operator itself is not a point. *)
+
 val run : 'a Query.t -> 'a Enumerable.t
 (** [stage] applied to the empty environment. *)
 

@@ -131,29 +131,27 @@ let rec validate chain =
   go chain.ops
 
 let rec symbol_string chain =
-  let sym = function
-    | Trans _ -> "Trans"
-    | Trans_idx _ -> "Trans"
-    | Trans_nested n ->
-      Printf.sprintf "Trans[%s]" (symbol_string n.inner_s)
-    | Pred _ -> "Pred"
-    | Pred_idx _ -> "Pred"
-    | Pred_nested n -> Printf.sprintf "Pred[%s]" (symbol_string n.inner_s)
-    | Pred_stateful _ -> "Pred"
-    | Nested n -> Printf.sprintf "[%s]" (symbol_string n.inner)
-    | Hash_join j ->
-      Printf.sprintf "HashJoin[%s]" (symbol_string j.join_inner)
-    | Sink (Group_by_sink _) -> "Sink:GroupBy"
-    | Sink (Group_by_elem_sink _) -> "Sink:GroupBy"
-    | Sink (Group_by_agg_sink _) -> "Sink:GroupByAggregate"
-    | Sink (Group_by_agg_sorted_sink _) -> "Sink:GroupByAggregateSorted"
-    | Sink (Order_by_sink _) -> "Sink:OrderBy"
-    | Sink Distinct_sink -> "Sink:Distinct"
-    | Sink Reverse_sink -> "Sink:Reverse"
-    | Sink To_array_sink -> "Sink:ToArray"
-    | Agg _ -> "Agg"
-  in
-  String.concat " " (("Src" :: List.map sym chain.ops) @ [ "Ret" ])
+  String.concat " " (("Src" :: List.map op_symbol chain.ops) @ [ "Ret" ])
+
+and op_symbol = function
+  | Trans _ -> "Trans"
+  | Trans_idx _ -> "Trans"
+  | Trans_nested n -> Printf.sprintf "Trans[%s]" (symbol_string n.inner_s)
+  | Pred _ -> "Pred"
+  | Pred_idx _ -> "Pred"
+  | Pred_nested n -> Printf.sprintf "Pred[%s]" (symbol_string n.inner_s)
+  | Pred_stateful _ -> "Pred"
+  | Nested n -> Printf.sprintf "[%s]" (symbol_string n.inner)
+  | Hash_join j -> Printf.sprintf "HashJoin[%s]" (symbol_string j.join_inner)
+  | Sink (Group_by_sink _) -> "Sink:GroupBy"
+  | Sink (Group_by_elem_sink _) -> "Sink:GroupBy"
+  | Sink (Group_by_agg_sink _) -> "Sink:GroupByAggregate"
+  | Sink (Group_by_agg_sorted_sink _) -> "Sink:GroupByAggregateSorted"
+  | Sink (Order_by_sink _) -> "Sink:OrderBy"
+  | Sink Distinct_sink -> "Sink:Distinct"
+  | Sink Reverse_sink -> "Sink:Reverse"
+  | Sink To_array_sink -> "Sink:ToArray"
+  | Agg _ -> "Agg"
 
 let rec operator_count chain =
   let op_count = function

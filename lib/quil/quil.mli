@@ -148,6 +148,11 @@ val symbol_string : chain -> string
     kind (["Sink:GroupBy"], ["Sink:GroupByAggregate"], ...) so operator
     specialization is visible in dumps. *)
 
+val op_symbol : op -> string
+(** The symbol of one operator, as it appears in {!symbol_string}
+    (nested chains bracketed inline).  Used to label per-operator probe
+    points in profiled native code. *)
+
 val operator_count : chain -> int
 
 val map_nested : (chain -> chain) -> op -> op

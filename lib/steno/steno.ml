@@ -38,6 +38,106 @@ type compile_info = {
   fallback : fallback_reason option;
 }
 
+(* {2 Profiling} *)
+
+(* Per-preparation profile state ([profile:true] engines).  [prof_probe]
+   holds one point per top-level operator; how the points are fed is
+   backend-specific: Linq and Fused mutate them inline from staged
+   wrappers, Native increments the [prof_native_rows] cells from
+   generated code and the run wrapper folds the deltas into the points
+   after each run. *)
+type profile = {
+  prof_backend : backend;
+  prof_probe : Metrics.Probe.t;
+  prof_native_rows : int array option;
+      (* The capture-slot array bound into profiled native code; zeroed
+         before each run so a run's counts are a delta. *)
+  mutable prof_runs : int;
+  mutable prof_run_ms : float;
+}
+
+type op_profile = {
+  op_label : string;
+  op_index : int;
+  op_rows : int;
+  op_calls : int;
+  op_ns : int;
+}
+
+type profile_snapshot = {
+  ps_backend : backend;
+  ps_runs : int;
+  ps_run_ms : float;
+  ps_ops : op_profile list;
+}
+
+let profile_snapshot prof =
+  {
+    ps_backend = prof.prof_backend;
+    ps_runs = prof.prof_runs;
+    ps_run_ms = prof.prof_run_ms;
+    ps_ops =
+      List.map
+        (fun (pt : Metrics.Probe.point) ->
+          {
+            op_label = pt.Metrics.Probe.pt_label;
+            op_index = pt.Metrics.Probe.pt_index;
+            op_rows = pt.Metrics.Probe.pt_rows;
+            op_calls = pt.Metrics.Probe.pt_calls;
+            op_ns = pt.Metrics.Probe.pt_ns;
+          })
+        (Metrics.Probe.points prof.prof_probe);
+  }
+
+(* Probe wrappers for the staged backends.  The point is allocated when
+   the label is applied — once per operator, at staging — so the per-run
+   cost is only the decorated iterator/folder. *)
+let linq_probe_wrapper pr : Linq.wrapper =
+  {
+    Linq.wrap =
+      (fun label ->
+        let pt = Metrics.Probe.point pr label in
+        fun e -> Enumerable.probe pt e);
+  }
+
+(* Only rows are counted per element: on the fused backend every row
+   pushed downstream costs exactly one closure call, so the run wrapper
+   reconciles [pt_calls <- pt_rows] once per run instead of paying a
+   second increment on the hot path.
+
+   Pure transforms push exactly what they receive, in the same push
+   frame as their upstream — even a downstream early exit (take's stop
+   exception) unwinds through transform and source together, so the
+   counts cannot diverge.  Their points are marked [pt_derived] and not
+   counted at all; the run wrapper copies the upstream point's rows once
+   per run.  Barriers (order-by, rev, materialize) also preserve
+   cardinality but decouple the push frames, so they stay counted. *)
+let fused_preserves_rows = function
+  | "select" | "select-i" | "select-sq" -> true
+  | _ -> false
+
+let fused_probe_wrapper pr : Fused.wrapper =
+  {
+    Fused.fwrap =
+      (fun label ->
+        let pt = Metrics.Probe.point pr label in
+        if fused_preserves_rows label && pt.Metrics.Probe.pt_index > 0 then (
+          pt.Metrics.Probe.pt_derived <- true;
+          fun f -> f)
+        else
+          fun f ->
+            {
+              Fused.fold =
+                (fun g z ->
+                  f.Fused.fold
+                    (fun acc x ->
+                      pt.Metrics.Probe.pt_rows <-
+                        pt.Metrics.Probe.pt_rows + 1;
+                      g acc x)
+                    z);
+            });
+  }
+
 (* Collection and scalar preparations share one representation; the
    public ['a prepared] / ['s prepared_scalar] are typed views of it. *)
 type 'r prep = {
@@ -47,6 +147,8 @@ type 'r prep = {
       (* Optimizer rewrite log for this preparation, AST rules first,
          then QUIL chain rules (the latter only when the preparation
          actually lowered to QUIL, i.e. on the Native path). *)
+  p_profile : profile option;
+      (* Present iff the engine had [profile = true] at prepare time. *)
 }
 
 type 'a prepared = 'a array prep
@@ -67,27 +169,38 @@ let translate_exn : exn -> exn = function
    logic (timing, caching, fallback, telemetry) exists once for both
    collection and scalar queries. *)
 type 'r plan = {
-  stage_linq : Telemetry.sink -> unit -> 'r;
-  stage_fused : Telemetry.sink -> unit -> 'r;
+  stage_linq : ?probe:Metrics.Probe.t -> Telemetry.sink -> unit -> 'r;
+  stage_fused : ?probe:Metrics.Probe.t -> Telemetry.sink -> unit -> 'r;
   chain : Telemetry.sink -> Quil.chain;
   of_raw : Obj.t -> 'r;
 }
 
+let linq_wrapper = function
+  | None -> Linq.unprobed
+  | Some pr -> linq_probe_wrapper pr
+
+let fused_wrapper = function
+  | None -> Fused.unprobed
+  | Some pr -> fused_probe_wrapper pr
+
 let query_plan (q : 'a Query.t) : 'a array plan =
   {
     stage_linq =
-      (fun sink ->
+      (fun ?probe sink ->
+        let w = linq_wrapper probe in
         let staged =
-          Telemetry.with_span sink "stage" (fun () -> Linq.stage q)
+          Telemetry.with_span sink "stage" (fun () -> Linq.stage_probed w q)
         in
         fun () -> Enumerable.to_array (staged Expr.Open.empty));
     stage_fused =
-      (fun sink ->
+      (fun ?probe sink ->
+        let w = fused_wrapper probe in
         let spec =
           Telemetry.with_span sink "specialize" (fun () -> Specialize.query q)
         in
         let staged =
-          Telemetry.with_span sink "stage" (fun () -> Fused.stage spec)
+          Telemetry.with_span sink "stage" (fun () ->
+              Fused.stage_probed w spec)
         in
         fun () -> Fused.materialize (staged Expr.Open.empty));
     chain =
@@ -102,19 +215,23 @@ let query_plan (q : 'a Query.t) : 'a array plan =
 let scalar_plan (sq : 's Query.sq) : 's plan =
   {
     stage_linq =
-      (fun sink ->
+      (fun ?probe sink ->
+        let w = linq_wrapper probe in
         let staged =
-          Telemetry.with_span sink "stage" (fun () -> Linq.stage_sq sq)
+          Telemetry.with_span sink "stage" (fun () ->
+              Linq.stage_sq_probed w sq)
         in
         fun () -> staged Expr.Open.empty);
     stage_fused =
-      (fun sink ->
+      (fun ?probe sink ->
+        let w = fused_wrapper probe in
         let spec =
           Telemetry.with_span sink "specialize" (fun () ->
               Specialize.scalar sq)
         in
         let staged =
-          Telemetry.with_span sink "stage" (fun () -> Fused.stage_sq spec)
+          Telemetry.with_span sink "stage" (fun () ->
+              Fused.stage_sq_probed w spec)
         in
         fun () -> staged Expr.Open.empty);
     chain =
@@ -136,6 +253,8 @@ module Engine = struct
     compile_timeout_ms : int option;
     cache_capacity : int;
     telemetry : Telemetry.sink;
+    profile : bool;
+    metrics : Metrics.t;
   }
 
   type t = {
@@ -151,6 +270,8 @@ module Engine = struct
       compile_timeout_ms = None;
       cache_capacity = 128;
       telemetry = Telemetry.null;
+      profile = false;
+      metrics = Metrics.default ();
     }
 
   let create cfg =
@@ -159,6 +280,8 @@ module Engine = struct
   let config e = e.cfg
 
   let telemetry e = e.cfg.telemetry
+
+  let metrics e = e.cfg.metrics
 
   type cache_stats = {
     capacity : int;
@@ -190,6 +313,85 @@ module Engine = struct
           ~attrs:[ "backend", backend_name backend ]
           f
 
+  (* Wrap a preparation's run function with the profile bookkeeping:
+     accumulate wall time and native row deltas into the probe points,
+     and flush per-run deltas into the engine's metrics registry.  The
+     instrument handles are registered once here, at prepare time. *)
+  let wrap_profiled eng (prof : profile) run =
+    let m = eng.cfg.metrics in
+    let bl = [ "backend", backend_name prof.prof_backend ] in
+    let run_hist =
+      Metrics.histogram m "steno_run_ms"
+        ~help:"Wall time of profiled query runs (milliseconds)" ~labels:bl
+    in
+    let runs_c =
+      Metrics.counter m "steno_runs" ~help:"Profiled query runs" ~labels:bl
+    in
+    let handles =
+      List.map
+        (fun (pt : Metrics.Probe.point) ->
+          let labels =
+            bl
+            @ [
+                "op", pt.Metrics.Probe.pt_label;
+                "index", string_of_int pt.Metrics.Probe.pt_index;
+              ]
+          in
+          ( pt,
+            Metrics.counter m "steno_operator_rows"
+              ~help:"Rows leaving each operator edge of profiled queries"
+              ~labels,
+            Metrics.counter m "steno_operator_calls"
+              ~help:
+                "Indirect or closure calls observed per operator (0 on the \
+                 native backend: compiled loops make none)"
+              ~labels,
+            ref 0,
+            ref 0 ))
+        (Metrics.Probe.points prof.prof_probe)
+    in
+    fun () ->
+      (match prof.prof_native_rows with
+      | Some arr -> Array.fill arr 0 (Array.length arr) 0
+      | None -> ());
+      let t0 = now_ms () in
+      let r = run () in
+      let dt = now_ms () -. t0 in
+      prof.prof_runs <- prof.prof_runs + 1;
+      prof.prof_run_ms <- prof.prof_run_ms +. dt;
+      (match prof.prof_native_rows with
+      | Some arr ->
+        List.iteri
+          (fun i (pt : Metrics.Probe.point) ->
+            if i < Array.length arr then
+              pt.Metrics.Probe.pt_rows <-
+                pt.Metrics.Probe.pt_rows + Array.unsafe_get arr i)
+          (Metrics.Probe.points prof.prof_probe)
+      | None -> ());
+      (* The fused wrapper counts only rows per element; one row = one
+         closure call, settled here once per run.  Derived points
+         (cardinality-preserving transforms) take the upstream point's
+         accumulated rows. *)
+      if prof.prof_backend = Fused then (
+        let prev = ref 0 in
+        List.iter
+          (fun (pt : Metrics.Probe.point) ->
+            if pt.Metrics.Probe.pt_derived then
+              pt.Metrics.Probe.pt_rows <- !prev;
+            prev := pt.Metrics.Probe.pt_rows;
+            pt.Metrics.Probe.pt_calls <- pt.Metrics.Probe.pt_rows)
+          (Metrics.Probe.points prof.prof_probe));
+      Metrics.observe run_hist dt;
+      Metrics.inc runs_c;
+      List.iter
+        (fun ((pt : Metrics.Probe.point), rows_c, calls_c, last_r, last_c) ->
+          Metrics.add rows_c (pt.Metrics.Probe.pt_rows - !last_r);
+          last_r := pt.Metrics.Probe.pt_rows;
+          Metrics.add calls_c (pt.Metrics.Probe.pt_calls - !last_c);
+          last_c := pt.Metrics.Probe.pt_calls)
+        handles;
+      r
+
   let error_to_reason : Dynload.error -> fallback_reason = function
     | Dynload.Unavailable -> Compiler_unavailable
     | Dynload.Timeout { timeout_ms } -> Compile_timeout timeout_ms
@@ -200,20 +402,28 @@ module Engine = struct
      the plan), then the bounded plugin cache, then compile+load under
      the engine's timeout, then environment binding. *)
   let compile_native eng (plan : 'r plan) ~t0 :
-      ((unit -> 'r) * compile_info, fallback_reason) result =
+      ((unit -> 'r) * compile_info * profile option, fallback_reason) result
+      =
     let sink = eng.cfg.telemetry in
     let chain = plan.chain sink in
+    let native_probe =
+      if eng.cfg.profile then Some (Codegen.probe_of_chain chain) else None
+    in
     let out =
-      Telemetry.with_span sink "codegen" (fun () -> Codegen.generate chain)
+      Telemetry.with_span sink "codegen" (fun () ->
+          Codegen.generate ?probe:native_probe chain)
     in
     let t1 = now_ms () in
-    (* The generated source already reflects any rewriting, but the key
-       still carries the optimizer flag explicitly: a plugin compiled
-       with optimization off must never satisfy an optimized lookup of a
-       coincidentally identical source (and vice versa), e.g. across a
-       config change on a shared engine. *)
+    (* The generated source already reflects any rewriting (and any probe
+       increments), but the key still carries the optimizer and profile
+       flags explicitly: a plugin compiled with optimization off must
+       never satisfy an optimized lookup of a coincidentally identical
+       source (and vice versa), e.g. across a config change on a shared
+       engine. *)
     let cache_key =
-      (if eng.cfg.optimize then "O1:" else "O0:") ^ out.Codegen.source
+      (if eng.cfg.profile then "P1:" else "P0:")
+      ^ (if eng.cfg.optimize then "O1:" else "O0:")
+      ^ out.Codegen.source
     in
     let looked_up =
       match Steno_lru.find eng.cache cache_key with
@@ -259,12 +469,50 @@ module Engine = struct
           fallback = None;
         }
       in
-      Ok ((fun () -> plan.of_raw (raw_run ())), info)
+      let prof =
+        match native_probe with
+        | None -> None
+        | Some np ->
+          (* One point per generated edge, same order as the labels; the
+             run wrapper folds the array's per-run deltas into them. *)
+          let pr = Metrics.Probe.create () in
+          Array.iter
+            (fun lbl -> ignore (Metrics.Probe.point pr lbl))
+            np.Codegen.probe_labels;
+          Some
+            {
+              prof_backend = Native;
+              prof_probe = pr;
+              prof_native_rows = Some np.Codegen.probe_rows;
+              prof_runs = 0;
+              prof_run_ms = 0.0;
+            }
+      in
+      Ok ((fun () -> plan.of_raw (raw_run ())), info, prof)
 
-  let prep_of_staged ~sink ~t0 ~requested ~actual ~fallback staged =
+  let prep_of_staged eng ~sink ~t0 ~requested ~actual ~fallback staged =
+    let probe =
+      if eng.cfg.profile then Some (Metrics.Probe.create ()) else None
+    in
     let ts = now_ms () in
-    let run = staged sink in
+    let run = staged ?probe sink in
     let staging_ms = now_ms () -. ts in
+    let prof =
+      match probe with
+      | None -> None
+      | Some pr ->
+        Some
+          {
+            prof_backend = actual;
+            prof_probe = pr;
+            prof_native_rows = None;
+            prof_runs = 0;
+            prof_run_ms = 0.0;
+          }
+    in
+    let run =
+      match prof with None -> run | Some p -> wrap_profiled eng p run
+    in
     {
       run_fn = traced_run sink actual run;
       p_info =
@@ -278,6 +526,7 @@ module Engine = struct
           fallback;
         };
       p_rules = [];
+      p_profile = prof;
     }
 
   let prepare_plan (eng : t) ?backend (plan : 'r plan) : 'r prep =
@@ -289,25 +538,29 @@ module Engine = struct
     @@ fun () ->
     match requested with
     | Linq ->
-      prep_of_staged ~sink ~t0 ~requested ~actual:Linq ~fallback:None
+      prep_of_staged eng ~sink ~t0 ~requested ~actual:Linq ~fallback:None
         plan.stage_linq
     | Fused ->
-      prep_of_staged ~sink ~t0 ~requested ~actual:Fused ~fallback:None
+      prep_of_staged eng ~sink ~t0 ~requested ~actual:Fused ~fallback:None
         plan.stage_fused
     | Native -> (
       match compile_native eng plan ~t0 with
-      | Ok (run, info) ->
+      | Ok (run, info, prof) ->
+        let run =
+          match prof with None -> run | Some p -> wrap_profiled eng p run
+        in
         {
           run_fn = traced_run sink Native run;
           p_info = { info with prepare_ms = now_ms () -. t0 };
           p_rules = [];
+          p_profile = prof;
         }
       | Error reason when eng.cfg.fallback ->
         Telemetry.count sink "engine.fallback" 1;
         Telemetry.emit sink "fallback"
           ~attrs:[ "reason", fallback_reason_label reason ]
           ~start_ms:(now_ms ()) ~duration_ms:0.0 ();
-        prep_of_staged ~sink ~t0 ~requested ~actual:Fused
+        prep_of_staged eng ~sink ~t0 ~requested ~actual:Fused
           ~fallback:(Some reason) plan.stage_fused
       | Error reason ->
         raise (Dynload.Compilation_failed (fallback_reason_message reason)))
@@ -422,6 +675,97 @@ module Engine = struct
       Buffer.add_string b "rules applied:\n";
       List.iter (fun r -> Printf.bprintf b "  - %s\n" r) rules);
     Buffer.contents b
+
+  (* {2 Explain analyze} *)
+
+  type analysis = {
+    a_requested : backend;
+    a_backend : backend;
+    a_explanation : explanation;
+    a_profile : profile_snapshot;
+    a_result_rows : int option;
+  }
+
+  (* A view of [eng] with profiling forced on; shares the plugin cache
+     (profiled native code has distinct keys, so no aliasing). *)
+  let force_profile eng =
+    if eng.cfg.profile then eng
+    else { eng with cfg = { eng.cfg with profile = true } }
+
+  let analysis_of_prep ~requested ~explanation ~result_rows (p : _ prep) =
+    let prof =
+      match p.p_profile with
+      | Some prof -> profile_snapshot prof
+      | None ->
+        (* Unreachable: the preparation came from a profiling engine. *)
+        {
+          ps_backend = p.p_info.backend;
+          ps_runs = 0;
+          ps_run_ms = 0.0;
+          ps_ops = [];
+        }
+    in
+    {
+      a_requested = requested;
+      a_backend = p.p_info.backend;
+      a_explanation = explanation;
+      a_profile = prof;
+      a_result_rows = result_rows;
+    }
+
+  let explain_analyze ?backend eng q =
+    let requested = Option.value backend ~default:eng.cfg.backend in
+    let explanation = explain eng q in
+    let p = prepare ?backend (force_profile eng) q in
+    let r = p.run_fn () in
+    analysis_of_prep ~requested ~explanation
+      ~result_rows:(Some (Array.length r)) p
+
+  let explain_analyze_scalar ?backend eng sq =
+    let requested = Option.value backend ~default:eng.cfg.backend in
+    let explanation = explain_scalar eng sq in
+    let p = prepare_scalar ?backend (force_profile eng) sq in
+    ignore (p.run_fn ());
+    analysis_of_prep ~requested ~explanation ~result_rows:None p
+
+  let analysis_to_string a =
+    let b = Buffer.create 512 in
+    Printf.bprintf b "backend:     %s%s\n"
+      (backend_name a.a_backend)
+      (if a.a_backend <> a.a_requested then
+         Printf.sprintf " (requested %s, fell back)"
+           (backend_name a.a_requested)
+       else "");
+    Buffer.add_string b (explain_to_string a.a_explanation);
+    (match a.a_result_rows with
+    | Some n -> Printf.bprintf b "result rows: %d\n" n
+    | None -> Buffer.add_string b "result:      scalar\n");
+    Printf.bprintf b "runs: %d, run time: %.3f ms\n" a.a_profile.ps_runs
+      a.a_profile.ps_run_ms;
+    (match a.a_profile.ps_ops with
+    | [] -> Buffer.add_string b "operators: (no probe points)\n"
+    | ops ->
+      Printf.bprintf b "%-4s %-28s %12s %12s %10s\n" "#" "operator" "rows"
+        "calls" "time(ms)";
+      (* Linq point times are upstream-inclusive move_next time, so the
+         per-operator exclusive time is the difference of consecutive
+         points; fused loops and native code have no meaningful
+         per-operator clock. *)
+      let prev_ns = ref 0 in
+      List.iter
+        (fun op ->
+          let time_cell =
+            if a.a_profile.ps_backend = Linq then begin
+              let excl = max 0 (op.op_ns - !prev_ns) in
+              prev_ns := op.op_ns;
+              Printf.sprintf "%.3f" (float_of_int excl /. 1e6)
+            end
+            else "-"
+          in
+          Printf.bprintf b "%-4d %-28s %12d %12d %10s\n" op.op_index
+            op.op_label op.op_rows op.op_calls time_cell)
+        ops);
+    Buffer.contents b
 end
 
 (* The compatibility default engine: the only process-global engine
@@ -454,6 +798,7 @@ module Prepared = struct
   let backend_used p = p.p_info.backend
   let compile_info p = p.p_info
   let rewrite_log p = p.p_rules
+  let profile p = Option.map profile_snapshot p.p_profile
 end
 
 module Prepared_scalar = struct
@@ -463,6 +808,7 @@ module Prepared_scalar = struct
   let backend_used p = p.p_info.backend
   let compile_info p = p.p_info
   let rewrite_log p = p.p_rules
+  let profile p = Option.map profile_snapshot p.p_profile
 end
 
 let to_array ?backend q = run (prepare ?backend q)

@@ -69,6 +69,44 @@ type compile_info = {
 type 'a prepared
 type 's prepared_scalar
 
+(** {1 Profiles}
+
+    With [profile = true] in the engine configuration, every preparation
+    carries one probe point per top-level query operator, fed during
+    execution: rows flowing out of each operator edge (so selectivity is
+    the ratio of consecutive points), the indirect or closure calls each
+    element costs at that operator, and — on the pull backend — the time
+    spent inside upstream [move_next].  The call counts measure the
+    paper's core claim directly: [Linq] observes two indirect calls per
+    element per operator, [Fused] one closure call, [Native] zero.
+
+    With [profile = false] (the default) none of this exists: staging
+    applies no wrappers and generated code contains no probe
+    increments — the unprofiled paths are byte-identical to a build
+    without this feature. *)
+
+type op_profile = {
+  op_label : string;
+      (** Operator label: the staged combinator name (["where"],
+          ["select"], ...) on [Linq]/[Fused], the QUIL symbol (["Pred"],
+          ["Trans"], ...) on [Native]. *)
+  op_index : int;  (** position in source-to-sink order, [0] = source *)
+  op_rows : int;  (** rows that left this operator, over all runs *)
+  op_calls : int;  (** indirect/closure calls observed, over all runs *)
+  op_ns : int;
+      (** cumulative nanoseconds; on [Linq] the upstream-inclusive
+          [move_next] time at this point (exclusive time is the
+          difference of consecutive points), [0] on [Fused]/[Native]
+          where per-operator time is meaningless inside a fused loop *)
+}
+
+type profile_snapshot = {
+  ps_backend : backend;  (** backend that executed (after fallback) *)
+  ps_runs : int;
+  ps_run_ms : float;  (** total wall time of profiled runs *)
+  ps_ops : op_profile list;  (** source-to-sink order *)
+}
+
 (** {1 Engines}
 
     An engine is the host-side runtime contract made explicit: which
@@ -110,18 +148,36 @@ module Engine : sig
             canon, codegen, compile, dynlink, env-bind, run) and cache /
             fallback / rewrite counters.  {!Telemetry.null} costs one
             branch per stage. *)
+    profile : bool;
+        (** When true, preparations carry per-operator probe points (see
+            {!type-op_profile}): staged backends wrap every operator,
+            native code generation inserts row-count increments at each
+            operator edge, and every run flushes per-run deltas into
+            [metrics] ([steno_run_ms], [steno_runs_total],
+            [steno_operator_rows_total], [steno_operator_calls_total],
+            labelled by backend/op/index).  Profiled native code has
+            distinct cache keys, so it never aliases unprofiled plugins.
+            When false (the default), execution is exactly the
+            unprofiled code — no wrapper, no increment, no registry
+            write. *)
+    metrics : Metrics.t;
+        (** Registry receiving the profile flush (and anything else the
+            host records); defaults to {!Metrics.default}. *)
   }
 
   val default_config : config
   (** [Native] when a compiler is available ([Fused] otherwise),
       [fallback = true], [optimize = true], no timeout, capacity 128,
-      null telemetry. *)
+      null telemetry, [profile = false], the process-wide metrics
+      registry. *)
 
   val create : config -> t
 
   val config : t -> config
 
   val telemetry : t -> Telemetry.sink
+
+  val metrics : t -> Metrics.t
 
   (** {2 Execution} *)
 
@@ -174,6 +230,34 @@ module Engine : sig
   val explain_to_string : explanation -> string
   (** Multi-line rendering: plan before/after, operator counts, and the
       applied-rule list — what [stenoc explain] prints. *)
+
+  (** {2 Explain analyze}
+
+      {!explain} plus one instrumented execution: what the optimizer did
+      to the plan, and what actually flowed through it. *)
+
+  type analysis = {
+    a_requested : backend;
+    a_backend : backend;  (** backend that executed (after fallback) *)
+    a_explanation : explanation;  (** the rewrite log, as in {!explain} *)
+    a_profile : profile_snapshot;  (** actual rows/calls/time per operator *)
+    a_result_rows : int option;
+        (** rows in the result; [None] for scalar queries *)
+  }
+
+  val explain_analyze : ?backend:backend -> t -> 'a Query.t -> analysis
+  (** Prepare the query with profiling forced on (regardless of the
+      engine's [profile] flag — the engine's plugin cache is shared),
+      run it once under probes, and return the annotated result.  The
+      run also flushes to the engine's metrics registry. *)
+
+  val explain_analyze_scalar :
+    ?backend:backend -> t -> 's Query.sq -> analysis
+
+  val analysis_to_string : analysis -> string
+  (** Multi-line rendering: the {!explain_to_string} block followed by a
+      per-operator table of actual rows, calls, and (on [Linq])
+      exclusive time — what [stenoc analyze] prints. *)
 end
 
 val default_engine : unit -> Engine.t
@@ -215,6 +299,10 @@ module Prepared : sig
       rules first, then QUIL chain rules — the latter only on the
       Native path, which is the only one that builds the chain).  Empty
       when the engine was configured with [optimize = false]. *)
+
+  val profile : 'a t -> profile_snapshot option
+  (** Per-operator counts accumulated over this preparation's runs so
+      far; [None] unless the preparing engine had [profile = true]. *)
 end
 
 (** Accessors on a prepared scalar query. *)
@@ -225,6 +313,7 @@ module Prepared_scalar : sig
   val backend_used : 's t -> backend
   val compile_info : 's t -> compile_info
   val rewrite_log : 's t -> string list
+  val profile : 's t -> profile_snapshot option
 end
 
 val run : 'a prepared -> 'a array

@@ -112,18 +112,54 @@ let span_to_json s =
 
 let json oc =
   let mu = Mutex.create () in
+  (* Each event is formatted into one string first and written with a
+     single [output_string] under the mutex: channel writes are not
+     atomic across domains, so interleaving two [fprintf]s would corrupt
+     the line-oriented output even with each call individually locked. *)
+  let write_line line =
+    Mutex.protect mu (fun () ->
+        output_string oc line;
+        flush oc)
+  in
+  make
+    ~on_span:(fun s -> write_line (span_to_json s ^ "\n"))
+    ~on_count:(fun name n ->
+      write_line
+        (Printf.sprintf {|{"kind":"count","name":"%s","n":%d}|}
+           (json_escape name) n
+        ^ "\n"))
+    ()
+
+(* Metrics bridge. *)
+
+let metrics m =
   make
     ~on_span:(fun s ->
-      Mutex.protect mu (fun () ->
-          output_string oc (span_to_json s ^ "\n");
-          flush oc))
+      Metrics.observe
+        (Metrics.histogram m "steno_span_ms"
+           ~help:"Duration of telemetry spans by stage name (milliseconds)"
+           ~labels:[ "name", s.name ])
+        s.duration_ms)
     ~on_count:(fun name n ->
-      Mutex.protect mu (fun () ->
-          Printf.fprintf oc {|{"kind":"count","name":"%s","n":%d}|}
-            (json_escape name) n;
-          output_char oc '\n';
-          flush oc))
+      Metrics.add
+        (Metrics.counter m "steno_events"
+           ~help:"Telemetry counter events by name"
+           ~labels:[ "name", name ])
+        n)
     ()
+
+let tee a b =
+  if not a.enabled then b
+  else if not b.enabled then a
+  else
+    make
+      ~on_span:(fun s ->
+        a.on_span s;
+        b.on_span s)
+      ~on_count:(fun name n ->
+        a.on_count name n;
+        b.on_count name n)
+      ()
 
 (* In-memory collector. *)
 

@@ -47,7 +47,18 @@ val logs : ?level:Logs.level -> unit -> sink
 val json : out_channel -> sink
 (** One JSON object per line per event:
     [{"kind":"span","name":...,"path":[...],"start_ms":...,"duration_ms":...,"attrs":{...}}]
-    and [{"kind":"count","name":...,"n":...}]. *)
+    and [{"kind":"count","name":...,"n":...}].  Each event is one atomic
+    channel write, so lines from concurrent domains never interleave. *)
+
+val metrics : Metrics.t -> sink
+(** Bridge into a metrics registry: every span observes the
+    [steno_span_ms] histogram (labelled by span name) and every counter
+    event adds to the [steno_events_total] counter (labelled by event
+    name).  Registration is by name+label lookup per event, so this sink
+    suits pipeline-stage telemetry, not per-element hot paths. *)
+
+val tee : sink -> sink -> sink
+(** Both sinks receive every event (a disabled side is dropped). *)
 
 (** {1 Recording} *)
 

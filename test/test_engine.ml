@@ -11,6 +11,7 @@ let engine ?(fallback = true) ?(optimize = true) ?compile_timeout_ms
     ?(cache_capacity = 128) ?(telemetry = Telemetry.null) backend =
   Steno.Engine.create
     {
+      Steno.Engine.default_config with
       backend;
       fallback;
       optimize;

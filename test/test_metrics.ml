@@ -1,0 +1,177 @@
+(* Steno.Metrics: log-scale bucket construction, histogram bucket
+   boundary semantics, lock-free shard merging under concurrent domains,
+   and the OpenMetrics text renderer (golden output). *)
+
+let test_log_buckets () =
+  Alcotest.(check (array (float 1e-9)))
+    "powers of two"
+    [| 1.0; 2.0; 4.0; 8.0 |]
+    (Metrics.log_buckets ~lo:1.0 ~hi:8.0 ());
+  Alcotest.(check (array (float 1e-9)))
+    "base 10"
+    [| 0.1; 1.0; 10.0; 100.0 |]
+    (Metrics.log_buckets ~base:10.0 ~lo:0.1 ~hi:100.0 ());
+  let db = Metrics.default_buckets in
+  Alcotest.(check bool)
+    "default buckets strictly increase from 1us to >= 1s" true
+    (Array.length db > 1
+    && db.(0) = 0.001
+    && db.(Array.length db - 1) >= 1000.0
+    && Array.for_all
+         (fun i -> db.(i) > db.(i - 1))
+         (Array.init (Array.length db - 1) (fun i -> i + 1)));
+  let rejects lo hi base =
+    match Metrics.log_buckets ~base ~lo ~hi () with
+    | _ -> Alcotest.failf "accepted lo=%g hi=%g base=%g" lo hi base
+    | exception Invalid_argument _ -> ()
+  in
+  rejects 0.0 1.0 2.0;
+  rejects 1.0 1.0 2.0;
+  rejects 1.0 8.0 1.0
+
+let test_bucket_boundaries () =
+  let t = Metrics.create () in
+  let h = Metrics.histogram t "lat" ~buckets:[| 1.0; 2.0; 4.0; 8.0 |] in
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 1.5; 4.0; 100.0 ];
+  let snap = Metrics.histogram_snapshot h in
+  (* [le] semantics: an observation equal to a bound lands in that
+     bucket; cumulative counts never decrease and end at the total. *)
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "cumulative buckets"
+    [ 1.0, 2; 2.0, 3; 4.0, 4; 8.0, 4; infinity, 5 ]
+    snap.Metrics.hs_buckets;
+  Alcotest.(check int) "count" 5 snap.Metrics.hs_count;
+  Alcotest.(check (float 1e-9)) "sum" 107.0 snap.Metrics.hs_sum;
+  match Metrics.histogram t "bad" ~buckets:[| 2.0; 2.0 |] with
+  | _ -> Alcotest.fail "accepted non-increasing buckets"
+  | exception Invalid_argument _ -> ()
+
+let test_shard_merge_domains () =
+  let t = Metrics.create () in
+  let c = Metrics.counter t "hits" in
+  let h = Metrics.histogram t "obs" ~buckets:[| 10.0 |] in
+  let per_domain = 50_000 in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Metrics.inc c;
+              Metrics.observe h 1.0
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int)
+    "counter merges all shards" (4 * per_domain) (Metrics.counter_value c);
+  let snap = Metrics.histogram_snapshot h in
+  Alcotest.(check int)
+    "histogram count merges" (4 * per_domain) snap.Metrics.hs_count;
+  Alcotest.(check (float 1.0))
+    "histogram sum merges"
+    (float_of_int (4 * per_domain))
+    snap.Metrics.hs_sum
+
+let test_series_identity () =
+  let t = Metrics.create () in
+  let a =
+    Metrics.counter t "reqs" ~labels:[ "method", "get"; "code", "200" ]
+  in
+  (* Same label set, different order: same series. *)
+  let b =
+    Metrics.counter t "reqs" ~labels:[ "code", "200"; "method", "get" ]
+  in
+  Metrics.inc a;
+  Metrics.inc b;
+  Alcotest.(check int) "one series" 2 (Metrics.counter_value a);
+  (match Metrics.gauge t "reqs" with
+  | _ -> Alcotest.fail "kind mismatch accepted"
+  | exception Invalid_argument _ -> ());
+  match Metrics.add a (-1) with
+  | () -> Alcotest.fail "negative add accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_gauge () =
+  let t = Metrics.create () in
+  let g = Metrics.gauge t "temp" in
+  Metrics.set_gauge g 21.5;
+  Metrics.set_gauge g 19.0;
+  Alcotest.(check (float 1e-9)) "last write wins" 19.0 (Metrics.gauge_value g)
+
+let test_render_golden () =
+  let t = Metrics.create () in
+  let c =
+    Metrics.counter t "requests" ~help:"Requests served"
+      ~labels:[ "method", "get" ]
+  in
+  Metrics.add c 3;
+  let g = Metrics.gauge t "temp" ~help:"Temperature" in
+  Metrics.set_gauge g 21.5;
+  let h = Metrics.histogram t "latency" ~help:"Latency" ~buckets:[| 1.0; 2.0 |] in
+  Metrics.observe h 0.5;
+  Metrics.observe h 3.0;
+  let expected =
+    "# HELP latency Latency\n\
+     # TYPE latency histogram\n\
+     latency_bucket{le=\"1\"} 1\n\
+     latency_bucket{le=\"2\"} 1\n\
+     latency_bucket{le=\"+Inf\"} 2\n\
+     latency_sum 3.5\n\
+     latency_count 2\n\
+     # HELP requests Requests served\n\
+     # TYPE requests counter\n\
+     requests_total{method=\"get\"} 3\n\
+     # HELP temp Temperature\n\
+     # TYPE temp gauge\n\
+     temp 21.5\n\
+     # EOF\n"
+  in
+  Alcotest.(check string) "OpenMetrics text" expected (Metrics.render t)
+
+let test_render_escaping () =
+  let t = Metrics.create () in
+  Metrics.inc
+    (Metrics.counter t "odd" ~help:"odd labels"
+       ~labels:[ "q", "say \"hi\"\\n" ]);
+  let out = Metrics.render t in
+  Alcotest.(check bool)
+    "escaped quote and backslash" true
+    (let needle = {|odd_total{q="say \"hi\"\\n"} 1|} in
+     let rec contains i =
+       i + String.length needle <= String.length out
+       && (String.sub out i (String.length needle) = needle
+          || contains (i + 1))
+     in
+     contains 0)
+
+let test_probe_points () =
+  let pr = Metrics.Probe.create () in
+  let a = Metrics.Probe.point pr "src" in
+  let b = Metrics.Probe.point pr "where" in
+  a.Metrics.Probe.pt_rows <- 10;
+  b.Metrics.Probe.pt_rows <- 4;
+  Alcotest.(check (list (pair string int)))
+    "creation order and indices"
+    [ "src", 0; "where", 1 ]
+    (List.map
+       (fun p -> p.Metrics.Probe.pt_label, p.Metrics.Probe.pt_index)
+       (Metrics.Probe.points pr))
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "log buckets" `Quick test_log_buckets;
+          Alcotest.test_case "bucket boundaries" `Quick
+            test_bucket_boundaries;
+          Alcotest.test_case "shard merge x4 domains" `Quick
+            test_shard_merge_domains;
+          Alcotest.test_case "series identity" `Quick test_series_identity;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+        ] );
+      ( "render",
+        [
+          Alcotest.test_case "golden" `Quick test_render_golden;
+          Alcotest.test_case "escaping" `Quick test_render_escaping;
+        ] );
+      "probe", [ Alcotest.test_case "points" `Quick test_probe_points ];
+    ]

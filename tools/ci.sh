@@ -19,7 +19,30 @@ echo "== examples =="
 dune exec examples/quickstart.exe > /dev/null
 dune exec examples/wordcount.exe -- 20000 > /dev/null
 
+echo "== stenoc analyze (annotated plans, all backends) =="
+dune exec bin/stenoc.exe -- analyze redundant -n 2000 > /dev/null
+
+echo "== stenoc metrics (OpenMetrics dump) =="
+metrics_dump=$(dune exec bin/stenoc.exe -- metrics -n 2000)
+for family in \
+    'TYPE steno_run_ms histogram' \
+    'TYPE steno_runs counter' \
+    'TYPE steno_operator_rows counter' \
+    'TYPE steno_operator_calls counter' \
+    'TYPE steno_cache_entries gauge' \
+    'TYPE steno_partition_rows histogram' \
+    '# EOF'
+do
+  if ! printf '%s\n' "$metrics_dump" | grep -qF "$family"; then
+    echo "missing from metrics dump: $family" >&2
+    exit 1
+  fi
+done
+
 echo "== bench smoke (scale 0.01) =="
 dune exec bench/main.exe -- --scale 0.01 --json BENCH_PR2.json
+
+echo "== profiling overhead (scale 0.01) =="
+dune exec bench/main.exe -- --scale 0.01 --json-profile BENCH_PR3.json
 
 echo "== ok =="

@@ -6,6 +6,7 @@
      stenoc run <query> [-b BACKEND] [-n SIZE] [--trace]
      stenoc bench <query> [-n SIZE]
      stenoc stats <query> [-b BACKEND] [-n SIZE] [--reps R]
+     stenoc lint [<query> | --all]   static checks with rule codes
 *)
 
 module I = Expr.Infix
@@ -165,6 +166,15 @@ let find name =
     Error
       (Printf.sprintf "unknown query %S; try: %s" name
          (String.concat ", " (List.map demo_name demos)))
+
+(* Unknown-demo exit: name what exists and use a distinct status (2) so
+   scripts can tell "no such demo" from "demo failed". *)
+let unknown_demo name =
+  Printf.eprintf "unknown demo %S. Available demos:\n" name;
+  List.iter
+    (fun d -> Printf.eprintf "  %-14s %s\n" (demo_name d) (demo_descr d))
+    demos;
+  2
 
 let backend_of_string = function
   | "linq" -> Ok Steno.Linq
@@ -337,9 +347,7 @@ let cmd_stats name backend n reps =
    through each operator. *)
 let cmd_analyze name n =
   match find name with
-  | Error e ->
-    prerr_endline e;
-    1
+  | Error _ -> unknown_demo name
   | Ok demo ->
     let backends =
       if Steno.native_available () then
@@ -482,6 +490,9 @@ let cmd_explain src n =
     in
     print_string (Steno.Engine.explain_to_string ex);
     0
+  | Error _ when not (String.contains src ' ') ->
+    (* A bare word that names no demo: a typo, not query text. *)
+    unknown_demo src
   | Error _ -> (
     let lang_inputs : Elab.inputs =
       [
@@ -496,6 +507,37 @@ let cmd_explain src n =
     | exception Lang.Error (msg, pos) ->
       Printf.eprintf "error at offset %d: %s\n" pos msg;
       1)
+
+(* Static checks on a demo, printed one diagnostic per line with stable
+   rule codes.  Exit 1 when any Error-level diagnostic fires. *)
+let lint_demo eng n demo =
+  let diags =
+    match demo with
+    | Collection { build; _ } -> Steno.Engine.check eng (build n)
+    | Scalar { build; _ } -> Steno.Engine.check_scalar eng (build n)
+  in
+  (match diags with
+  | [] -> Printf.printf "%s: clean\n" (demo_name demo)
+  | ds ->
+    Printf.printf "%s:\n" (demo_name demo);
+    List.iter (fun d -> Printf.printf "  %s\n" (Check.to_string d)) ds);
+  Check.errors diags <> []
+
+let cmd_lint name_opt all n =
+  let eng = Steno.default_engine () in
+  match name_opt, all with
+  | _, true ->
+    let any_error =
+      List.fold_left (fun acc d -> lint_demo eng n d || acc) false demos
+    in
+    if any_error then 1 else 0
+  | Some name, false -> (
+    match find name with
+    | Error _ -> unknown_demo name
+    | Ok demo -> if lint_demo eng n demo then 1 else 0)
+  | None, false ->
+    prerr_endline "lint: name a demo query, or pass --all";
+    2
 
 (* Command line. *)
 
@@ -580,6 +622,22 @@ let analyze_cmd =
           counts, indirect-call counts and timings.")
     Term.(const cmd_analyze $ query_arg $ size)
 
+let lint_name_arg =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"QUERY")
+
+let all_arg =
+  Arg.(value & flag & info [ "all" ] ~doc:"Lint every demo query.")
+
+let lint_cmd =
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the static checks (well-formedness, purity, \
+          parallelizability, plan lints) on a demo query and print each \
+          diagnostic with its rule code.  Exits 1 if any error-level \
+          diagnostic fires, 2 for an unknown demo.")
+    Term.(const cmd_lint $ lint_name_arg $ all_arg $ size)
+
 let metrics_cmd =
   Cmd.v
     (Cmd.info "metrics"
@@ -595,5 +653,5 @@ let () =
        (Cmd.group (Cmd.info "stenoc" ~doc ~version:"1.0.0")
           [
             list_cmd; show_cmd; run_cmd; bench_cmd; stats_cmd; eval_cmd;
-            explain_cmd; analyze_cmd; metrics_cmd;
+            explain_cmd; analyze_cmd; lint_cmd; metrics_cmd;
           ]))

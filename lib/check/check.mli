@@ -1,0 +1,82 @@
+(** Static query analysis: a QUIL well-formedness verifier, expression
+    purity/interval analysis, a parallelizability classifier, and a plan
+    linter with stable rule codes.
+
+    Everything here is side-effect free and runs on the query AST (or
+    the lowered QUIL chain) before any execution — the engine calls it
+    at prepare time, [stenoc lint] calls it from the command line. *)
+
+module Pda = Check_pda
+module Purity = Check_purity
+module Homo = Check_homo
+
+(** {1 Diagnostics} *)
+
+type severity =
+  | Error  (** the query will raise, or an internal invariant is broken *)
+  | Warning  (** probable intent bug or guaranteed backend degradation *)
+  | Hint  (** an optimization opportunity *)
+
+val severity_string : severity -> string
+(** ["error"], ["warning"] or ["hint"]. *)
+
+type diagnostic = {
+  d_code : string;  (** stable rule code, e.g. ["SC004"] *)
+  d_rule : string;  (** rule name, e.g. ["where-after-take-semantics"] *)
+  d_severity : severity;
+  d_index : int;
+      (** operator position in source-to-sink order ([0] = source), or
+          [-1] for a whole-plan diagnostic *)
+  d_op : string;  (** combinator label at that position *)
+  d_message : string;
+}
+
+type rule = {
+  r_code : string;
+  r_name : string;
+  r_severity : severity;
+  r_doc : string;
+}
+
+val rules : rule list
+(** The registry, in code order: SC000 malformed-chain, SC001
+    opaque-lambda, SC002 unsplittable-suffix, SC003
+    redundant-sort-reverse, SC004 where-after-take-semantics, SC005
+    groupby-without-agg-specialization, SC006 const-division-by-zero,
+    SC007 aggregate-on-empty. *)
+
+val errors : diagnostic list -> diagnostic list
+(** Just the [Error]-severity diagnostics. *)
+
+val to_string : diagnostic -> string
+(** One line: ["SC004 warning [2:where] <message>"]. *)
+
+val render : diagnostic list -> string
+(** One line per diagnostic (trailing newline), or ["(none)\n"]. *)
+
+(** {1 The linter} *)
+
+val query : 'a Query.t -> diagnostic list
+(** All diagnostics for a collection query, sorted by (position, code,
+    message) so output is deterministic.  Diagnostics found inside
+    nested sub-queries are re-attached to the embedding operator's
+    position with an ["in nested sub-query: "] message prefix. *)
+
+val scalar : 's Query.sq -> diagnostic list
+(** Same for an aggregated (scalar) query; aggregate-level rules attach
+    to the final position. *)
+
+(** {1 QUIL chain well-formedness} *)
+
+exception Malformed_chain of string
+
+val verify : Quil.chain -> (unit, string) result
+(** Run the {!Pda} acceptor; [Error] carries the rejection reason. *)
+
+val assert_well_formed : Quil.chain -> unit
+(** @raise Malformed_chain if the PDA rejects the chain.  The engine
+    runs this on every chain it is about to execute or compile: a
+    failure is a builder/optimizer bug, not a user error. *)
+
+val malformed : string -> diagnostic
+(** An [SC000] whole-plan diagnostic from a PDA rejection reason. *)

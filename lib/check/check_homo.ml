@@ -1,0 +1,169 @@
+type verdict =
+  | Splittable
+  | Blocking of string
+
+type op_info = {
+  o_index : int;
+  o_label : string;
+  o_verdict : verdict;
+}
+
+type report = {
+  r_ops : op_info list;
+  r_prefix : int;
+  r_blocker : op_info option;
+}
+
+(* Blocking reasons, one phrasing per operator class so diagnostics are
+   stable. *)
+let positional = "consumes the element's global position, which restarts at 0 in every partition"
+let prefix_cut = "keeps a prefix or suffix of the whole sequence, not of each partition"
+let stateful_cut = "its cut point depends on all preceding elements of the whole sequence"
+let groups = "combines elements from the whole input into per-key groups"
+let sorts = "a global sort interleaves elements from every partition"
+let dedups = "duplicates may span partition boundaries"
+let reverses = "reverses the global order, not each partition's"
+
+(* The top-level operator spine, source first.  Only the outer side of
+   joins and flattens is walked — the inner side is re-evaluated per
+   outer element, so it does not constrain partitioning — mirroring
+   [Par.is_homomorphic] exactly. *)
+let rec ops_of : type a. a Query.t -> (string * verdict) list = function
+  | Query.Of_array _ -> [ "of-array", Splittable ]
+  | Query.Range _ -> [ "range", Splittable ]
+  | Query.Repeat _ -> [ "repeat", Splittable ]
+  | Query.Select (q, _) -> ops_of q @ [ "select", Splittable ]
+  | Query.Select_i (q, _) -> ops_of q @ [ "select-i", Blocking positional ]
+  | Query.Select_q (q, _, _) -> ops_of q @ [ "select-sq", Splittable ]
+  | Query.Where (q, _) -> ops_of q @ [ "where", Splittable ]
+  | Query.Where_i (q, _) -> ops_of q @ [ "where-i", Blocking positional ]
+  | Query.Where_q (q, _, _) -> ops_of q @ [ "where-sq", Splittable ]
+  | Query.Take (q, _) -> ops_of q @ [ "take", Blocking prefix_cut ]
+  | Query.Skip (q, _) -> ops_of q @ [ "skip", Blocking prefix_cut ]
+  | Query.Take_while (q, _) ->
+    ops_of q @ [ "take-while", Blocking stateful_cut ]
+  | Query.Skip_while (q, _) ->
+    ops_of q @ [ "skip-while", Blocking stateful_cut ]
+  | Query.Select_many (q, _, _) -> ops_of q @ [ "select-many", Splittable ]
+  | Query.Select_many_result (q, _, _, _) ->
+    ops_of q @ [ "select-many", Splittable ]
+  | Query.Join (outer, _, _, _, _) -> ops_of outer @ [ "join", Splittable ]
+  | Query.Group_by (q, _) -> ops_of q @ [ "group-by", Blocking groups ]
+  | Query.Group_by_elem (q, _, _) ->
+    ops_of q @ [ "group-by", Blocking groups ]
+  | Query.Group_by_agg (q, _, _, _) ->
+    ops_of q @ [ "group-by-agg", Blocking groups ]
+  | Query.Order_by (q, _, _) -> ops_of q @ [ "order-by", Blocking sorts ]
+  | Query.Distinct q -> ops_of q @ [ "distinct", Blocking dedups ]
+  | Query.Rev q -> ops_of q @ [ "rev", Blocking reverses ]
+  | Query.Materialize q -> ops_of q @ [ "materialize", Splittable ]
+
+type combinability =
+  | Combinable of string
+  | Not_combinable of string
+
+let aggregate_combinability : type s. s Query.sq -> combinability = function
+  | Query.Sum_int _ -> Combinable "(+)"
+  | Query.Sum_float _ -> Combinable "(+.)"
+  | Query.Count _ -> Combinable "(+)"
+  | Query.Min _ -> Combinable "min"
+  | Query.Max _ -> Combinable "max"
+  | Query.Min_by _ -> Combinable "min by key"
+  | Query.Max_by _ -> Combinable "max by key"
+  | Query.Any _ -> Combinable "(||)"
+  | Query.Exists _ -> Combinable "(||)"
+  | Query.For_all _ -> Combinable "(&&)"
+  | Query.Contains _ -> Combinable "(||)"
+  | Query.Aggregate _ | Query.Aggregate_full _ ->
+    Not_combinable
+      "a general fold carries no associativity annotation (section 6 \
+       defers such knowledge to user declarations)"
+  | Query.Average _ ->
+    Not_combinable
+      "an average of per-partition averages is not the global average"
+  | Query.First _ | Query.Last _ | Query.Element_at _ ->
+    Not_combinable "selects by global element position"
+  | Query.Map_scalar _ ->
+    Not_combinable
+      "the result selector applies after aggregation; partial results \
+       cannot be merged through it"
+
+let agg_label : type s. s Query.sq -> string = function
+  | Query.Aggregate _ -> "aggregate"
+  | Query.Aggregate_full _ -> "aggregate"
+  | Query.Sum_int _ -> "sum"
+  | Query.Sum_float _ -> "sum"
+  | Query.Count _ -> "count"
+  | Query.Average _ -> "average"
+  | Query.Min _ -> "min"
+  | Query.Max _ -> "max"
+  | Query.Min_by _ -> "min-by"
+  | Query.Max_by _ -> "max-by"
+  | Query.First _ -> "first"
+  | Query.Last _ -> "last"
+  | Query.Element_at _ -> "element-at"
+  | Query.Any _ -> "any"
+  | Query.Exists _ -> "exists"
+  | Query.For_all _ -> "for-all"
+  | Query.Contains _ -> "contains"
+  | Query.Map_scalar _ -> "map-scalar"
+
+let rec scalar_ops : type s. s Query.sq -> (string * verdict) list =
+ fun sq ->
+  let agg_row inner =
+    let v =
+      match aggregate_combinability sq with
+      | Combinable _ -> Splittable
+      | Not_combinable reason -> Blocking reason
+    in
+    ops_of inner @ [ agg_label sq, v ]
+  in
+  match sq with
+  | Query.Aggregate (q, _, _) -> agg_row q
+  | Query.Aggregate_full (q, _, _, _) -> agg_row q
+  | Query.Sum_int q -> agg_row q
+  | Query.Sum_float q -> agg_row q
+  | Query.Count q -> agg_row q
+  | Query.Average q -> agg_row q
+  | Query.Min q -> agg_row q
+  | Query.Max q -> agg_row q
+  | Query.Min_by (q, _) -> agg_row q
+  | Query.Max_by (q, _) -> agg_row q
+  | Query.First q -> agg_row q
+  | Query.Last q -> agg_row q
+  | Query.Element_at (q, _) -> agg_row q
+  | Query.Any q -> agg_row q
+  | Query.Exists (q, _) -> agg_row q
+  | Query.For_all (q, _) -> agg_row q
+  | Query.Contains (q, _) -> agg_row q
+  | Query.Map_scalar (inner, _) ->
+    scalar_ops inner
+    @ [
+        ( "map-scalar",
+          match aggregate_combinability sq with
+          | Combinable _ -> Splittable
+          | Not_combinable reason -> Blocking reason );
+      ]
+
+let report_of ops =
+  let ops =
+    List.mapi
+      (fun i (label, v) -> { o_index = i; o_label = label; o_verdict = v })
+      ops
+  in
+  let rec prefix n = function
+    | { o_verdict = Splittable; _ } :: rest -> prefix (n + 1) rest
+    | _ -> n
+  in
+  let blocker =
+    List.find_opt
+      (fun o -> match o.o_verdict with Blocking _ -> true | Splittable -> false)
+      ops
+  in
+  { r_ops = ops; r_prefix = prefix 0 ops; r_blocker = blocker }
+
+let classify q = report_of (ops_of q)
+
+let classify_scalar sq = report_of (scalar_ops sq)
+
+let is_homomorphic q = (classify q).r_blocker = None

@@ -1,0 +1,103 @@
+type kind =
+  | Collection
+  | Scalar
+
+type token =
+  | Src
+  | Trans
+  | Pred
+  | Sink
+  | Agg
+  | Ret
+  | Open of kind
+  | Close
+
+let kind_string = function
+  | Collection -> "collection"
+  | Scalar -> "scalar"
+
+let token_string = function
+  | Src -> "Src"
+  | Trans -> "Trans"
+  | Pred -> "Pred"
+  | Sink -> "Sink"
+  | Agg -> "Agg"
+  | Ret -> "Ret"
+  | Open k -> Printf.sprintf "[%s" (kind_string k)
+  | Close -> "]"
+
+(* Linearization.  A nested operator contributes its brackets first and
+   its own outer symbol after the [Close]: the sub-query substitutes for
+   the function argument of a Trans/Pred (section 5), so the embedding
+   operator still occupies one position of the outer sentence. *)
+let rec tokens_of_chain c =
+  (Src :: List.concat_map tokens_of_op c.Quil.ops) @ [ Ret ]
+
+and tokens_of_op = function
+  | Quil.Trans _ | Quil.Trans_idx _ -> [ Trans ]
+  | Quil.Pred _ | Quil.Pred_idx _ | Quil.Pred_stateful _ -> [ Pred ]
+  | Quil.Sink _ -> [ Sink ]
+  | Quil.Agg _ -> [ Agg ]
+  | Quil.Trans_nested n ->
+    (Open Scalar :: tokens_of_chain n.Quil.inner_s) @ [ Close; Trans ]
+  | Quil.Pred_nested n ->
+    (Open Scalar :: tokens_of_chain n.Quil.inner_s) @ [ Close; Pred ]
+  | Quil.Nested n ->
+    (Open Collection :: tokens_of_chain n.Quil.inner) @ [ Close; Trans ]
+  | Quil.Hash_join j ->
+    (Open Collection :: tokens_of_chain j.Quil.join_inner) @ [ Close; Trans ]
+
+(* The automaton.  [Accept k] is the state after [Ret]: terminal at the
+   top level, and the only state from which [Close] may pop a frame. *)
+type state =
+  | Expect_src
+  | Body
+  | After_agg
+  | Accept of kind
+
+let run tokens =
+  let rec step state stack = function
+    | [] -> (
+      match state, stack with
+      | Accept k, [] -> Ok k
+      | Accept _, _ :: _ ->
+        Error "input ended inside a nested sub-query (missing Close)"
+      | Expect_src, _ -> Error "empty input: expected Src"
+      | Body, _ -> Error "input ended before Ret"
+      | After_agg, _ -> Error "input ended after Agg, before Ret")
+    | t :: rest -> (
+      match state, t with
+      | Expect_src, Src -> step Body stack rest
+      | Expect_src, t ->
+        Error
+          (Printf.sprintf "a chain must begin with Src, not %s"
+             (token_string t))
+      | Body, (Trans | Pred | Sink) -> step Body stack rest
+      | Body, Agg -> step After_agg stack rest
+      | Body, Ret -> step (Accept Collection) stack rest
+      | Body, Open k -> step Expect_src (k :: stack) rest
+      | Body, Src -> Error "Src may only appear at the start of a chain"
+      | Body, Close -> Error "Close before the sub-query's Ret"
+      | After_agg, Ret -> step (Accept Scalar) stack rest
+      | After_agg, t ->
+        Error
+          (Printf.sprintf
+             "Agg is terminal: only Ret may follow it, not %s"
+             (token_string t))
+      | Accept k, Close -> (
+        match stack with
+        | [] -> Error "unbalanced Close at the top level"
+        | required :: stack ->
+          if required = k then step Body stack rest
+          else
+            Error
+              (Printf.sprintf
+                 "nested sub-query must produce a %s but produces a %s"
+                 (kind_string required) (kind_string k)))
+      | Accept _, t ->
+        Error
+          (Printf.sprintf "token after Ret: %s" (token_string t)))
+  in
+  step Expect_src [] tokens
+
+let accepts c = run (tokens_of_chain c)

@@ -118,6 +118,26 @@ let apply_query c ?backend build ds =
        (fun part -> Steno.Engine.to_array ?backend c.engine (build part))
        parts)
 
+let apply_query_checked c ?backend build ds =
+  let sample =
+    let parts = Dataset.partitions ds in
+    if Array.length parts > 0 then parts.(0) else [||]
+  in
+  (match (Check_homo.classify (build sample)).Check_homo.r_blocker with
+  | None -> ()
+  | Some b ->
+    let reason =
+      match b.Check_homo.o_verdict with
+      | Check_homo.Blocking r -> r
+      | Check_homo.Splittable -> "unknown"
+    in
+    invalid_arg
+      (Printf.sprintf
+         "Dryad.apply_query_checked: per-partition results are not the \
+          sequential results: operator %d (%s) %s"
+         b.Check_homo.o_index b.Check_homo.o_label reason));
+  apply_query c ?backend build ds
+
 let apply_scalar c ?backend build ds =
   let parts = Dataset.partitions ds in
   prewarm ?backend

@@ -58,6 +58,17 @@ val apply_query :
     to the cluster): each vertex evaluates the query built over its
     partition with the given backend. *)
 
+val apply_query_checked :
+  cluster ->
+  ?backend:Steno.backend ->
+  ('a array -> 'b Query.t) ->
+  'a Dataset.t ->
+  'b Dataset.t
+(** {!apply_query} guarded by the {!Check.Homo} classifier: raises
+    [Invalid_argument] naming the first blocking operator and why, when
+    the per-partition evaluation would not equal the sequential one
+    (e.g. a global sort or a positional cut in the spine). *)
+
 val apply_scalar :
   cluster ->
   ?backend:Steno.backend ->

@@ -17,6 +17,9 @@ let rule_names =
     "take-zero";
     "where-const-true";
     "where-const-false";
+    "where-interval-true";
+    "where-interval-false";
+    "take-interval-nonpos";
     "take-while-const";
     "skip-while-const";
     "distinct-distinct";
@@ -82,7 +85,14 @@ let rewrite_top : type a. a Query.t -> (a Query.t * string) option =
       | Expr.Const_bool true -> Some (q0, "where-const-true")
       | Expr.Const_bool false ->
         Some (empty (Query.elem_ty q0), "where-const-false")
-      | _ -> (
+      | simplified -> (
+      (* The interval analysis decides predicates [simplify] cannot
+         normalize syntactically, e.g. [x mod 10 < 10]. *)
+      match Check_purity.truth simplified with
+      | Check_purity.True -> Some (q0, "where-interval-true")
+      | Check_purity.False ->
+        Some (empty (Query.elem_ty q0), "where-interval-false")
+      | Check_purity.Unknown -> (
         match q0 with
         | Query.Where (q1, p1) ->
           (* Test p1 then p2 on the same element; [If] keeps the second
@@ -97,7 +107,7 @@ let rewrite_top : type a. a Query.t -> (a Query.t * string) option =
             }
           in
           Some (Query.Where (q1, fused), "where-fuse")
-        | _ -> None))
+        | _ -> None)))
     | Query.Select (Query.Select (q0, f), g) ->
       (* Bind the intermediate element once, so a selector using its
          parameter twice does not duplicate the upstream computation. *)
@@ -110,6 +120,8 @@ let rewrite_top : type a. a Query.t -> (a Query.t * string) option =
       Some (Query.Select (q0, composed), "select-fuse")
     | Query.Take (q0, Expr.Const_int n) when n <= 0 ->
       Some (empty (Query.elem_ty q0), "take-zero")
+    | Query.Take (q0, n) when Check_purity.always_nonpositive n ->
+      Some (empty (Query.elem_ty q0), "take-interval-nonpos")
     | Query.Take (Query.Take (q0, n), m) ->
       let count =
         match n, m with

@@ -32,6 +32,11 @@
     - [where-const-true] / [where-const-false]: a predicate that constant
       folds to [true] is dropped; [false] short-circuits to the empty
       source;
+    - [where-interval-true] / [where-interval-false]: a predicate decided
+      by {!Check_purity.truth}'s interval analysis (e.g. [x mod 10 < 10])
+      is dropped / short-circuits to the empty source;
+    - [take-interval-nonpos]: [Take n] where the interval analysis proves
+      [n <= 0] becomes the empty source;
     - [take-while-const] / [skip-while-const]: likewise for the stateful
       predicates;
     - [distinct-distinct]: adjacent [Distinct]s collapse;

@@ -96,27 +96,10 @@ let scalar_per_partition ?engine ?backend ?workers build ~combine parts =
   | Some s -> s
   | None -> raise Iterator.No_such_element
 
-(* Homomorphism check: sinks reorder or deduplicate across elements, and
-   Take/Skip depend on global element positions. *)
-let rec is_homomorphic : type a. a Query.t -> bool = function
-  | Query.Of_array _ | Query.Range _ | Query.Repeat _ -> true
-  | Query.Select (q, _) -> is_homomorphic q
-  | Query.Select_i (_, _) | Query.Where_i (_, _) -> false
-  | Query.Select_q (q, _, _) -> is_homomorphic q
-  | Query.Where (q, _) -> is_homomorphic q
-  | Query.Where_q (q, _, _) -> is_homomorphic q
-  | Query.Take (_, _) | Query.Skip (_, _) -> false
-  | Query.Take_while (_, _) | Query.Skip_while (_, _) -> false
-  | Query.Select_many (q, _, _) -> is_homomorphic q
-  | Query.Select_many_result (q, _, _, _) -> is_homomorphic q
-  | Query.Join (outer, _, _, _, _) -> is_homomorphic outer
-  | Query.Group_by (_, _)
-  | Query.Group_by_elem (_, _, _)
-  | Query.Group_by_agg (_, _, _, _)
-  | Query.Order_by (_, _, _)
-  | Query.Distinct _ | Query.Rev _ ->
-    false
-  | Query.Materialize q -> is_homomorphic q
+(* Homomorphism check, delegated to the static classifier so the
+   partitioned runner, the linter and [stenoc lint] agree on which
+   operators split.  [Check_homo] also names the first blocker. *)
+let is_homomorphic q = Check_homo.is_homomorphic q
 
 type 's split =
   | Split : {

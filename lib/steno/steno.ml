@@ -149,7 +149,12 @@ type 'r prep = {
          actually lowered to QUIL, i.e. on the Native path). *)
   p_profile : profile option;
       (* Present iff the engine had [profile = true] at prepare time. *)
+  p_diags : Check.diagnostic list;
+      (* Static-check diagnostics for the query as written (computed
+         before optimization). *)
 }
+
+exception Check_failed of Check.diagnostic list
 
 type 'a prepared = 'a array prep
 type 's prepared_scalar = 's prep
@@ -255,6 +260,7 @@ module Engine = struct
     telemetry : Telemetry.sink;
     profile : bool;
     metrics : Metrics.t;
+    strict : bool;
   }
 
   type t = {
@@ -272,6 +278,7 @@ module Engine = struct
       telemetry = Telemetry.null;
       profile = false;
       metrics = Metrics.default ();
+      strict = false;
     }
 
   let create cfg =
@@ -527,6 +534,7 @@ module Engine = struct
         };
       p_rules = [];
       p_profile = prof;
+      p_diags = [];
     }
 
   let prepare_plan (eng : t) ?backend (plan : 'r plan) : 'r prep =
@@ -554,6 +562,7 @@ module Engine = struct
           p_info = { info with prepare_ms = now_ms () -. t0 };
           p_rules = [];
           p_profile = prof;
+          p_diags = [];
         }
       | Error reason when eng.cfg.fallback ->
         Telemetry.count sink "engine.fallback" 1;
@@ -603,17 +612,112 @@ module Engine = struct
       { plan with chain }, fired
     end
 
+  (* {2 Static checks} *)
+
+  (* Compress runs of one rule firing repeatedly (e.g. [where-fuse]
+     collapsing a long filter chain) into a single annotated entry, so
+     rewrite logs stay readable.  Non-adjacent repeats are preserved:
+     they record distinct phases of the rewrite. *)
+  let dedup_consecutive names =
+    let flush name n acc =
+      (if n > 1 then Printf.sprintf "%s (x%d)" name n else name) :: acc
+    in
+    let rec go acc current = function
+      | [] -> (
+        match current with
+        | None -> List.rev acc
+        | Some (name, n) -> List.rev (flush name n acc))
+      | x :: rest -> (
+        match current with
+        | Some (name, n) when String.equal name x -> go acc (Some (name, n + 1)) rest
+        | Some (name, n) -> go (flush name n acc) (Some (x, 1)) rest
+        | None -> go acc (Some (x, 1)) rest)
+    in
+    go [] None names
+
+  (* Count every diagnostic into the metrics registry and the telemetry
+     sink; under [strict], refuse to prepare a query carrying
+     [Error]-level diagnostics. *)
+  let record_diagnostics eng diags =
+    let m = eng.cfg.metrics in
+    List.iter
+      (fun (d : Check.diagnostic) ->
+        Metrics.inc
+          (Metrics.counter m "check_diagnostics"
+             ~help:"Diagnostics emitted by prepare-time static checks"
+             ~labels:
+               [
+                 "severity", Check.severity_string d.Check.d_severity;
+                 "rule", d.Check.d_code;
+               ]))
+      diags;
+    if diags <> [] then
+      Telemetry.count eng.cfg.telemetry "check.diagnostics"
+        (List.length diags);
+    if eng.cfg.strict then
+      match Check.errors diags with
+      | [] -> ()
+      | errs -> raise (Check_failed errs)
+
+  (* Lint under its own telemetry span, then act on the result. *)
+  let run_checks eng lint =
+    let diags =
+      Telemetry.with_span eng.cfg.telemetry "check" (fun () -> lint ())
+    in
+    record_diagnostics eng diags;
+    diags
+
+  (* The PDA well-formedness assertion on the chain the Native path is
+     about to codegen — after canonicalization and the QUIL rewrite
+     pass, so it guards the optimizer's output, not just the
+     builders'. *)
+  let with_verified_chain plan =
+    {
+      plan with
+      chain =
+        (fun sink ->
+          let c = plan.chain sink in
+          Check.assert_well_formed c;
+          c);
+    }
+
+  (* An [SC000] diagnostic when the lowered chain fails the PDA.  Queries
+     outside the QUIL fragment have no chain to verify. *)
+  let chain_diags of_canon x =
+    match of_canon x with
+    | exception Canon.Unsupported _ -> []
+    | chain -> (
+      match Check.verify chain with
+      | Ok () -> []
+      | Error msg -> [ Check.malformed msg ])
+
+  let check eng q =
+    run_checks eng (fun () -> chain_diags Canon.of_query q @ Check.query q)
+
+  let check_scalar eng sq =
+    run_checks eng (fun () -> chain_diags Canon.of_scalar sq @ Check.scalar sq)
+
   let prepare ?backend eng q =
+    let diags = check eng q in
     let q, ast_rules = optimize_ast eng Opt.query q in
     let plan, chain_rules = with_chain_pass eng (query_plan q) in
-    let p = prepare_plan eng ?backend plan in
-    { p with p_rules = ast_rules @ !chain_rules }
+    let p = prepare_plan eng ?backend (with_verified_chain plan) in
+    {
+      p with
+      p_rules = dedup_consecutive (ast_rules @ !chain_rules);
+      p_diags = diags;
+    }
 
   let prepare_scalar ?backend eng sq =
+    let diags = check_scalar eng sq in
     let sq, ast_rules = optimize_ast eng Opt.scalar sq in
     let plan, chain_rules = with_chain_pass eng (scalar_plan sq) in
-    let p = prepare_plan eng ?backend plan in
-    { p with p_rules = ast_rules @ !chain_rules }
+    let p = prepare_plan eng ?backend (with_verified_chain plan) in
+    {
+      p with
+      p_rules = dedup_consecutive (ast_rules @ !chain_rules);
+      p_diags = diags;
+    }
 
   let to_array ?backend eng q = (prepare ?backend eng q).run_fn ()
 
@@ -629,9 +733,10 @@ module Engine = struct
     operators_before : int;
     operators_after : int;
     rules : string list;
+    diagnostics : Check.diagnostic list;
   }
 
-  let explain_chains eng ~before ~after_canon ~ast_rules =
+  let explain_chains eng ~before ~after_canon ~ast_rules ~diagnostics =
     let after, chain_rules =
       if eng.cfg.optimize then Opt.chain after_canon else after_canon, []
     in
@@ -640,7 +745,8 @@ module Engine = struct
       quil_after = Quil.symbol_string after;
       operators_before = Quil.operator_count before;
       operators_after = Quil.operator_count after;
-      rules = ast_rules @ chain_rules;
+      rules = dedup_consecutive (ast_rules @ chain_rules);
+      diagnostics;
     }
 
   let explain eng q =
@@ -652,6 +758,7 @@ module Engine = struct
       else before, []
     in
     explain_chains eng ~before ~after_canon ~ast_rules
+      ~diagnostics:(Check.query q)
 
   let explain_scalar eng sq =
     let before = Canon.of_scalar sq in
@@ -662,6 +769,7 @@ module Engine = struct
       else before, []
     in
     explain_chains eng ~before ~after_canon ~ast_rules
+      ~diagnostics:(Check.scalar sq)
 
   let explain_to_string ex =
     let b = Buffer.create 256 in
@@ -674,6 +782,11 @@ module Engine = struct
     | rules ->
       Buffer.add_string b "rules applied:\n";
       List.iter (fun r -> Printf.bprintf b "  - %s\n" r) rules);
+    (match ex.diagnostics with
+    | [] -> ()
+    | ds ->
+      Buffer.add_string b "diagnostics:\n";
+      List.iter (fun d -> Printf.bprintf b "  %s\n" (Check.to_string d)) ds);
     Buffer.contents b
 
   (* {2 Explain analyze} *)
@@ -798,6 +911,7 @@ module Prepared = struct
   let backend_used p = p.p_info.backend
   let compile_info p = p.p_info
   let rewrite_log p = p.p_rules
+  let diagnostics p = p.p_diags
   let profile p = Option.map profile_snapshot p.p_profile
 end
 
@@ -808,6 +922,7 @@ module Prepared_scalar = struct
   let backend_used p = p.p_info.backend
   let compile_info p = p.p_info
   let rewrite_log p = p.p_rules
+  let diagnostics p = p.p_diags
   let profile p = Option.map profile_snapshot p.p_profile
 end
 

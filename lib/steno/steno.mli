@@ -107,6 +107,10 @@ type profile_snapshot = {
   ps_ops : op_profile list;  (** source-to-sink order *)
 }
 
+exception Check_failed of Check.diagnostic list
+(** Raised by a [strict] engine's prepare when the static checks report
+    [Error]-level diagnostics; carries exactly those errors. *)
+
 (** {1 Engines}
 
     An engine is the host-side runtime contract made explicit: which
@@ -163,13 +167,23 @@ module Engine : sig
     metrics : Metrics.t;
         (** Registry receiving the profile flush (and anything else the
             host records); defaults to {!Metrics.default}. *)
+    strict : bool;
+        (** When true, {!prepare} and {!prepare_scalar} raise
+            {!Check_failed} when the static checks report any
+            [Error]-level diagnostic (e.g. a provable division by zero,
+            or an aggregate over a provably empty source), instead of
+            preparing a query that is guaranteed to raise at run time.
+            [Warning] and [Hint] diagnostics never block.  When false
+            (the default), diagnostics are only recorded
+            ({!Prepared.diagnostics}, the [check_diagnostics_total]
+            metric family) and never change behaviour. *)
   }
 
   val default_config : config
   (** [Native] when a compiler is available ([Fused] otherwise),
       [fallback = true], [optimize = true], no timeout, capacity 128,
       null telemetry, [profile = false], the process-wide metrics
-      registry. *)
+      registry, [strict = false]. *)
 
   val create : config -> t
 
@@ -189,6 +203,21 @@ module Engine : sig
   val to_array : ?backend:backend -> t -> 'a Query.t -> 'a array
   val to_list : ?backend:backend -> t -> 'a Query.t -> 'a list
   val scalar : ?backend:backend -> t -> 's Query.sq -> 's
+
+  (** {2 Static checks}
+
+      The {!Check} passes — plan linter, expression analysis,
+      parallelizability classifier, and the QUIL well-formedness PDA on
+      the lowered chain — run automatically inside {!prepare} (under a
+      ["check"] telemetry span, counted into [check_diagnostics_total]
+      by severity and rule).  [check] runs them alone, without
+      preparing: diagnostics are sorted by plan position and carry
+      stable rule codes (SC000–SC007, see {!Check.rules}).  On a
+      [strict] engine these also raise {!Check_failed} on
+      [Error]-level findings. *)
+
+  val check : t -> 'a Query.t -> Check.diagnostic list
+  val check_scalar : t -> 's Query.sq -> Check.diagnostic list
 
   (** {2 Plugin cache} *)
 
@@ -220,8 +249,11 @@ module Engine : sig
         (** {!Quil.operator_count} of each plan; rewriting never
             increases it. *)
     rules : string list;
-        (** Rules applied in order: AST rules, then chain rules.  One
-            entry per firing. *)
+        (** Rules applied in order: AST rules, then chain rules.
+            Consecutive firings of the same rule are compressed into one
+            ["name (xN)"] entry. *)
+    diagnostics : Check.diagnostic list;
+        (** Static-check findings for the query as written. *)
   }
 
   val explain : t -> 'a Query.t -> explanation
@@ -297,8 +329,13 @@ module Prepared : sig
   val rewrite_log : 'a t -> string list
   (** Optimizer rules applied while preparing this query, in order (AST
       rules first, then QUIL chain rules — the latter only on the
-      Native path, which is the only one that builds the chain).  Empty
-      when the engine was configured with [optimize = false]. *)
+      Native path, which is the only one that builds the chain).
+      Consecutive firings of one rule are compressed to ["name (xN)"].
+      Empty when the engine was configured with [optimize = false]. *)
+
+  val diagnostics : 'a t -> Check.diagnostic list
+  (** The static-check findings recorded when this query was
+      prepared. *)
 
   val profile : 'a t -> profile_snapshot option
   (** Per-operator counts accumulated over this preparation's runs so
@@ -313,6 +350,7 @@ module Prepared_scalar : sig
   val backend_used : 's t -> backend
   val compile_info : 's t -> compile_info
   val rewrite_log : 's t -> string list
+  val diagnostics : 's t -> Check.diagnostic list
   val profile : 's t -> profile_snapshot option
 end
 

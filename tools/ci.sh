@@ -22,6 +22,9 @@ dune exec examples/wordcount.exe -- 20000 > /dev/null
 echo "== stenoc analyze (annotated plans, all backends) =="
 dune exec bin/stenoc.exe -- analyze redundant -n 2000 > /dev/null
 
+echo "== stenoc lint (static checks over the demo gallery) =="
+dune exec bin/stenoc.exe -- lint --all -n 2000
+
 echo "== stenoc metrics (OpenMetrics dump) =="
 metrics_dump=$(dune exec bin/stenoc.exe -- metrics -n 2000)
 for family in \
@@ -31,6 +34,7 @@ for family in \
     'TYPE steno_operator_calls counter' \
     'TYPE steno_cache_entries gauge' \
     'TYPE steno_partition_rows histogram' \
+    'TYPE check_diagnostics counter' \
     '# EOF'
 do
   if ! printf '%s\n' "$metrics_dump" | grep -qF "$family"; then

@@ -406,6 +406,12 @@ let cmd_metrics n =
        (Query.of_array Ty.Int xs
        |> Query.select (fun x -> I.(x * x))
        |> Query.sum_int));
+  (* A decomposed Average: its (sum, count) partials go through the
+     Agg-star merge, populating steno_agg_merge_ms. *)
+  let fs = Array.init (max 1 n) (fun i -> float_of_int i) in
+  ignore
+    (Par.scalar_auto ~engine:eng
+       (Query.of_array Ty.Float fs |> Query.average));
   let stats = Steno.Engine.cache_stats eng in
   let set name help v =
     Metrics.set_gauge

@@ -356,6 +356,11 @@ and collect_sq : type s. (diagnostic -> unit) -> s Query.sq -> int =
     check_lam2 emit i "aggregate" step;
     check_lam emit i "aggregate" res;
     i + 1
+  | Query.Aggregate_combinable (q, seed, step, _) ->
+    let i = collect_q emit q in
+    check_expr emit i "aggregate" seed;
+    check_lam2 emit i "aggregate" step;
+    i + 1
   | Query.Sum_int q -> collect_q emit q + 1
   | Query.Sum_float q -> collect_q emit q + 1
   | Query.Count q -> collect_q emit q + 1

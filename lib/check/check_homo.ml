@@ -62,7 +62,8 @@ type combinability =
   | Combinable of string
   | Not_combinable of string
 
-let aggregate_combinability : type s. s Query.sq -> combinability = function
+let rec aggregate_combinability : type s. s Query.sq -> combinability =
+  function
   | Query.Sum_int _ -> Combinable "(+)"
   | Query.Sum_float _ -> Combinable "(+.)"
   | Query.Count _ -> Combinable "(+)"
@@ -78,19 +79,20 @@ let aggregate_combinability : type s. s Query.sq -> combinability = function
     Not_combinable
       "a general fold carries no associativity annotation (section 6 \
        defers such knowledge to user declarations)"
-  | Query.Average _ ->
-    Not_combinable
-      "an average of per-partition averages is not the global average"
-  | Query.First _ | Query.Last _ | Query.Element_at _ ->
-    Not_combinable "selects by global element position"
-  | Query.Map_scalar _ ->
-    Not_combinable
-      "the result selector applies after aggregation; partial results \
-       cannot be merged through it"
+  | Query.Aggregate_combinable _ -> Combinable "user-declared combiner"
+  | Query.Average _ -> Combinable "(sum, count) pair"
+  | Query.First _ -> Combinable "leftmost non-empty partial"
+  | Query.Last _ -> Combinable "rightmost non-empty partial"
+  | Query.Element_at _ -> Not_combinable "selects by global element position"
+  | Query.Map_scalar (inner, _) ->
+    (* The selector applies once, to the merged partial — splittable
+       exactly when the underlying aggregate is. *)
+    aggregate_combinability inner
 
 let agg_label : type s. s Query.sq -> string = function
   | Query.Aggregate _ -> "aggregate"
   | Query.Aggregate_full _ -> "aggregate"
+  | Query.Aggregate_combinable _ -> "aggregate+combine"
   | Query.Sum_int _ -> "sum"
   | Query.Sum_float _ -> "sum"
   | Query.Count _ -> "count"
@@ -121,6 +123,7 @@ let rec scalar_ops : type s. s Query.sq -> (string * verdict) list =
   match sq with
   | Query.Aggregate (q, _, _) -> agg_row q
   | Query.Aggregate_full (q, _, _, _) -> agg_row q
+  | Query.Aggregate_combinable (q, _, _, _) -> agg_row q
   | Query.Sum_int q -> agg_row q
   | Query.Sum_float q -> agg_row q
   | Query.Count q -> agg_row q

@@ -399,6 +399,12 @@ and stage_sq_probed : type s. wrapper -> s Query.sq -> Open.env -> s =
     and fseed = Open.compile seed
     and fstep = Open.compile_lam2 step in
     fun env -> (src env).fold (fstep env) (fseed env)
+  | Query.Aggregate_combinable (q, seed, step, _) ->
+    (* Sequentially the combiner is unused: fold as a plain Aggregate. *)
+    let src = stage_probed w q
+    and fseed = Open.compile seed
+    and fstep = Open.compile_lam2 step in
+    fun env -> (src env).fold (fstep env) (fseed env)
   | Query.Aggregate_full (q, seed, step, result) ->
     let src = stage_probed w q
     and fseed = Open.compile seed

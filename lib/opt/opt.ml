@@ -240,6 +240,9 @@ and pass_sq : type s. s Query.sq -> s Query.sq * string list = function
   | Query.Aggregate_full (q, seed, step, res) ->
     let q, l = pass q in
     Query.Aggregate_full (q, seed, step, res), l
+  | Query.Aggregate_combinable (q, seed, step, combine) ->
+    let q, l = pass q in
+    Query.Aggregate_combinable (q, seed, step, combine), l
   | Query.Sum_int q ->
     let q, l = pass q in
     Query.Sum_int q, l

@@ -1,37 +1,220 @@
 let recommended_workers () = min (Domain.recommended_domain_count ()) 16
 
+(* A lazily-created persistent pool.  Worker domains are spawned on first
+   demand, kept for the life of the process, and serve every subsequent
+   job; submitting a job never spawns per-call domains.  Workers pull
+   *chunks* of task indices from the job's shared atomic cursor, so the
+   handout cost is amortized over many tasks while imbalanced tasks still
+   load-balance.
+
+   A job caps its helpers with a slot counter ([workers - 1] slots: the
+   caller always participates), so a pool grown to N domains by one large
+   job does not over-parallelize a later [~workers:2] job.  Idle workers
+   block on [pool_cv]; they are never joined — a domain blocked in
+   [Condition.wait] does not prevent process exit. *)
+
+type job = {
+  job_capacity : unit -> bool;
+      (* a helper slot is free and work remains to hand out *)
+  job_acquire : unit -> bool;  (* take a helper slot *)
+  job_grab : unit -> (unit -> unit) option;  (* next chunk as a thunk *)
+}
+
+let pool_mu = Mutex.create ()
+let pool_cv = Condition.create ()
+let jobs : job list ref = ref []
+let spawned = Atomic.make 0
+let submitted = Atomic.make 0
+let max_pool_domains = 32
+
+(* Jobs submitted from inside a pool worker run inline on the caller:
+   blocking a worker on a nested job could deadlock the pool. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let worker () =
+  Domain.DLS.set in_worker true;
+  let rec serve () =
+    let j =
+      Mutex.lock pool_mu;
+      let rec wait_for_job () =
+        match List.find_opt (fun j -> j.job_capacity ()) !jobs with
+        | Some j -> j
+        | None ->
+          Condition.wait pool_cv pool_mu;
+          wait_for_job ()
+      in
+      let j = wait_for_job () in
+      Mutex.unlock pool_mu;
+      j
+    in
+    (if j.job_acquire () then
+       let rec drain () =
+         match j.job_grab () with
+         | Some thunk ->
+           thunk ();
+           drain ()
+         | None -> ()
+       in
+       drain ());
+    serve ()
+  in
+  serve ()
+
+let ensure_workers n =
+  let n = min n max_pool_domains in
+  let rec grow () =
+    let cur = Atomic.get spawned in
+    if cur < n then
+      if Atomic.compare_and_set spawned cur (cur + 1) then begin
+        ignore (Domain.spawn worker : unit Domain.t);
+        grow ()
+      end
+      else grow ()
+  in
+  grow ()
+
+let pool_size () = Atomic.get spawned
+let jobs_run () = Atomic.get submitted
+
+(* Inline execution: used for [workers = 1] and for nested submissions. *)
+let seq_run (type r) ~tasks ~(stop : (r -> bool) option) (f : int -> r) :
+    r option array * exn option =
+  let results : r option array = Array.make tasks None in
+  let failure = ref None in
+  (try
+     let stopped = ref false in
+     let i = ref 0 in
+     while (not !stopped) && !i < tasks do
+       let r = f !i in
+       results.(!i) <- Some r;
+       (match stop with Some p when p r -> stopped := true | _ -> ());
+       incr i
+     done
+   with e -> failure := Some e);
+  results, !failure
+
+let par_run (type r) ~workers ~tasks ~(stop : (r -> bool) option)
+    (f : int -> r) : r option array * exn option =
+  Atomic.incr submitted;
+  ensure_workers (workers - 1);
+  let results : r option array = Array.make tasks None in
+  let failure = Atomic.make None in
+  let cancelled = Atomic.make false in
+  let next = Atomic.make 0 in
+  let chunk = max 1 (tasks / (workers * 8)) in
+  let slots = Atomic.make (workers - 1) in
+  let mu = Mutex.create () in
+  let cv = Condition.create () in
+  let accounted = ref 0 in
+  let job_cell = ref None in
+  (* Every handed-out chunk is accounted exactly once, executed or
+     skipped; the job completes when all [tasks] indices are accounted,
+     and the completer retires it from the queue. *)
+  let account n =
+    Mutex.lock mu;
+    accounted := !accounted + n;
+    let all = !accounted >= tasks in
+    if all then Condition.broadcast cv;
+    Mutex.unlock mu;
+    if all then begin
+      Mutex.lock pool_mu;
+      (match !job_cell with
+      | Some j -> jobs := List.filter (fun j' -> j' != j) !jobs
+      | None -> ());
+      Condition.broadcast pool_cv;
+      Mutex.unlock pool_mu
+    end
+  in
+  let run_range lo hi =
+    let n = hi - lo in
+    if Atomic.get cancelled then account n
+    else begin
+      (try
+         for i = lo to hi - 1 do
+           if not (Atomic.get cancelled) then
+             match f i with
+             | r ->
+               results.(i) <- Some r;
+               (match stop with
+               | Some p when p r -> Atomic.set cancelled true
+               | _ -> ())
+             | exception e ->
+               (* First failure wins; remaining tasks are abandoned. *)
+               if Atomic.compare_and_set failure None (Some e) then
+                 Atomic.set cancelled true
+         done
+       with e ->
+         (* A [stop] predicate raised. *)
+         if Atomic.compare_and_set failure None (Some e) then
+           Atomic.set cancelled true);
+      account n
+    end
+  in
+  let grab () =
+    let lo = Atomic.fetch_and_add next chunk in
+    if lo >= tasks then None
+    else begin
+      let hi = min tasks (lo + chunk) in
+      Some (fun () -> run_range lo hi)
+    end
+  in
+  let job =
+    {
+      job_capacity =
+        (fun () -> Atomic.get slots > 0 && Atomic.get next < tasks);
+      job_acquire =
+        (fun () ->
+          let rec go () =
+            let s = Atomic.get slots in
+            if s <= 0 then false
+            else if Atomic.compare_and_set slots s (s - 1) then true
+            else go ()
+          in
+          go ());
+      job_grab = grab;
+    }
+  in
+  job_cell := Some job;
+  Mutex.lock pool_mu;
+  jobs := !jobs @ [ job ];
+  Condition.broadcast pool_cv;
+  Mutex.unlock pool_mu;
+  (* The caller participates too. *)
+  let rec drain () =
+    match grab () with
+    | Some thunk ->
+      thunk ();
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Mutex.lock mu;
+  while !accounted < tasks do
+    Condition.wait cv mu
+  done;
+  Mutex.unlock mu;
+  results, Atomic.get failure
+
+let run_general ~workers ~tasks ~stop f =
+  let workers = max 1 (min workers tasks) in
+  if workers = 1 || Domain.DLS.get in_worker then seq_run ~tasks ~stop f
+  else par_run ~workers ~tasks ~stop f
+
 let run (type r) ~workers ~tasks (f : int -> r) : r array =
   if tasks = 0 then [||]
   else begin
-    let workers = max 1 (min workers tasks) in
-    let results : r option array = Array.make tasks None in
-    let failure = Atomic.make None in
-    let next = Atomic.make 0 in
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < tasks && Atomic.get failure = None then begin
-          (match f i with
-          | r -> results.(i) <- Some r
-          | exception e ->
-            (* First failure wins; remaining tasks are abandoned. *)
-            ignore (Atomic.compare_and_set failure None (Some e)));
-          loop ()
-        end
-      in
-      loop ()
-    in
-    let domains =
-      List.init (workers - 1) (fun _ -> Domain.spawn worker)
-    in
-    worker ();
-    List.iter Domain.join domains;
-    (match Atomic.get failure with Some e -> raise e | None -> ());
-    Array.map
-      (function
-        | Some r -> r
-        | None -> assert false)
-      results
+    let results, failure = run_general ~workers ~tasks ~stop:None f in
+    (match failure with Some e -> raise e | None -> ());
+    Array.map (function Some r -> r | None -> assert false) results
+  end
+
+let run_until (type r) ~workers ~tasks ~(stop : r -> bool) (f : int -> r) :
+    r option array =
+  if tasks = 0 then [||]
+  else begin
+    let results, failure = run_general ~workers ~tasks ~stop:(Some stop) f in
+    (match failure with Some e -> raise e | None -> ());
+    results
   end
 
 let map_array ~workers f arr =

@@ -1,16 +1,40 @@
-(** A small fixed-size pool of OCaml domains: the thread-pool substrate
-    that PLINQ provides in the paper (section 6).
+(** A lazily-created persistent pool of OCaml domains: the thread-pool
+    substrate that PLINQ provides in the paper (section 6).
 
-    Tasks are indexed; workers pull indices from a shared atomic counter,
-    so imbalanced tasks still load-balance.  Exceptions in a task are
-    re-raised in the caller after all workers finish. *)
+    Worker domains are spawned on first demand (up to the largest
+    [workers - 1] ever requested, bounded), then reused by every job for
+    the life of the process — submitting a job costs a queue push and a
+    broadcast, not [workers] domain spawns.  Workers pull chunks of task
+    indices from the job's shared atomic cursor, so imbalanced tasks
+    still load-balance while the handout is amortized.  Exceptions in a
+    task are re-raised in the caller after the job settles.  Jobs
+    submitted from inside a pool worker run inline on that worker (a
+    nested blocking job could deadlock the pool). *)
 
 val recommended_workers : unit -> int
 (** [Domain.recommended_domain_count], capped to a sane bound. *)
 
 val run : workers:int -> tasks:int -> (int -> 'r) -> 'r array
 (** [run ~workers ~tasks f] computes [f i] for every [0 <= i < tasks]
-    using at most [workers] domains (plus the caller, which also works),
-    and returns results in task order. *)
+    using at most [workers - 1] pool domains (plus the caller, which also
+    works), and returns results in task order. *)
+
+val run_until :
+  workers:int -> tasks:int -> stop:('r -> bool) -> (int -> 'r) -> 'r option array
+(** Like {!run}, but when any completed task's result satisfies [stop]
+    the remaining unstarted tasks are abandoned: short-circuiting
+    aggregation (e.g. [Contains]/[Any]/[For_all], section 6).  The
+    returned array holds [None] for abandoned tasks.  Results already
+    computed when the cancellation lands are kept, so an order-insensitive
+    combine sees every completed partial. *)
 
 val map_array : workers:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** {1 Introspection} (for tests and diagnostics) *)
+
+val pool_size : unit -> int
+(** Number of pool domains spawned so far in this process. *)
+
+val jobs_run : unit -> int
+(** Number of parallel jobs submitted to the pool so far (inline
+    sequential runs are not counted). *)

@@ -12,8 +12,9 @@ type 'a partitioned = 'a array array
 
 val partition : parts:int -> 'a array -> 'a partitioned
 (** Split into [parts] contiguous chunks of near-equal size (at most one
-    element difference).  [parts] must be positive; empty chunks are
-    produced when there are fewer elements than parts. *)
+    element difference).  [parts] must be positive and is capped at the
+    row count, so no empty chunk is ever produced (each would cost a
+    full engine run); an empty input yields a single empty chunk. *)
 
 val concat : 'a partitioned -> 'a array
 
@@ -58,6 +59,55 @@ val is_homomorphic : 'a Query.t -> bool
 (** True when every operator applies to each element independently
     (Trans, Pred and nested operators — not sinks, not Take/Skip). *)
 
+(** {2 Typed partial aggregation (Fig. 12)}
+
+    A decomposition is the paper's [Agg_i]/[Agg*] split as a first-class
+    value: [inject] rewrites a partition into the per-partition subquery
+    ending in the partial aggregate [Agg_i]; [combine] is the
+    associative [Agg*] merge over partial states; [project] maps the
+    merged partial (or [None] when every partition was empty or
+    cancelled) to the query's result.  [short_circuit] flags a partial
+    that decides the whole query (e.g. a [true] for [Any]), cancelling
+    the remaining partitions through {!Domain_pool.run_until}. *)
+type ('row, 'partial, 'result) decomposition = {
+  inject : 'row array -> 'partial Query.sq;
+  combine : 'partial -> 'partial -> 'partial;
+  project : 'partial option -> 'result;
+  short_circuit : ('partial -> bool) option;
+}
+
+type 'r decomposed =
+  | Decomposed : {
+      source_ty : 'row Ty.t;
+      source : 'row array;
+      decomp : ('row, 'partial, 'r) decomposition;
+    }
+      -> 'r decomposed
+
+val decompose : 'r Query.sq -> 'r decomposed option
+(** Analyze a scalar query: if it is a homomorphic prefix over a
+    captured array source ending in a decomposable aggregate, return the
+    partitioned execution plan.  Covers the same-typed aggregates of
+    {!split_scalar} plus [Average] (a [(sum, count)] pair partial),
+    [First]/[Last] (leftmost/rightmost non-empty partial),
+    short-circuiting [Any]/[Exists]/[Contains]/[For_all], user
+    aggregates declared combinable with [Query.aggregate ?combine], and
+    [Map_scalar] over any of these.  [None] when the query cannot be
+    split (opaque aggregate, non-homomorphic operator, or a computed
+    source); agrees with [Check_homo.aggregate_combinability]. *)
+
+val run_decomposed :
+  ?engine:Steno.Engine.t ->
+  ?backend:Steno.backend ->
+  ?workers:int ->
+  ('row, 'partial, 'r) decomposition ->
+  'row partitioned ->
+  'r
+(** Execute a decomposition: one [Agg_i] subquery per partition on the
+    pool (compiled once, shared), then the [Agg*] merge — timed under an
+    ["agg-merge"] span and the [steno_agg_merge_ms] histogram — and the
+    final projection. *)
+
 type 's split =
   | Split : {
       source_ty : 'a Ty.t;
@@ -70,11 +120,9 @@ type 's split =
       -> 's split
 
 val split_scalar : 's Query.sq -> 's split option
-(** Analyze a scalar query: if it is a homomorphic prefix over a captured
-    array source followed by an associative aggregation, return the
-    partitioned execution plan.  [None] when the query cannot be split
-    (non-associative aggregate, non-homomorphic operator, or a computed
-    source). *)
+(** The legacy same-typed analysis (partial state = result type),
+    superseded by {!decompose}: [None] for [Average]/[First]/[Last]/
+    [Map_scalar] even though those decompose. *)
 
 val scalar_auto :
   ?engine:Steno.Engine.t ->
@@ -83,7 +131,7 @@ val scalar_auto :
   ?parts:int ->
   's Query.sq ->
   's
-(** Run a scalar query in parallel when {!split_scalar} finds a plan, and
+(** Run a scalar query in parallel when {!decompose} finds a plan, and
     sequentially otherwise. *)
 
 val to_array_auto :
@@ -97,3 +145,19 @@ val to_array_auto :
     over a captured array source (per-partition results concatenate in
     partition order, preserving the sequential result exactly);
     sequentially otherwise. *)
+
+val group_aggregate :
+  ?engine:Steno.Engine.t ->
+  ?backend:Steno.backend ->
+  ?workers:int ->
+  ?parts:int ->
+  combine:('s -> 's -> 's) ->
+  ('k * 's) Query.t ->
+  ('k * 's) array
+(** Partitioned GroupBy-Aggregate (section 4.3 x section 6): when the
+    query is a [Group_by_agg] over a reroutable homomorphic prefix, each
+    partition folds into its own per-key [Lookup] of partial states and
+    the tables merge pairwise in rounds with [combine] (which must be
+    associative, with the per-key fold satisfying the usual homomorphism
+    law), preserving global first-appearance key order.  Any other query
+    shape — or an empty source — runs sequentially through the engine. *)

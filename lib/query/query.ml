@@ -41,6 +41,9 @@ and _ sq =
   | Aggregate_full :
       'a t * 's Expr.t * ('s, 'a, 's) Expr.lam2 * ('s, 'r) Expr.lam
       -> 'r sq
+  | Aggregate_combinable :
+      'a t * 's Expr.t * ('s, 'a, 's) Expr.lam2 * ('s -> 's -> 's)
+      -> 's sq
   | Sum_int : int t -> int sq
   | Sum_float : float t -> float sq
   | Count : 'a t -> int sq
@@ -89,6 +92,7 @@ let rec elem_ty : type a. a t -> a Ty.t = function
 and scalar_ty : type s. s sq -> s Ty.t = function
   | Aggregate (_, seed, _) -> Expr.ty_of seed
   | Aggregate_full (_, _, _, result) -> Expr.ty_of result.Expr.body
+  | Aggregate_combinable (_, seed, _, _) -> Expr.ty_of seed
   | Sum_int _ -> Ty.Int
   | Sum_float _ -> Ty.Float
   | Count _ -> Ty.Int
@@ -183,8 +187,11 @@ let rev q = Rev q
 
 let materialize q = Materialize q
 
-let aggregate ~seed ~step q =
-  Aggregate (q, seed, Expr.lam2 "acc" (Expr.ty_of seed) "x" (elem_ty q) step)
+let aggregate ?combine ~seed ~step q =
+  let step_lam = Expr.lam2 "acc" (Expr.ty_of seed) "x" (elem_ty q) step in
+  match combine with
+  | None -> Aggregate (q, seed, step_lam)
+  | Some c -> Aggregate_combinable (q, seed, step_lam, c)
 
 let aggregate_full ~seed ~step ~result q =
   let step_lam = Expr.lam2 "acc" (Expr.ty_of seed) "x" (elem_ty q) step in
@@ -245,6 +252,7 @@ let rec operator_count : type a. a t -> int = function
 and sq_operator_count : type s. s sq -> int = function
   | Aggregate (q, _, _) -> 1 + operator_count q
   | Aggregate_full (q, _, _, _) -> 1 + operator_count q
+  | Aggregate_combinable (q, _, _, _) -> 1 + operator_count q
   | Sum_int q -> 1 + operator_count q
   | Sum_float q -> 1 + operator_count q
   | Count q -> 1 + operator_count q
@@ -288,6 +296,7 @@ let rec depth : type a. a t -> int = function
 and sq_depth : type s. s sq -> int = function
   | Aggregate (q, _, _) -> depth q
   | Aggregate_full (q, _, _, _) -> depth q
+  | Aggregate_combinable (q, _, _, _) -> depth q
   | Sum_int q -> depth q
   | Sum_float q -> depth q
   | Count q -> depth q
@@ -346,6 +355,7 @@ let rec chain : type a. a t -> string list = function
 and sq_chain : type s. s sq -> string list = function
   | Aggregate (q, _, _) -> chain q @ [ "Aggregate" ]
   | Aggregate_full (q, _, _, _) -> chain q @ [ "Aggregate+result" ]
+  | Aggregate_combinable (q, _, _, _) -> chain q @ [ "Aggregate+combine" ]
   | Sum_int q -> chain q @ [ "Sum" ]
   | Sum_float q -> chain q @ [ "Sum" ]
   | Count q -> chain q @ [ "Count" ]

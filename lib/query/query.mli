@@ -68,6 +68,18 @@ and _ sq =
   | Aggregate_full :
       'a t * 's Expr.t * ('s, 'a, 's) Expr.lam2 * ('s, 'r) Expr.lam
       -> 'r sq  (** Aggregate with a result selector. *)
+  | Aggregate_combinable :
+      'a t * 's Expr.t * ('s, 'a, 's) Expr.lam2 * ('s -> 's -> 's)
+      -> 's sq
+      (** Aggregate carrying a user-declared associative combiner (the
+          DryadLINQ-style annotation, section 6): sequential backends treat
+          it exactly as [Aggregate]; the parallel layer folds each
+          partition from [seed] with [step] and merges the per-partition
+          partials left-to-right with the combiner.  Correctness requires
+          the combiner to be associative with [seed] as identity, and
+          [fold seed step (a @ b) = combine (fold seed step a) (fold seed
+          step b)] — the usual monoid-homomorphism law; it is the user's
+          promise and is not checked. *)
   | Sum_int : int t -> int sq
   | Sum_float : float t -> float sq
   | Count : 'a t -> int sq
@@ -150,7 +162,14 @@ val rev : 'a t -> 'a t
 val materialize : 'a t -> 'a t
 
 val aggregate :
-  seed:'s Expr.t -> step:('s Expr.t -> 'a Expr.t -> 's Expr.t) -> 'a t -> 's sq
+  ?combine:('s -> 's -> 's) ->
+  seed:'s Expr.t ->
+  step:('s Expr.t -> 'a Expr.t -> 's Expr.t) ->
+  'a t ->
+  's sq
+(** [?combine] declares an associative merge of two fold states, enabling
+    parallel partial aggregation (see {!Aggregate_combinable}).  Without
+    it the aggregate is opaque and executes sequentially. *)
 
 val aggregate_full :
   seed:'s Expr.t ->

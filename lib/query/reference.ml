@@ -2,15 +2,24 @@ module Open = Expr.Open
 
 exception Empty = Iterator.No_such_element
 
-(* Group values by key, keys in first-appearance order, without Lookup. *)
+(* Group values by key, keys in first-appearance order, without Lookup.
+   A single pass: each element is appended (reversed ref list) to its
+   key's bucket; fresh keys are also pushed onto the order list.  The
+   old version was quadratic (List.mem + append + per-key filter), which
+   made large differential corpora unusable. *)
 let group_list key xs =
-  let keys = List.fold_left
-      (fun acc x ->
-        let k = key x in
-        if List.mem k acc then acc else acc @ [ k ])
-      [] xs
-  in
-  List.map (fun k -> k, List.filter (fun x -> key x = k) xs) keys
+  let buckets = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun x ->
+      let k = key x in
+      match Hashtbl.find_opt buckets k with
+      | Some cell -> cell := x :: !cell
+      | None ->
+        Hashtbl.add buckets k (ref [ x ]);
+        order := k :: !order)
+    xs;
+  List.rev_map (fun k -> k, List.rev !(Hashtbl.find buckets k)) !order
 
 let rec eval : type a. a Query.t -> Open.env -> a list =
  fun q env ->
@@ -106,6 +115,10 @@ and eval_sq : type s. s Query.sq -> Open.env -> s =
  fun sq env ->
   match sq with
   | Query.Aggregate (q, seed, step) ->
+    List.fold_left
+      (Open.compile_lam2 step env)
+      (Open.compile seed env) (eval q env)
+  | Query.Aggregate_combinable (q, seed, step, _) ->
     List.fold_left
       (Open.compile_lam2 step env)
       (Open.compile seed env) (eval q env)

@@ -523,6 +523,13 @@ and lower_scalar : type s. s Query.sq -> Quil.chain = function
       (Quil.Agg
          (fold_agg ~seed:(render_expr (Expr.simplify seed))
             ~step:(lam2_of step) ()))
+  | Query.Aggregate_combinable (q, seed, step, _) ->
+    (* The combiner is a parallel-only annotation; generated code folds
+       sequentially, exactly like a plain Aggregate. *)
+    append (lower q)
+      (Quil.Agg
+         (fold_agg ~seed:(render_expr (Expr.simplify seed))
+            ~step:(lam2_of step) ()))
   | Query.Aggregate_full (q, seed, step, result) ->
     append (lower q)
       (Quil.Agg

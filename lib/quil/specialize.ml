@@ -240,6 +240,8 @@ and scalar : type s. s Query.sq -> s Query.sq =
 
 and scalar_always : type s. s Query.sq -> s Query.sq = function
   | Query.Aggregate (q, seed, step) -> Query.Aggregate (query_always q, seed, step)
+  | Query.Aggregate_combinable (q, seed, step, combine) ->
+    Query.Aggregate_combinable (query_always q, seed, step, combine)
   | Query.Aggregate_full (q, seed, step, result) ->
     Query.Aggregate_full (query_always q, seed, step, result)
   | Query.Sum_int q -> Query.Sum_int (query_always q)
@@ -372,6 +374,11 @@ and fold_pattern :
                fun acc -> Expr.Var acc ))
       | None -> None)
     | Query.Aggregate (src, seed, step) -> (
+      match match_group_src g src with
+      | Some gs ->
+        Some (Parts (compose_step gs seed step elem_ty, fun acc -> Expr.Var acc))
+      | None -> None)
+    | Query.Aggregate_combinable (src, seed, step, _) -> (
       match match_group_src g src with
       | Some gs ->
         Some (Parts (compose_step gs seed step elem_ty, fun acc -> Expr.Var acc))

@@ -282,7 +282,12 @@ module Engine = struct
     }
 
   let create cfg =
-    { cfg; cache = Steno_lru.create ~capacity:cfg.cache_capacity }
+    (* Dynlink cannot unload plugin code, so a released handle is only
+       dropped — but the release is now observable rather than silent. *)
+    let on_evict _key (_ : Dynload.compiled) =
+      Telemetry.count cfg.telemetry "cache.release" 1
+    in
+    { cfg; cache = Steno_lru.create ~on_evict ~capacity:cfg.cache_capacity () }
 
   let config e = e.cfg
 

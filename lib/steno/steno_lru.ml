@@ -1,15 +1,22 @@
-type 'v entry = {
-  value : 'v;
-  mutable last_use : int;
+(* Intrusive doubly-linked recency list: head = most recently used,
+   tail = least recently used.  The hash table maps keys to list nodes,
+   so find/add/evict are all O(1). *)
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;
+  mutable next : ('k, 'v) node option;
 }
 
 type ('k, 'v) t = {
   capacity : int;
-  table : ('k, 'v entry) Hashtbl.t;
-  mutable tick : int;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option;
+  mutable tail : ('k, 'v) node option;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  on_evict : ('k -> 'v -> unit) option;
   mu : Mutex.t;
 }
 
@@ -21,57 +28,108 @@ type stats = {
   evictions : int;
 }
 
-let create ~capacity =
+let create ?on_evict ~capacity () =
   {
     capacity;
     table = Hashtbl.create (max 16 (min capacity 256));
-    tick = 0;
+    head = None;
+    tail = None;
     hits = 0;
     misses = 0;
     evictions = 0;
+    on_evict;
     mu = Mutex.create ();
   }
 
-let next_tick (t : (_, _) t) =
-  t.tick <- t.tick + 1;
-  t.tick
+let unlink (t : (_, _) t) node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front (t : (_, _) t) node =
+  node.prev <- None;
+  node.next <- t.head;
+  (match t.head with
+  | Some h -> h.prev <- Some node
+  | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let promote t node =
+  if t.head != Some node then begin
+    unlink t node;
+    push_front t node
+  end
 
 let find (t : (_, _) t) k =
   Mutex.protect t.mu @@ fun () ->
   match Hashtbl.find_opt t.table k with
-  | Some e ->
-    e.last_use <- next_tick t;
+  | Some node ->
+    promote t node;
     t.hits <- t.hits + 1;
-    Some e.value
+    Some node.value
   | None ->
     t.misses <- t.misses + 1;
     None
 
+(* Pop the LRU entry; returns the victim so the caller can fire
+   [on_evict] after releasing the lock. *)
 let evict_lru (t : (_, _) t) =
-  let victim =
-    Hashtbl.fold
-      (fun k e acc ->
-        match acc with
-        | Some (_, best) when best.last_use <= e.last_use -> acc
-        | _ -> Some (k, e))
-      t.table None
-  in
-  match victim with
-  | Some (k, _) ->
-    Hashtbl.remove t.table k;
-    t.evictions <- t.evictions + 1
+  match t.tail with
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.table node.key;
+    t.evictions <- t.evictions + 1;
+    Some (node.key, node.value)
+  | None -> None
+
+let notify t victims =
+  match t.on_evict with
   | None -> ()
+  | Some f -> List.iter (fun (k, v) -> f k v) victims
 
 let add (t : (_, _) t) k v =
-  if t.capacity <= 0 then false
-  else
-    Mutex.protect t.mu @@ fun () ->
-    let evict =
-      (not (Hashtbl.mem t.table k)) && Hashtbl.length t.table >= t.capacity
+  if t.capacity <= 0 then begin
+    (* A disabled cache still never owns the value. *)
+    notify t [ k, v ];
+    false
+  end
+  else begin
+    let victim =
+      Mutex.protect t.mu @@ fun () ->
+      match Hashtbl.find_opt t.table k with
+      | Some node ->
+        let old = node.value in
+        node.value <- v;
+        promote t node;
+        (* The replaced value is released like an eviction, but is not
+           counted as one (the key never left the cache). *)
+        if old == v then None else Some (`Replaced (k, old))
+      | None ->
+        let victim =
+          if Hashtbl.length t.table >= t.capacity then evict_lru t else None
+        in
+        let node = { key = k; value = v; prev = None; next = None } in
+        Hashtbl.replace t.table k node;
+        push_front t node;
+        (match victim with Some kv -> Some (`Evicted kv) | None -> None)
     in
-    if evict then evict_lru t;
-    Hashtbl.replace t.table k { value = v; last_use = next_tick t };
-    evict
+    (* Callbacks run outside the lock: they may be arbitrary user code
+       (releasing plugin handles, logging) and must not deadlock against
+       concurrent cache operations. *)
+    match victim with
+    | Some (`Evicted kv) ->
+      notify t [ kv ];
+      true
+    | Some (`Replaced kv) ->
+      notify t [ kv ];
+      false
+    | None -> false
+  end
 
 let mem (t : (_, _) t) k = Mutex.protect t.mu (fun () -> Hashtbl.mem t.table k)
 
@@ -87,4 +145,18 @@ let stats (t : (_, _) t) : stats =
     evictions = t.evictions;
   }
 
-let clear (t : (_, _) t) = Mutex.protect t.mu (fun () -> Hashtbl.reset t.table)
+let clear (t : (_, _) t) =
+  let victims =
+    Mutex.protect t.mu @@ fun () ->
+    (* Collect in LRU-to-MRU order, mirroring eviction order. *)
+    let rec walk acc = function
+      | Some node -> walk ((node.key, node.value) :: acc) node.prev
+      | None -> acc
+    in
+    let vs = List.rev (walk [] t.tail) in
+    Hashtbl.reset t.table;
+    t.head <- None;
+    t.tail <- None;
+    vs
+  in
+  notify t victims

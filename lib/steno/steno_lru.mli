@@ -3,10 +3,11 @@
     7.1 query cache, made bounded and observable).
 
     Thread-safe: every operation holds the cache's internal mutex.
-    Recency is exact LRU ({!find} promotes); eviction scans for the
-    least-recently-used entry, which is linear in the entry count —
-    entries are compiled plugins, so capacities are small and an eviction
-    is always dwarfed by the compile that triggered it. *)
+    Recency is exact LRU ({!find} promotes); entries live on an
+    intrusive doubly-linked recency list, so find, add and eviction are
+    all O(1).  Evicted values are handed to the [on_evict] callback
+    rather than dropped on the floor, so cached resources (e.g. Native
+    plugin handles) can be released or accounted. *)
 
 type ('k, 'v) t
 
@@ -18,9 +19,16 @@ type stats = {
   evictions : int;
 }
 
-val create : capacity:int -> ('k, 'v) t
+val create : ?on_evict:('k -> 'v -> unit) -> capacity:int -> unit -> ('k, 'v) t
 (** [capacity <= 0] disables the cache: every {!find} misses and {!add}
-    drops the value. *)
+    passes the value straight to [on_evict] (if any) without storing it.
+
+    [on_evict] fires for every value leaving the cache: LRU eviction on
+    a full {!add}, replacement of an existing key's value, {!clear}
+    (LRU-to-MRU order), and the disabled-cache case above.  It is always
+    invoked outside the cache lock, on the thread that triggered the
+    removal, so it may call back into the cache; it must not assume the
+    key is absent by the time it runs. *)
 
 val find : ('k, 'v) t -> 'k -> 'v option
 (** Promotes the entry to most-recently-used and counts a hit; counts a
@@ -28,8 +36,9 @@ val find : ('k, 'v) t -> 'k -> 'v option
 
 val add : ('k, 'v) t -> 'k -> 'v -> bool
 (** Insert as most-recently-used, evicting the least-recently-used entry
-    if the cache is full; returns [true] when an entry was evicted.
-    Re-adding an existing key replaces its value and promotes it. *)
+    if the cache is full; returns [true] when an entry was evicted
+    (replacing an existing key's value promotes it and does not count as
+    an eviction, though the old value is still passed to [on_evict]). *)
 
 val mem : ('k, 'v) t -> 'k -> bool
 (** Membership without touching recency or counters. *)
@@ -39,4 +48,5 @@ val length : ('k, 'v) t -> int
 val stats : ('k, 'v) t -> stats
 
 val clear : ('k, 'v) t -> unit
-(** Drop all entries.  Counters are cumulative and survive a clear. *)
+(** Drop all entries (each reaches [on_evict]).  Counters are cumulative
+    and survive a clear. *)

@@ -21,7 +21,14 @@ let enabled s = s.enabled
 let make ?(on_span = ignore) ?(on_count = fun _ _ -> ()) () =
   { enabled = true; on_span; on_count }
 
-let now_ms () = Unix.gettimeofday () *. 1000.0
+(* Monotonic: wall-clock time steps (NTP slews, manual resets) must not
+   produce negative or wildly wrong span durations.  The bechamel stub
+   reads CLOCK_MONOTONIC in nanoseconds. *)
+let now_ms () = Int64.to_float (Monotonic_clock.now ()) /. 1e6
+
+(* Belt and braces: even a monotonic source can observe a 0-length
+   interval; never report a negative duration. *)
+let duration_since start_ms = Float.max 0.0 (now_ms () -. start_ms)
 
 (* The current nesting of open spans, innermost first, per domain: spans
    recorded by worker domains nest under their own stack, not the
@@ -44,7 +51,7 @@ let with_span sink name ?(attrs = []) f =
     Domain.DLS.set stack_key (name :: stack);
     let start_ms = now_ms () in
     let finish attrs =
-      let duration_ms = now_ms () -. start_ms in
+      let duration_ms = duration_since start_ms in
       Domain.DLS.set stack_key stack;
       sink.on_span { name; path; start_ms; duration_ms; attrs }
     in

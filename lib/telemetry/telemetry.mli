@@ -78,6 +78,13 @@ val count : sink -> string -> int -> unit
 (** Bump a named counter. *)
 
 val now_ms : unit -> float
+(** Milliseconds on a monotonic clock (CLOCK_MONOTONIC): a timestamp for
+    measuring durations, not an epoch date.  Immune to wall-clock
+    steps. *)
+
+val duration_since : float -> float
+(** [duration_since start] is [now_ms () -. start], clamped at [0.]: an
+    observed duration is never negative. *)
 
 (** {1 In-memory collection} *)
 

@@ -351,10 +351,39 @@ let test_homo_classifier () =
   (* scalar: combinable aggregates split, positional ones don't *)
   let sum = Check.Homo.classify_scalar (ints data |> Query.sum_int) in
   Alcotest.(check bool) "sum splits" true (sum.Check.Homo.r_blocker = None);
+  (* First decomposes (leftmost non-empty partial) since PR 5; the truly
+     positional Element_at still blocks. *)
   let first = Check.Homo.classify_scalar (ints data |> Query.first) in
-  (match first.Check.Homo.r_blocker with
-  | Some b -> Alcotest.(check string) "first blocks" "first" b.Check.Homo.o_label
-  | None -> Alcotest.fail "First must block");
+  Alcotest.(check bool) "first splits" true (first.Check.Homo.r_blocker = None);
+  let nth = Check.Homo.classify_scalar (ints data |> Query.element_at 2) in
+  (match nth.Check.Homo.r_blocker with
+  | Some b ->
+    Alcotest.(check string) "element-at blocks" "element-at"
+      b.Check.Homo.o_label
+  | None -> Alcotest.fail "Element_at must block");
+  (match
+     Check.Homo.aggregate_combinability
+       (Query.of_array Ty.Float [| 1.0; 2.0 |] |> Query.average)
+   with
+  | Check.Homo.Combinable _ -> ()
+  | Check.Homo.Not_combinable r -> Alcotest.failf "average not combinable: %s" r);
+  (match
+     Check.Homo.aggregate_combinability
+       (ints data
+       |> Query.aggregate ~combine:( + ) ~seed:(Expr.int 0) ~step:(fun a x ->
+              I.(a + x)))
+   with
+  | Check.Homo.Combinable _ -> ()
+  | Check.Homo.Not_combinable r ->
+    Alcotest.failf "declared combiner not combinable: %s" r);
+  (match
+     Check.Homo.aggregate_combinability
+       (ints data |> Query.aggregate ~seed:(Expr.int 0) ~step:(fun a x ->
+            I.(a + x)))
+   with
+  | Check.Homo.Not_combinable _ -> ()
+  | Check.Homo.Combinable _ ->
+    Alcotest.fail "an undeclared aggregate must not be combinable");
   match
     Check.Homo.aggregate_combinability (ints data |> Query.sum_int)
   with
@@ -376,7 +405,12 @@ let test_engine_diagnostics () =
   Alcotest.(check (list string)) "prepared diagnostics"
     [ "SC002"; "SC004" ]
     (codes (Steno.Prepared.diagnostics p));
+  (* First splits since PR 5, so it no longer trips SC002; the
+     positional Element_at still does. *)
   let ps = Steno.Engine.prepare_scalar eng (ints data |> Query.first) in
+  Alcotest.(check (list string)) "first has no diagnostics" []
+    (codes (Steno.Prepared_scalar.diagnostics ps));
+  let ps = Steno.Engine.prepare_scalar eng (ints data |> Query.element_at 1) in
   Alcotest.(check (list string)) "scalar diagnostics" [ "SC002" ]
     (codes (Steno.Prepared_scalar.diagnostics ps));
   (* explain carries and renders them *)

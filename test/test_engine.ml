@@ -29,7 +29,7 @@ let nth_query k xs =
 (* LRU unit tests (no compiler needed). *)
 
 let test_lru_eviction_order () =
-  let c = Steno_lru.create ~capacity:2 in
+  let c = Steno_lru.create ~capacity:2 () in
   Alcotest.(check bool) "no eviction on a" false (Steno_lru.add c "a" 1);
   Alcotest.(check bool) "no eviction on b" false (Steno_lru.add c "b" 2);
   (* Touch [a] so [b] becomes least recently used. *)
@@ -41,7 +41,7 @@ let test_lru_eviction_order () =
   Alcotest.(check int) "still at capacity" 2 (Steno_lru.length c)
 
 let test_lru_stats () =
-  let c = Steno_lru.create ~capacity:1 in
+  let c = Steno_lru.create ~capacity:1 () in
   ignore (Steno_lru.find c "missing");
   ignore (Steno_lru.add c "x" 0);
   ignore (Steno_lru.find c "x");
@@ -61,10 +61,48 @@ let test_lru_stats () =
   Alcotest.(check int) "counters survive clear" 1 s.Steno_lru.hits
 
 let test_lru_zero_capacity () =
-  let c = Steno_lru.create ~capacity:0 in
+  let c = Steno_lru.create ~capacity:0 () in
   Alcotest.(check bool) "add is a no-op" false (Steno_lru.add c "a" 1);
   Alcotest.(check (option int)) "never stores" None (Steno_lru.find c "a");
   Alcotest.(check int) "empty" 0 (Steno_lru.length c)
+
+(* Regression (PR 5): evicted values used to be dropped on the floor;
+   now every value leaving the cache reaches [on_evict], in LRU order. *)
+let test_lru_on_evict () =
+  let released = ref [] in
+  let on_evict k v = released := (k, v) :: !released in
+  let c = Steno_lru.create ~on_evict ~capacity:2 () in
+  ignore (Steno_lru.add c "a" 1);
+  ignore (Steno_lru.add c "b" 2);
+  Alcotest.(check (list (pair string int))) "nothing released" []
+    (List.rev !released);
+  (* Touch [a]; then adding two more keys must evict b first, then a. *)
+  ignore (Steno_lru.find c "a");
+  Alcotest.(check bool) "c evicts" true (Steno_lru.add c "c" 3);
+  Alcotest.(check bool) "d evicts" true (Steno_lru.add c "d" 4);
+  Alcotest.(check (list (pair string int)))
+    "eviction order is LRU" [ "b", 2; "a", 1 ] (List.rev !released);
+  (* Replacing an existing key's value releases the old value but is not
+     an eviction. *)
+  released := [];
+  Alcotest.(check bool) "replace is not an eviction" false
+    (Steno_lru.add c "d" 5);
+  Alcotest.(check (list (pair string int))) "old value released" [ "d", 4 ]
+    (List.rev !released);
+  let s = Steno_lru.stats c in
+  Alcotest.(check int) "two true evictions" 2 s.Steno_lru.evictions;
+  (* Clear hands back the survivors, LRU to MRU. *)
+  released := [];
+  Steno_lru.clear c;
+  Alcotest.(check (list (pair string int)))
+    "clear releases survivors in LRU order" [ "c", 3; "d", 5 ]
+    (List.rev !released);
+  (* A disabled cache passes values straight through. *)
+  released := [];
+  let c0 = Steno_lru.create ~on_evict ~capacity:0 () in
+  ignore (Steno_lru.add c0 "x" 9);
+  Alcotest.(check (list (pair string int))) "disabled cache releases" [ "x", 9 ]
+    (List.rev !released)
 
 (* Engine-level cache accounting. *)
 
@@ -169,6 +207,7 @@ let () =
           Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
           Alcotest.test_case "stats" `Quick test_lru_stats;
           Alcotest.test_case "zero capacity" `Quick test_lru_zero_capacity;
+          Alcotest.test_case "on_evict callback" `Quick test_lru_on_evict;
         ] );
       ( "cache",
         [

@@ -15,9 +15,19 @@ let test_partition_roundtrip () =
       Alcotest.(check bool) "balanced" true
         (abs (Array.length p - (17 / 4)) <= 1))
     parts;
-  (* More parts than elements: empty tails allowed. *)
+  (* Regression (PR 5): more parts than elements used to emit empty
+     trailing partitions, each costing a full engine run; parts are now
+     capped at the row count. *)
   let tiny = Par.partition ~parts:5 [| 1; 2 |] in
+  Alcotest.(check int) "parts capped at rows" 2 (Array.length tiny);
   Alcotest.(check (array int)) "tiny concat" [| 1; 2 |] (Par.concat tiny);
+  Array.iter
+    (fun p -> Alcotest.(check bool) "no empty partition" false (p = [||]))
+    tiny;
+  (* An empty input still yields a single (empty) partition. *)
+  let empty = Par.partition ~parts:4 ([||] : int array) in
+  Alcotest.(check int) "empty input, one partition" 1 (Array.length empty);
+  Alcotest.(check (array int)) "empty partition" [||] empty.(0);
   Alcotest.check_raises "zero parts"
     (Invalid_argument "Par.partition: parts must be positive") (fun () ->
       ignore (Par.partition ~parts:0 [| 1 |]))
@@ -32,6 +42,48 @@ let test_domain_pool () =
   (* Exceptions propagate. *)
   Alcotest.check_raises "task failure" Exit (fun () ->
       ignore (Domain_pool.run ~workers:2 ~tasks:8 (fun i -> if i = 5 then raise Exit else i)))
+
+(* The pool is persistent: repeated jobs reuse the same worker domains
+   instead of spawning [workers - 1] new ones per call. *)
+let test_domain_pool_persistent () =
+  ignore (Domain_pool.run ~workers:3 ~tasks:6 (fun i -> i));
+  let size_after_first = Domain_pool.pool_size () in
+  let jobs_before = Domain_pool.jobs_run () in
+  for _ = 1 to 10 do
+    ignore (Domain_pool.run ~workers:3 ~tasks:6 (fun i -> i))
+  done;
+  Alcotest.(check int) "no new domains spawned" size_after_first
+    (Domain_pool.pool_size ());
+  Alcotest.(check bool) "jobs were submitted to the pool" true
+    (Domain_pool.jobs_run () >= jobs_before);
+  (* Nested submission from inside a task must not deadlock. *)
+  let nested =
+    Domain_pool.run ~workers:2 ~tasks:3 (fun i ->
+        Array.fold_left ( + ) 0
+          (Domain_pool.run ~workers:2 ~tasks:4 (fun j -> (i * 10) + j)))
+  in
+  Alcotest.(check (array int)) "nested results"
+    [| 6; 46; 86 |] nested
+
+let test_domain_pool_run_until () =
+  (* Results computed before the stop are kept; unstarted tasks are
+     abandoned as None. *)
+  let results =
+    Domain_pool.run_until ~workers:1 ~tasks:10
+      ~stop:(fun r -> r = 3)
+      (fun i -> i)
+  in
+  Alcotest.(check int) "10 slots" 10 (Array.length results);
+  Alcotest.(check (option int)) "first ran" (Some 0) results.(0);
+  Alcotest.(check (option int)) "stopper ran" (Some 3) results.(3);
+  Alcotest.(check (option int)) "tail abandoned" None results.(9);
+  (* Without a stopping result, everything runs. *)
+  let all =
+    Domain_pool.run_until ~workers:4 ~tasks:12 ~stop:(fun _ -> false) (fun i -> i)
+  in
+  Array.iteri
+    (fun i r -> Alcotest.(check (option int)) "ran" (Some i) r)
+    all
 
 let test_homomorphic_apply () =
   let data = Array.init 100 (fun i -> i) in
@@ -78,14 +130,48 @@ let test_split_scalar () =
   (match Par.split_scalar (Query.sum_int (Query.take 3 q)) with
   | None -> ()
   | Some _ -> Alcotest.fail "take must prevent splitting");
-  (* Non-associative aggregates cannot split. *)
+  (* Average's partial is a (sum, count) pair, not a float: it is beyond
+     the legacy same-typed API (but decomposes — see below). *)
   (match Par.split_scalar (Query.average (Query.of_array Ty.Float [| 1.0 |])) with
   | None -> ()
-  | Some _ -> Alcotest.fail "average must not split");
+  | Some _ -> Alcotest.fail "average must not split (same-typed API)");
   (* Range sources (no captured array) cannot split. *)
   match Par.split_scalar (Query.sum_int (Query.range ~start:0 ~count:5)) with
   | None -> ()
   | Some _ -> Alcotest.fail "range source must not split"
+
+(* The typed decomposition framework covers what split_scalar cannot. *)
+let test_decompose_coverage () =
+  let must_decompose : type s. string -> s Query.sq -> unit =
+   fun name sq ->
+    match Par.decompose sq with
+    | Some _ -> ()
+    | None -> Alcotest.failf "%s must decompose" name
+  in
+  let must_not : type s. string -> s Query.sq -> unit =
+   fun name sq ->
+    match Par.decompose sq with
+    | None -> ()
+    | Some _ -> Alcotest.failf "%s must not decompose" name
+  in
+  let fdata = Query.of_array Ty.Float [| 1.0; 2.0; 3.0 |] in
+  let idata = ints [| 1; 2; 3 |] in
+  must_decompose "average" (Query.average fdata);
+  must_decompose "first" (Query.first idata);
+  must_decompose "last" (Query.last idata);
+  must_decompose "any" (Query.any idata);
+  must_decompose "contains" (Query.contains (Expr.int 2) idata);
+  must_decompose "declared combiner"
+    (idata
+    |> Query.aggregate ~combine:( + ) ~seed:(Expr.int 0) ~step:(fun a x ->
+           I.(a + x)));
+  must_decompose "map_scalar over average"
+    (Query.average fdata |> Query.map_scalar (fun r -> Expr.Infix.(r *. r)));
+  must_not "undeclared aggregate"
+    (idata |> Query.aggregate ~seed:(Expr.int 0) ~step:(fun a x -> I.(a + x)));
+  must_not "element_at" (Query.element_at 1 idata);
+  must_not "take prefix" (Query.sum_int (Query.take 2 idata));
+  must_not "range source" (Query.sum_int (Query.range ~start:0 ~count:5))
 
 let test_scalar_auto_matches_sequential () =
   let data = Array.init 777 (fun i -> (i * 37) mod 101) in
@@ -105,9 +191,53 @@ let test_scalar_auto_matches_sequential () =
   check_auto "exists" (Query.exists (fun x -> I.(x = Expr.int 55)) q);
   check_auto "for_all" (Query.for_all (fun x -> I.(x < Expr.int 1000)) q);
   check_auto "contains" (Query.contains (Expr.int 4) q);
+  (* Since PR 5 these execute across partitions (decomposed partials),
+     not through a sequential fallback. *)
+  check_auto "first" (Query.first q);
+  check_auto "last" (Query.last q);
+  check_auto "average"
+    (Query.average (Query.of_array Ty.Float (Array.init 101 float_of_int)));
+  check_auto "declared combiner"
+    (q
+    |> Query.aggregate ~combine:( + ) ~seed:(Expr.int 0) ~step:(fun a x ->
+           I.(a + x)));
+  check_auto "map_scalar over average"
+    (Query.average (Query.of_array Ty.Float (Array.init 13 float_of_int))
+    |> Query.map_scalar (fun r -> Expr.Infix.(r +. r)));
   (* Fallback path: non-splittable query still runs. *)
-  check_auto "average fallback"
-    (Query.average (Query.of_array Ty.Float [| 1.0; 2.0; 3.0 |]))
+  check_auto "element_at fallback" (Query.element_at 5 q)
+
+(* Regression (PR 5): rows < workers end-to-end — the capped partitioner
+   must not schedule empty engine runs, and results stay exact. *)
+let test_fewer_rows_than_workers () =
+  let data = [| 42; 7 |] in
+  let q = ints data in
+  Alcotest.(check int) "sum of 2 rows on 8 workers" 49
+    (Par.scalar_auto ~workers:8 ~parts:8 (Query.sum_int q));
+  Alcotest.(check int) "first of 2 rows on 8 workers" 42
+    (Par.scalar_auto ~workers:8 ~parts:8 (Query.first q));
+  Alcotest.(check (array int)) "to_array of 2 rows on 8 workers" data
+    (Par.to_array_auto ~workers:8 ~parts:8 q);
+  let one = [| 5 |] in
+  Alcotest.(check int) "singleton row" 5
+    (Par.scalar_auto ~workers:8 ~parts:8 (Query.min_elt (ints one)))
+
+let test_group_aggregate () =
+  let data = Array.init 200 (fun i -> (i * 13) mod 29) in
+  let q =
+    ints data
+    |> Query.group_by_agg
+         ~key:(fun x -> I.(x mod Expr.int 7))
+         ~seed:(Expr.int 0)
+         ~step:(fun acc x -> I.(acc + x))
+  in
+  let seq = Array.of_list (Reference.to_list q) in
+  let par = Par.group_aggregate ~workers:4 ~parts:5 ~combine:( + ) q in
+  Alcotest.(check (array (pair int int))) "partitioned = sequential" seq par;
+  (* Key order is global first-appearance order, preserved by the
+     pairwise table merge. *)
+  let par1 = Par.group_aggregate ~workers:1 ~parts:1 ~combine:( + ) q in
+  Alcotest.(check (array (pair int int))) "order independent of parts" par1 par
 
 let test_scalar_auto_empty_partitions () =
   (* min over data that filters to a single partition's worth. *)
@@ -150,18 +280,23 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_partition_roundtrip;
           Alcotest.test_case "domain pool" `Quick test_domain_pool;
+          Alcotest.test_case "persistent pool" `Quick test_domain_pool_persistent;
+          Alcotest.test_case "run_until" `Quick test_domain_pool_run_until;
         ] );
       ( "execution",
         [
           Alcotest.test_case "homomorphic_apply" `Quick test_homomorphic_apply;
           Alcotest.test_case "scalar per partition" `Quick test_scalar_per_partition;
+          Alcotest.test_case "group aggregate" `Quick test_group_aggregate;
         ] );
       ( "splitting",
         [
           Alcotest.test_case "is_homomorphic" `Quick test_is_homomorphic;
           Alcotest.test_case "split_scalar" `Quick test_split_scalar;
+          Alcotest.test_case "decompose coverage" `Quick test_decompose_coverage;
           Alcotest.test_case "auto = sequential" `Quick test_scalar_auto_matches_sequential;
           Alcotest.test_case "empty partitions" `Quick test_scalar_auto_empty_partitions;
+          Alcotest.test_case "fewer rows than workers" `Quick test_fewer_rows_than_workers;
           Alcotest.test_case "to_array_auto" `Quick test_to_array_auto;
           QCheck_alcotest.to_alcotest prop_parallel_sum_equals_sequential;
         ] );

@@ -68,6 +68,37 @@ let test_reference_smoke () =
   Alcotest.(check (list int)) "linq" [ 20; 40 ] (Linq.to_list q);
   Alcotest.(check int) "scalar" 60 (Reference.scalar (Query.sum_int q))
 
+(* Regression (PR 5): Reference.group_list was quadratic (List.mem +
+   append + per-key filter).  The single-pass rewrite must preserve the
+   exact grouping semantics — first-appearance key order, per-key
+   insertion order — and make a large, key-heavy corpus tractable. *)
+let test_reference_grouping () =
+  let q =
+    ints [| 5; 3; 5; 1; 3; 5 |] |> Query.group_by (fun x -> x)
+  in
+  let groups =
+    List.map (fun (k, vs) -> k, Array.to_list vs) (Reference.to_list q)
+  in
+  Alcotest.(check (list (pair int (list int))))
+    "first-appearance order, per-key insertion order"
+    [ 5, [ 5; 5; 5 ]; 3, [ 3; 3 ]; 1, [ 1 ] ]
+    groups;
+  (* 50k rows over 10k keys: instant single-pass, minutes when
+     quadratic. *)
+  let n = 50_000 in
+  let big = Array.init n (fun i -> (i * 7919) mod 10_000) in
+  let agg =
+    ints big
+    |> Query.group_by_agg
+         ~key:(fun x -> x)
+         ~seed:(Expr.int 0)
+         ~step:(fun acc _ -> I.(acc + Expr.int 1))
+  in
+  let sizes = Reference.to_list agg in
+  Alcotest.(check int) "all keys present" 10_000 (List.length sizes);
+  Alcotest.(check int) "sizes sum to rows" n
+    (List.fold_left (fun a (_, c) -> a + c) 0 sizes)
+
 let () =
   Alcotest.run "query"
     [
@@ -77,5 +108,9 @@ let () =
           Alcotest.test_case "counts" `Quick test_structure;
           Alcotest.test_case "pp" `Quick test_pp;
         ] );
-      ("semantics", [ Alcotest.test_case "smoke" `Quick test_reference_smoke ]);
+      ( "semantics",
+        [
+          Alcotest.test_case "smoke" `Quick test_reference_smoke;
+          Alcotest.test_case "grouping" `Quick test_reference_grouping;
+        ] );
     ]

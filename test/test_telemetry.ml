@@ -56,6 +56,31 @@ let test_counters () =
   C.reset c;
   Alcotest.(check int) "reset" 0 (C.counter c "widgets")
 
+(* Regression (PR 5): now_ms used to read the wall clock, so a clock
+   step between span start and finish produced negative durations. *)
+let test_durations_never_negative () =
+  (* The clock is monotonic: consecutive reads never go backwards. *)
+  let a = T.now_ms () in
+  let b = T.now_ms () in
+  Alcotest.(check bool) "monotonic" true (b >= a);
+  (* duration_since clamps at zero even against a fabricated future
+     start (what a backwards wall-clock step used to produce). *)
+  Alcotest.(check (float 0.0)) "clamped" 0.0
+    (T.duration_since (T.now_ms () +. 1e9));
+  Alcotest.(check bool) "positive interval measured" true
+    (T.duration_since a >= 0.0);
+  (* No span observed through a sink ever reports a negative duration. *)
+  let c = C.create () in
+  let sink = C.sink c in
+  for i = 0 to 99 do
+    T.with_span sink (Printf.sprintf "s%d" i) (fun () -> ())
+  done;
+  List.iter
+    (fun s ->
+      if s.T.duration_ms < 0.0 then
+        Alcotest.failf "negative span duration: %s %f" s.T.name s.T.duration_ms)
+    (C.spans c)
+
 let test_null_sink_is_inert () =
   Alcotest.(check bool) "null is disabled" false (T.enabled T.null);
   (* with_span on the null sink must still run the function. *)
@@ -176,6 +201,8 @@ let () =
           Alcotest.test_case "nesting" `Quick test_span_nesting;
           Alcotest.test_case "exception" `Quick test_span_on_exception;
           Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "no negative durations" `Quick
+            test_durations_never_negative;
           Alcotest.test_case "null sink" `Quick test_null_sink_is_inert;
           Alcotest.test_case "tree" `Quick test_tree_rendering;
           Alcotest.test_case "json" `Quick test_to_json;

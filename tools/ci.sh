@@ -15,6 +15,9 @@ dune runtest
 echo "== optimizer differential tests =="
 dune exec test/test_opt.exe
 
+echo "== parallel-vs-Reference differential tests =="
+dune exec test/test_par_diff.exe
+
 echo "== examples =="
 dune exec examples/quickstart.exe > /dev/null
 dune exec examples/wordcount.exe -- 20000 > /dev/null
@@ -34,6 +37,7 @@ for family in \
     'TYPE steno_operator_calls counter' \
     'TYPE steno_cache_entries gauge' \
     'TYPE steno_partition_rows histogram' \
+    'TYPE steno_agg_merge_ms histogram' \
     'TYPE check_diagnostics counter' \
     '# EOF'
 do
@@ -48,5 +52,9 @@ dune exec bench/main.exe -- --scale 0.01 --json BENCH_PR2.json
 
 echo "== profiling overhead (scale 0.01) =="
 dune exec bench/main.exe -- --scale 0.01 --json-profile BENCH_PR3.json
+
+echo "== partitioned aggregation (scale 0.01) =="
+dune exec bench/main.exe -- --scale 0.01 --json-par BENCH_PR5.json
+python3 -m json.tool BENCH_PR5.json > /dev/null
 
 echo "== ok =="

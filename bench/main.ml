@@ -6,8 +6,9 @@
      dune exec bench/main.exe -- fig1         -- one experiment
      dune exec bench/main.exe -- fig13 --scale 0.1
    Experiments: fig1 fig13 breakeven fig14 ablation-gba ablation-chain
-                ablation-backend par par-agg bechamel
-   JSON output: --json FILE / --json-profile FILE / --json-par FILE
+                ablation-backend par par-agg serve bechamel
+   JSON output: --json FILE / --json-profile FILE / --json-par FILE /
+                --json-serve FILE (with --clients N --requests R)
 
    Absolute numbers differ from the paper (different machine, language and
    runtime); the claims under test are the *shapes*: who wins, by roughly
@@ -808,6 +809,205 @@ let json_profile_report file =
         (overhead_pct ~off ~on))
     rows
 
+(* ------------------------------------------------------------------ *)
+(* PR 6: the serving layer under concurrent load.  Simulated clients on
+   the Domain_pool substrate hammer one [Server] over one [Engine] with
+   a mixed workload: mostly hot shapes (a handful of query structures,
+   compiled once and plugin-cache hits ever after) plus a trickle of
+   cold shapes — a unique literal baked into the source gives each cold
+   request a cache key nobody else has, i.e. a real compile.  Request
+   latency is observed into a log-scale histogram and the percentiles
+   are read back from its snapshot, exactly as a scrape would. *)
+
+let serve_clients = ref 64
+
+let serve_requests = ref 10
+
+(* Smallest bucket bound covering the q-th fraction of observations: the
+   percentile as a monitoring system computes it from a histogram. *)
+let serve_percentile snap q =
+  if snap.Metrics.hs_count = 0 then Float.nan
+  else begin
+    let target =
+      int_of_float (ceil (q *. float_of_int snap.Metrics.hs_count))
+    in
+    let rec go = function
+      | [] -> Float.nan
+      | (bound, cum) :: rest -> if cum >= target then bound else go rest
+    in
+    go snap.Metrics.hs_buckets
+  end
+
+type serve_measurements = {
+  sv_clients : int;
+  sv_requests : int;  (* per client *)
+  sv_workers : int;
+  sv_inflight : int;
+  sv_wall_ms : float;
+  sv_throughput : float;  (* completed requests per second *)
+  sv_p50 : float;
+  sv_p99 : float;
+  sv_queue_p99 : float;
+  sv_stats : Server.stats;
+  sv_compiles : int;
+  sv_dedup : int;
+  sv_cache : Steno.Engine.cache_stats;
+}
+
+let measure_serve () =
+  let clients = max 1 !serve_clients in
+  let requests = max 1 !serve_requests in
+  let reg = Metrics.create () in
+  let backend = if native then Steno.Native else Steno.Fused in
+  let eng =
+    Steno.Engine.(
+      create
+        { default_config with backend; metrics = reg; cache_capacity = 128 })
+  in
+  let workers = max 2 (Domain_pool.recommended_workers ()) in
+  (* Fewer execution slots than driver domains, so admission control and
+     the wait queue actually engage. *)
+  let inflight = max 1 (workers / 2) in
+  let srv =
+    Server.create ~max_inflight:inflight ~max_queue:(clients * requests) eng
+  in
+  let latency =
+    Metrics.histogram reg "steno_serve_request_ms"
+      ~help:"End-to-end request latency observed by the bench driver"
+  in
+  let xs = Array.init 512 (fun i -> (i * 37) mod 1009) in
+  let hot k =
+    Query.sum_int
+      (Query.of_array Ty.Int xs |> Query.select (fun x -> I.(x + Expr.int k)))
+  in
+  let hot_shapes = 4 in
+  let cold id =
+    let lit = 1_000_000 + id in
+    Query.sum_int
+      (Query.of_array Ty.Int xs
+      |> Query.select (fun x -> I.(x + Expr.int lit)))
+  in
+  let t0 = Unix.gettimeofday () in
+  let per_client =
+    Domain_pool.run ~workers ~tasks:clients (fun c ->
+        let completed = ref 0 in
+        for r = 0 to requests - 1 do
+          let id = (c * requests) + r in
+          (* One cold request in 16; everything else cycles the hot
+             shapes. *)
+          let q =
+            if id mod 16 = 0 then cold id else hot (id mod hot_shapes)
+          in
+          let t = Unix.gettimeofday () in
+          (match
+             Server.submit srv
+               ~client_id:(Printf.sprintf "client-%02d" (c mod 32))
+               (fun sess -> Steno.Session.scalar sess q)
+           with
+          | Server.Done _ -> incr completed
+          | Server.Rejected _ -> ()
+          | Server.Failed e -> raise e);
+          Metrics.observe latency (1000.0 *. (Unix.gettimeofday () -. t))
+        done;
+        !completed)
+  in
+  let wall_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+  let completed = Array.fold_left ( + ) 0 per_client in
+  let st = Server.stats srv in
+  let lat_snap = Metrics.histogram_snapshot latency in
+  let queue_snap =
+    Metrics.histogram_snapshot
+      (Metrics.histogram reg "steno_server_queue_ms")
+  in
+  {
+    sv_clients = clients;
+    sv_requests = requests;
+    sv_workers = workers;
+    sv_inflight = inflight;
+    sv_wall_ms = wall_ms;
+    sv_throughput = float_of_int completed /. (wall_ms /. 1000.0);
+    sv_p50 = serve_percentile lat_snap 0.50;
+    sv_p99 = serve_percentile lat_snap 0.99;
+    sv_queue_p99 = serve_percentile queue_snap 0.99;
+    sv_stats = st;
+    sv_compiles =
+      Metrics.counter_value
+        (Metrics.counter reg "steno_compile" ~labels:[ "result", "ok" ]);
+    sv_dedup =
+      Metrics.counter_value (Metrics.counter reg "steno_prepare_dedup");
+    sv_cache = Steno.Engine.cache_stats eng;
+  }
+
+let serve () =
+  header "PR 6: concurrent query service (Server over one shared Engine)";
+  let m = measure_serve () in
+  row "%d clients x %d requests = %d total; %d pool workers, %d slots\n"
+    m.sv_clients m.sv_requests (m.sv_clients * m.sv_requests) m.sv_workers
+    m.sv_inflight;
+  row "wall time: %.1f ms, throughput: %.0f req/s\n" m.sv_wall_ms
+    m.sv_throughput;
+  row "latency   p50 %-10.3fms p99 %.3f ms (log-scale histogram buckets)\n"
+    m.sv_p50 m.sv_p99;
+  row "queue     p99 %.3f ms\n" m.sv_queue_p99;
+  row "outcomes: %d completed, %d rejected, %d failed\n"
+    m.sv_stats.Server.completed m.sv_stats.Server.rejected
+    m.sv_stats.Server.failed;
+  row "compiles: %d (flight joins: %d); cache hits %d, misses %d, \
+       evictions %d\n"
+    m.sv_compiles m.sv_dedup m.sv_cache.Steno.Engine.hits
+    m.sv_cache.Steno.Engine.misses m.sv_cache.Steno.Engine.evictions;
+  row
+    "(hot shapes amortize one compile over every client; single-flight \
+     keeps\n\
+    \ concurrent cold prepares of one shape down to one compiler run)\n"
+
+let json_serve_report file =
+  header (Printf.sprintf "serving-layer JSON report -> %s" file);
+  let m = measure_serve () in
+  let fnum v = if Float.is_nan v then "null" else Printf.sprintf "%.3f" v in
+  let oc =
+    try open_out file
+    with Sys_error msg ->
+      Printf.eprintf "cannot write %s: %s\n" file msg;
+      exit 2
+  in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "serve",
+  "clients": %d,
+  "requests_per_client": %d,
+  "total_requests": %d,
+  "workers": %d,
+  "max_inflight": %d,
+  "scale": %.3f,
+  "native_available": %b,
+  "wall_ms": %s,
+  "throughput_rps": %s,
+  "p50_ms": %s,
+  "p99_ms": %s,
+  "queue_p99_ms": %s,
+  "accepted": %d,
+  "completed": %d,
+  "rejected": %d,
+  "failed": %d,
+  "compiles": %d,
+  "dedup_joins": %d,
+  "cache": {"hits": %d, "misses": %d, "evictions": %d, "entries": %d}
+}
+|}
+    m.sv_clients m.sv_requests
+    (m.sv_clients * m.sv_requests)
+    m.sv_workers m.sv_inflight !scale native (fnum m.sv_wall_ms)
+    (fnum m.sv_throughput) (fnum m.sv_p50) (fnum m.sv_p99)
+    (fnum m.sv_queue_p99) m.sv_stats.Server.accepted
+    m.sv_stats.Server.completed m.sv_stats.Server.rejected
+    m.sv_stats.Server.failed m.sv_compiles m.sv_dedup
+    m.sv_cache.Steno.Engine.hits m.sv_cache.Steno.Engine.misses
+    m.sv_cache.Steno.Engine.evictions m.sv_cache.Steno.Engine.entries;
+  close_out oc;
+  row "%d clients x %d: %.0f req/s, p50 %.3f ms, p99 %.3f ms, %d compiles\n"
+    m.sv_clients m.sv_requests m.sv_throughput m.sv_p50 m.sv_p99 m.sv_compiles
+
 (* Machine-readable results for CI trend tracking: the Fig. 1 sumsq
    headline across backends plus the section 7.1 query-cache numbers
    (cold prepare vs cache-hit prepare). *)
@@ -898,6 +1098,7 @@ let experiments =
     "par", par_scaling;
     "par-agg", par_agg;
     "profiling", profiling;
+    "serve", serve;
     "bechamel", bechamel;
   ]
 
@@ -906,10 +1107,17 @@ let () =
   let json_file = ref None in
   let json_profile_file = ref None in
   let json_par_file = ref None in
+  let json_serve_file = ref None in
   let rec parse = function
     | [] -> []
     | "--scale" :: v :: rest ->
       scale := float_of_string v;
+      parse rest
+    | "--clients" :: v :: rest ->
+      serve_clients := int_of_string v;
+      parse rest
+    | "--requests" :: v :: rest ->
+      serve_requests := int_of_string v;
       parse rest
     | "--json" :: file :: rest ->
       json_file := Some file;
@@ -920,18 +1128,27 @@ let () =
     | "--json-par" :: file :: rest ->
       json_par_file := Some file;
       parse rest
-    | [ ("--scale" | "--json" | "--json-profile" | "--json-par") as flag ] ->
+    | "--json-serve" :: file :: rest ->
+      json_serve_file := Some file;
+      parse rest
+    | [
+        ( "--scale" | "--clients" | "--requests" | "--json" | "--json-profile"
+        | "--json-par" | "--json-serve" ) as flag;
+      ] ->
       Printf.eprintf "%s requires a value\n" flag;
       exit 2
     | x :: rest -> x :: parse rest
   in
   let picks = parse (List.tl args) in
   let named =
-    match picks, !json_file, !json_profile_file, !json_par_file with
-    | [], Some _, _, _ | [], _, Some _, _ | [], _, _, Some _ ->
+    match
+      picks, (!json_file, !json_profile_file, !json_par_file, !json_serve_file)
+    with
+    | [], (Some _, _, _, _ | _, Some _, _, _ | _, _, Some _, _ | _, _, _, Some _)
+      ->
       [] (* a --json* flag alone: just those measurements *)
-    | [], None, None, None -> List.map fst experiments
-    | picks, _, _, _ -> picks
+    | [], (None, None, None, None) -> List.map fst experiments
+    | picks, _ -> picks
   in
   Printf.printf "Steno benchmark harness (scale = %.2f, native = %b)\n" !scale
     native;
@@ -945,4 +1162,5 @@ let () =
     named;
   Option.iter json_report !json_file;
   Option.iter json_profile_report !json_profile_file;
-  Option.iter json_par_report !json_par_file
+  Option.iter json_par_report !json_par_file;
+  Option.iter json_serve_report !json_serve_file

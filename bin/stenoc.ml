@@ -427,6 +427,47 @@ let cmd_metrics n =
   print_string (Metrics.render reg);
   0
 
+(* A small self-contained stress of the serving layer: simulated tenants
+   on the domain pool submit the sumsq demo through one Server over one
+   Engine, then the metrics registry is dumped in OpenMetrics format —
+   the per-tenant series ([client="tenant-N"]) and the server request /
+   queue families are what an operator would scrape. *)
+let cmd_serve clients requests n =
+  let clients = max 1 clients in
+  let requests = max 1 requests in
+  let reg = Metrics.create () in
+  let eng = Steno.Engine.(create { default_config with metrics = reg }) in
+  let srv = Server.create eng in
+  let xs = int_input n in
+  let q =
+    Query.of_array Ty.Int xs
+    |> Query.select (fun x -> I.(x * x))
+    |> Query.sum_int
+  in
+  let workers = min 4 (max 2 (Domain_pool.recommended_workers ())) in
+  let completed_per_client =
+    Domain_pool.run ~workers ~tasks:clients (fun c ->
+        let completed = ref 0 in
+        for _ = 1 to requests do
+          match
+            Server.submit srv
+              ~client_id:(Printf.sprintf "tenant-%d" (c mod 4))
+              (fun sess -> Steno.Session.scalar sess q)
+          with
+          | Server.Done _ -> incr completed
+          | Server.Rejected _ -> ()
+          | Server.Failed e -> raise e
+        done;
+        !completed)
+  in
+  let completed = Array.fold_left ( + ) 0 completed_per_client in
+  let st = Server.stats srv in
+  Printf.printf
+    "# %d clients x %d requests: %d completed, %d rejected, %d failed\n"
+    clients requests completed st.Server.rejected st.Server.failed;
+  print_string (Metrics.render reg);
+  if st.Server.failed > 0 then 1 else 0
+
 let cmd_bench name n =
   match find name with
   | Error e ->
@@ -652,6 +693,27 @@ let metrics_cmd =
           metrics registry in OpenMetrics text format.")
     Term.(const cmd_metrics $ size)
 
+let clients_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "clients" ] ~doc:"Number of simulated client sessions.")
+
+let requests_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "requests" ] ~doc:"Requests submitted per client.")
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Stress the serving layer: simulated tenants submit a demo query \
+          concurrently through one Server over one Engine, then the \
+          metrics registry (per-tenant run counters and latency \
+          histograms, server admission counters) is dumped in OpenMetrics \
+          text format.")
+    Term.(const cmd_serve $ clients_arg $ requests_arg $ size)
+
 let () =
   let doc = "Steno: automatic optimization of declarative queries" in
   exit
@@ -659,5 +721,5 @@ let () =
        (Cmd.group (Cmd.info "stenoc" ~doc ~version:"1.0.0")
           [
             list_cmd; show_cmd; run_cmd; bench_cmd; stats_cmd; eval_cmd;
-            explain_cmd; analyze_cmd; lint_cmd; metrics_cmd;
+            explain_cmd; analyze_cmd; lint_cmd; metrics_cmd; serve_cmd;
           ]))

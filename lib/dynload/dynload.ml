@@ -29,6 +29,15 @@ let keep_artifacts = ref false
 
 let disabled = ref false
 
+(* [Lazy.force] from several domains at once raises [RacyLazy]; the
+   process-wide lazies below (scratch dir, compiler probe) are forced
+   under one mutex so concurrent engines initialize them safely.  The
+   lock is only contended during initialization: both lazies settle on
+   first use. *)
+let init_mu = Mutex.create ()
+
+let force_shared l = Mutex.protect init_mu (fun () -> Lazy.force l)
+
 let workdir_lazy =
   lazy
     (let dir =
@@ -46,7 +55,7 @@ let workdir_lazy =
            with Sys_error _ | Unix.Unix_error _ -> ());
      dir)
 
-let workdir () = Lazy.force workdir_lazy
+let workdir () = force_shared workdir_lazy
 
 let compiler_command =
   lazy
@@ -62,7 +71,7 @@ let compiler_command =
      | None -> if works (List.nth candidates 0) then Some "ocamlfind ocamlopt" else None)
 
 let is_available () =
-  (not !disabled) && Dynlink.is_native && Lazy.force compiler_command <> None
+  (not !disabled) && Dynlink.is_native && force_shared compiler_command <> None
 
 let next_plugin = Atomic.make 0
 
@@ -96,9 +105,10 @@ let extract_result (e : exn) : (Obj.t array -> Obj.t) option =
 
 (* Run the compiler as a child process with output captured to a log
    file.  [exec] replaces the intermediate shell, so a timeout kill
-   reaches the compiler itself. *)
-let run_command ?timeout_ms cmd : (unit, error) result =
-  let out_file = Filename.concat (workdir ()) "compile.log" in
+   reaches the compiler itself.  The log file is caller-supplied and
+   unique per compilation: concurrent compiles must not truncate each
+   other's output (they used to share one "compile.log"). *)
+let run_command ?timeout_ms ~out_file cmd : (unit, error) result =
   let fd =
     Unix.openfile out_file [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600
   in
@@ -160,7 +170,7 @@ let run_command ?timeout_ms cmd : (unit, error) result =
 let compile_result ?timeout_ms ~source () : (compiled, error) result =
   if !disabled then Error Unavailable
   else
-    match Lazy.force compiler_command with
+    match force_shared compiler_command with
     | None -> Error Unavailable
     | _ when not Dynlink.is_native -> Error Unavailable
     | Some compiler -> (
@@ -175,7 +185,7 @@ let compile_result ?timeout_ms ~source () : (compiled, error) result =
             (fun ext ->
               try Sys.remove (Filename.concat dir (modname ^ ext))
               with Sys_error _ -> ())
-            [ ".cmi"; ".cmx"; ".o"; ".cmxs"; ".ml" ]
+            [ ".cmi"; ".cmx"; ".o"; ".cmxs"; ".ml"; ".log" ]
       in
       let t0 = now_ms () in
       let oc = open_out ml in
@@ -184,6 +194,7 @@ let compile_result ?timeout_ms ~source () : (compiled, error) result =
       let t1 = now_ms () in
       match
         run_command ?timeout_ms
+          ~out_file:(Filename.concat dir (modname ^ ".log"))
           (Printf.sprintf "%s -shared -I %s %s -o %s" compiler
              (Filename.quote dir) (Filename.quote ml) (Filename.quote cmxs))
       with

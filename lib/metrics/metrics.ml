@@ -54,9 +54,17 @@ type t = {
 
 let create () = { mu = Mutex.create (); families = Hashtbl.create 16 }
 
-let default_v = lazy (create ())
+(* Not a [lazy]: forcing a lazy from two domains at once raises
+   [RacyLazy].  A CAS publishes exactly one winner; a loser's registry
+   is discarded before anyone registers into it. *)
+let default_v : t option Atomic.t = Atomic.make None
 
-let default () = Lazy.force default_v
+let rec default () =
+  match Atomic.get default_v with
+  | Some t -> t
+  | None ->
+    let t = create () in
+    if Atomic.compare_and_set default_v None (Some t) then t else default ()
 
 let reset t = Mutex.protect t.mu (fun () -> Hashtbl.reset t.families)
 

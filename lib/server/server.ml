@@ -1,0 +1,184 @@
+type reject_reason =
+  | Queue_full
+  | Shutting_down
+
+let reject_reason_message = function
+  | Queue_full -> "server at capacity (inflight and queue limits reached)"
+  | Shutting_down -> "server is shutting down"
+
+type 'a outcome =
+  | Done of 'a
+  | Rejected of reject_reason
+  | Failed of exn
+
+(* All admission state lives behind one mutex; the condition variable
+   wakes queued callers when a slot frees (or shutdown begins).  The
+   lock is never held while a request executes — only around the small
+   counter transitions — so the engine's own concurrency (sharded cache,
+   single-flight) is what requests actually contend on. *)
+type t = {
+  srv_engine : Steno.Engine.t;
+  max_inflight : int;
+  max_queue : int;
+  mu : Mutex.t;
+  cv : Condition.t;
+  sessions : (string, Steno.Session.t) Hashtbl.t;  (* under [mu] *)
+  mutable inflight : int;
+  mutable queued : int;
+  mutable shut : bool;
+  mutable accepted : int;
+  mutable completed : int;
+  mutable failed : int;
+  mutable rejected : int;
+}
+
+let create ?max_inflight ?(max_queue = 64) engine =
+  let max_inflight =
+    match max_inflight with
+    | Some n -> max 1 n
+    | None -> max 1 (Domain.recommended_domain_count ())
+  in
+  if max_queue < 0 then invalid_arg "Server.create: max_queue < 0";
+  {
+    srv_engine = engine;
+    max_inflight;
+    max_queue;
+    mu = Mutex.create ();
+    cv = Condition.create ();
+    sessions = Hashtbl.create 16;
+    inflight = 0;
+    queued = 0;
+    shut = false;
+    accepted = 0;
+    completed = 0;
+    failed = 0;
+    rejected = 0;
+  }
+
+let engine t = t.srv_engine
+
+let session t ~client_id =
+  Mutex.protect t.mu (fun () ->
+      match Hashtbl.find_opt t.sessions client_id with
+      | Some s -> s
+      | None ->
+        let s = Steno.Session.create t.srv_engine ~client_id in
+        Hashtbl.replace t.sessions client_id s;
+        s)
+
+let outcome_label = function
+  | Done _ -> "ok"
+  | Rejected _ -> "rejected"
+  | Failed _ -> "failed"
+
+let count_request t ~client_id outcome =
+  Metrics.inc
+    (Metrics.counter
+       (Steno.Engine.metrics t.srv_engine)
+       "steno_server_requests"
+       ~help:"Requests submitted to the query server, by final outcome"
+       ~labels:[ "client", client_id; "outcome", outcome_label outcome ])
+
+let observe_queue_wait t ms =
+  Metrics.observe
+    (Metrics.histogram
+       (Steno.Engine.metrics t.srv_engine)
+       "steno_server_queue_ms"
+       ~help:"Time admitted requests spent waiting for an execution slot")
+    ms
+
+(* Admission: a free slot admits immediately; otherwise the caller joins
+   the bounded wait queue, or is shed.  Queued callers re-check on every
+   wake — both a freed slot and shutdown broadcast [cv]. *)
+let admit t =
+  Mutex.protect t.mu (fun () ->
+      if t.shut then begin
+        t.rejected <- t.rejected + 1;
+        Error Shutting_down
+      end
+      else if t.inflight < t.max_inflight then begin
+        t.inflight <- t.inflight + 1;
+        t.accepted <- t.accepted + 1;
+        Ok ()
+      end
+      else if t.queued >= t.max_queue then begin
+        t.rejected <- t.rejected + 1;
+        Error Queue_full
+      end
+      else begin
+        t.queued <- t.queued + 1;
+        let rec wait () =
+          if t.shut then begin
+            t.queued <- t.queued - 1;
+            t.rejected <- t.rejected + 1;
+            (* [shutdown] drains on [cv] until the queue empties. *)
+            Condition.broadcast t.cv;
+            Error Shutting_down
+          end
+          else if t.inflight < t.max_inflight then begin
+            t.queued <- t.queued - 1;
+            t.inflight <- t.inflight + 1;
+            t.accepted <- t.accepted + 1;
+            Ok ()
+          end
+          else begin
+            Condition.wait t.cv t.mu;
+            wait ()
+          end
+        in
+        wait ()
+      end)
+
+let release t ~ok =
+  Mutex.protect t.mu (fun () ->
+      t.inflight <- t.inflight - 1;
+      if ok then t.completed <- t.completed + 1 else t.failed <- t.failed + 1;
+      (* Both queued callers and a draining [shutdown] wait on [cv]. *)
+      Condition.broadcast t.cv)
+
+let submit t ~client_id f =
+  let sess = session t ~client_id in
+  let t0 = Telemetry.now_ms () in
+  let outcome =
+    match admit t with
+    | Error reason -> Rejected reason
+    | Ok () ->
+      observe_queue_wait t (Telemetry.now_ms () -. t0);
+      (match f sess with
+      | v ->
+        release t ~ok:true;
+        Done v
+      | exception e ->
+        release t ~ok:false;
+        Failed e)
+  in
+  count_request t ~client_id outcome;
+  outcome
+
+type stats = {
+  accepted : int;
+  completed : int;
+  failed : int;
+  rejected : int;
+  inflight : int;
+  queued : int;
+}
+
+let stats t =
+  Mutex.protect t.mu (fun () ->
+      {
+        accepted = t.accepted;
+        completed = t.completed;
+        failed = t.failed;
+        rejected = t.rejected;
+        inflight = t.inflight;
+        queued = t.queued;
+      })
+
+let shutdown t =
+  Mutex.protect t.mu (fun () ->
+      t.shut <- true;
+      Condition.broadcast t.cv;
+      while t.inflight > 0 || t.queued > 0 do
+        Condition.wait t.cv t.mu
+      done)

@@ -1,0 +1,87 @@
+(** A concurrent query service over one shared {!Steno.Engine}.
+
+    The server is the admission-control front end the engine itself does
+    not provide: the engine makes concurrent prepares and runs {e safe}
+    (sharded cache locks, single-flight compiles, lock-free metric
+    writes), while the server decides {e how many} of them may be in
+    flight at once, and sheds the rest instead of queueing without
+    bound.
+
+    The model: each client is a {!Steno.Session.t}, memoized by client
+    id, so tenant labels and per-client stats come for free.  A request
+    is a function over that session, submitted with {!submit}:
+
+    {[
+      let server = Server.create engine ~max_inflight:4 ~max_queue:64 in
+      match
+        Server.submit server ~client_id:"alice" (fun sess ->
+            Steno.Session.to_array sess q)
+      with
+      | Server.Done rows -> ...
+      | Server.Rejected reason -> (* shed; tell the client to back off *)
+      | Server.Failed exn -> (* the request itself raised *)
+    ]}
+
+    Admission is two-level: up to [max_inflight] requests execute
+    concurrently; beyond that, up to [max_queue] callers block waiting
+    for a slot; beyond {e that}, [submit] returns [Rejected Queue_full]
+    immediately — load-shedding is a value, never an exception, and
+    never a crash.  Every outcome is counted into the engine's metrics
+    registry ([steno_server_requests_total] labelled by client and
+    outcome, queue wait into [steno_server_queue_ms]).
+
+    Domain-safe throughout; [submit] is designed to be called from many
+    domains at once. *)
+
+type t
+
+type reject_reason =
+  | Queue_full  (** [max_inflight] running and [max_queue] waiting. *)
+  | Shutting_down  (** {!shutdown} has begun; no new work admitted. *)
+
+val reject_reason_message : reject_reason -> string
+
+(** Result of one submitted request. *)
+type 'a outcome =
+  | Done of 'a
+  | Rejected of reject_reason
+      (** Shed before execution: the request function never ran. *)
+  | Failed of exn
+      (** The request function raised after admission.  The exception is
+          returned, not re-raised: one poisonous query must not unwind a
+          server loop serving other clients. *)
+
+val create : ?max_inflight:int -> ?max_queue:int -> Steno.Engine.t -> t
+(** A server over [engine].  [max_inflight] bounds concurrently
+    executing requests (default: the domain count recommendation,
+    minimum 1); [max_queue] bounds callers blocked waiting for a slot
+    (default [64]; [0] means shed as soon as all slots are busy). *)
+
+val engine : t -> Steno.Engine.t
+
+val session : t -> client_id:string -> Steno.Session.t
+(** The session for [client_id], created on first use and memoized: two
+    submissions for one client observe one session (shared stats,
+    one set of metric series). *)
+
+val submit : t -> client_id:string -> (Steno.Session.t -> 'a) -> 'a outcome
+(** Run a request for [client_id] under admission control.  Blocks
+    while a free execution slot exists or the wait queue has room;
+    returns [Rejected] without running the function otherwise. *)
+
+type stats = {
+  accepted : int;  (** Requests admitted (completed + failed + running). *)
+  completed : int;  (** Requests that returned a value. *)
+  failed : int;  (** Requests that raised. *)
+  rejected : int;  (** Requests shed by admission control. *)
+  inflight : int;  (** Currently executing (snapshot). *)
+  queued : int;  (** Currently waiting for a slot (snapshot). *)
+}
+
+val stats : t -> stats
+
+val shutdown : t -> unit
+(** Stop admitting, wake every queued caller with
+    [Rejected Shutting_down], and wait for in-flight requests to
+    finish.  Idempotent; [submit] after shutdown returns
+    [Rejected Shutting_down]. *)

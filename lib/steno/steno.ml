@@ -266,6 +266,13 @@ module Engine = struct
   type t = {
     cfg : config;
     cache : (string, Dynload.compiled) Steno_lru.t;
+    flight :
+      (string, (bool * Dynload.compiled, fallback_reason) result)
+        Steno_flight.t;
+        (* Single-flight group keyed by plugin cache key: concurrent
+           identical prepares share one compile.  The flight value
+           carries (cache_hit, plugin) on success so followers can
+           report how the leader got the plugin. *)
   }
 
   let default_config =
@@ -287,7 +294,16 @@ module Engine = struct
     let on_evict _key (_ : Dynload.compiled) =
       Telemetry.count cfg.telemetry "cache.release" 1
     in
-    { cfg; cache = Steno_lru.create ~on_evict ~capacity:cfg.cache_capacity () }
+    (* Shard the plugin-cache lock once the cache is large enough that
+       shard-local LRU order is a good approximation of global order;
+       tiny caches keep one shard and exact eviction order. *)
+    let shards = if cfg.cache_capacity >= 32 then 8 else 1 in
+    {
+      cfg;
+      cache =
+        Steno_lru.create ~on_evict ~shards ~capacity:cfg.cache_capacity ();
+      flight = Steno_flight.create ();
+    }
 
   let config e = e.cfg
 
@@ -410,9 +426,28 @@ module Engine = struct
     | Dynload.Compile_error msg -> Compile_error msg
     | Dynload.Load_error msg -> Load_error msg
 
+  (* Count every actual external-compiler invocation into the engine's
+     metrics registry.  With the single-flight group below, "N
+     concurrent identical prepares run exactly one compile" is an
+     invariant tests can assert on this counter. *)
+  let count_compile eng result =
+    Metrics.inc
+      (Metrics.counter eng.cfg.metrics "steno_compile"
+         ~help:
+           "External compiler invocations (cache hits and deduplicated \
+            prepares do not count)"
+         ~labels:[ "result", result ])
+
   (* The full Native pipeline: specialize/canon/codegen (spans emitted by
      the plan), then the bounded plugin cache, then compile+load under
-     the engine's timeout, then environment binding. *)
+     the engine's timeout, then environment binding.
+
+     Cache lookup and compilation run inside a single-flight call keyed
+     by the plugin cache key: when several domains prepare the same
+     query concurrently, one of them (the leader) performs the lookup
+     and — on a miss — the compile; the others block until it finishes
+     and share its plugin (or its failure), instead of racing N compiler
+     invocations for one cache slot. *)
   let compile_native eng (plan : 'r plan) ~t0 :
       ((unit -> 'r) * compile_info * profile option, fallback_reason) result
       =
@@ -437,7 +472,8 @@ module Engine = struct
       ^ (if eng.cfg.optimize then "O1:" else "O0:")
       ^ out.Codegen.source
     in
-    let looked_up =
+    let led, looked_up =
+      Steno_flight.run eng.flight cache_key @@ fun () ->
       match Steno_lru.find eng.cache cache_key with
       | Some p ->
         Telemetry.count sink "cache.hit" 1;
@@ -447,8 +483,11 @@ module Engine = struct
           Dynload.compile_result ?timeout_ms:eng.cfg.compile_timeout_ms
             ~source:out.Codegen.source ()
         with
-        | Error e -> Error (error_to_reason e)
+        | Error e ->
+          count_compile eng "error";
+          Error (error_to_reason e)
         | Ok p ->
+          count_compile eng "ok";
           Telemetry.count sink "cache.miss" 1;
           if Steno_lru.add eng.cache cache_key p then
             Telemetry.count sink "cache.eviction" 1;
@@ -459,9 +498,22 @@ module Engine = struct
             ~duration_ms:p.Dynload.timings.Dynload.load_ms ();
           Ok (false, p))
     in
+    if not led then begin
+      (* This prepare joined another domain's in-flight compile. *)
+      Telemetry.count sink "flight.join" 1;
+      Metrics.inc
+        (Metrics.counter eng.cfg.metrics "steno_prepare_dedup"
+           ~help:
+             "Prepares that joined another domain's in-flight compile \
+              instead of invoking the compiler")
+    end;
     match looked_up with
     | Error _ as e -> e
-    | Ok (cache_hit, plugin) ->
+    | Ok (leader_hit, plugin) ->
+      (* A follower reuses the leader's plugin without compiling, which
+         is a cache hit as far as this preparation's cost accounting is
+         concerned. *)
+      let cache_hit = leader_hit || not led in
       let t2 = now_ms () in
       let env =
         Telemetry.with_span sink "env-bind" (fun () ->
@@ -542,7 +594,8 @@ module Engine = struct
       p_diags = [];
     }
 
-  let prepare_plan (eng : t) ?backend (plan : 'r plan) : 'r prep =
+  let prepare_plan_result (eng : t) ?backend (plan : 'r plan) :
+      ('r prep, fallback_reason) result =
     let requested = Option.value backend ~default:eng.cfg.backend in
     let sink = eng.cfg.telemetry in
     let t0 = now_ms () in
@@ -551,33 +604,36 @@ module Engine = struct
     @@ fun () ->
     match requested with
     | Linq ->
-      prep_of_staged eng ~sink ~t0 ~requested ~actual:Linq ~fallback:None
-        plan.stage_linq
+      Ok
+        (prep_of_staged eng ~sink ~t0 ~requested ~actual:Linq ~fallback:None
+           plan.stage_linq)
     | Fused ->
-      prep_of_staged eng ~sink ~t0 ~requested ~actual:Fused ~fallback:None
-        plan.stage_fused
+      Ok
+        (prep_of_staged eng ~sink ~t0 ~requested ~actual:Fused ~fallback:None
+           plan.stage_fused)
     | Native -> (
       match compile_native eng plan ~t0 with
       | Ok (run, info, prof) ->
         let run =
           match prof with None -> run | Some p -> wrap_profiled eng p run
         in
-        {
-          run_fn = traced_run sink Native run;
-          p_info = { info with prepare_ms = now_ms () -. t0 };
-          p_rules = [];
-          p_profile = prof;
-          p_diags = [];
-        }
+        Ok
+          {
+            run_fn = traced_run sink Native run;
+            p_info = { info with prepare_ms = now_ms () -. t0 };
+            p_rules = [];
+            p_profile = prof;
+            p_diags = [];
+          }
       | Error reason when eng.cfg.fallback ->
         Telemetry.count sink "engine.fallback" 1;
         Telemetry.emit sink "fallback"
           ~attrs:[ "reason", fallback_reason_label reason ]
           ~start_ms:(now_ms ()) ~duration_ms:0.0 ();
-        prep_of_staged eng ~sink ~t0 ~requested ~actual:Fused
-          ~fallback:(Some reason) plan.stage_fused
-      | Error reason ->
-        raise (Dynload.Compilation_failed (fallback_reason_message reason)))
+        Ok
+          (prep_of_staged eng ~sink ~t0 ~requested ~actual:Fused
+             ~fallback:(Some reason) plan.stage_fused)
+      | Error reason -> Error reason)
 
   (* AST-level rewriting, as its own telemetry span.  [opt] is
      [Opt.query] or [Opt.scalar], kept abstract so collection and scalar
@@ -641,8 +697,8 @@ module Engine = struct
     go [] None names
 
   (* Count every diagnostic into the metrics registry and the telemetry
-     sink; under [strict], refuse to prepare a query carrying
-     [Error]-level diagnostics. *)
+     sink.  Recording never raises: strictness is the caller's policy
+     decision, applied on the result. *)
   let record_diagnostics eng diags =
     let m = eng.cfg.metrics in
     List.iter
@@ -658,19 +714,27 @@ module Engine = struct
       diags;
     if diags <> [] then
       Telemetry.count eng.cfg.telemetry "check.diagnostics"
-        (List.length diags);
-    if eng.cfg.strict then
-      match Check.errors diags with
-      | [] -> ()
-      | errs -> raise (Check_failed errs)
+        (List.length diags)
 
-  (* Lint under its own telemetry span, then act on the result. *)
-  let run_checks eng lint =
+  (* Lint under its own telemetry span, record, then apply strictness:
+     on a [strict] engine, [Error]-level diagnostics make the query
+     unpreparable ([Error errs]); otherwise every diagnostic is merely
+     reported alongside the preparation ([Ok diags]). *)
+  let run_checks_result eng lint =
     let diags =
       Telemetry.with_span eng.cfg.telemetry "check" (fun () -> lint ())
     in
     record_diagnostics eng diags;
-    diags
+    if eng.cfg.strict then
+      match Check.errors diags with
+      | [] -> Ok diags
+      | errs -> Error errs
+    else Ok diags
+
+  let run_checks eng lint =
+    match run_checks_result eng lint with
+    | Ok diags -> diags
+    | Error errs -> raise (Check_failed errs)
 
   (* The PDA well-formedness assertion on the chain the Native path is
      about to codegen — after canonicalization and the QUIL rewrite
@@ -702,27 +766,73 @@ module Engine = struct
   let check_scalar eng sq =
     run_checks eng (fun () -> chain_diags Canon.of_scalar sq @ Check.scalar sq)
 
+  (* {2 Preparing} *)
+
+  (* Every way a preparation can be refused, as one value.  The raising
+     entry points ([prepare], [prepare_scalar]) are wrappers that map
+     this back onto the historical exceptions. *)
+  type error =
+    | Check_error of Check.diagnostic list
+    | Compile_failure of fallback_reason
+
+  let error_message = function
+    | Check_error errs ->
+      "static checks failed: "
+      ^ String.concat "; " (List.map Check.to_string errs)
+    | Compile_failure reason -> fallback_reason_message reason
+
+  let try_prepare ?backend eng q =
+    match
+      run_checks_result eng (fun () ->
+          chain_diags Canon.of_query q @ Check.query q)
+    with
+    | Error errs -> Error (Check_error errs)
+    | Ok diags -> (
+      let q, ast_rules = optimize_ast eng Opt.query q in
+      let plan, chain_rules = with_chain_pass eng (query_plan q) in
+      match prepare_plan_result eng ?backend (with_verified_chain plan) with
+      | Error reason -> Error (Compile_failure reason)
+      | Ok p ->
+        Ok
+          {
+            p with
+            p_rules = dedup_consecutive (ast_rules @ !chain_rules);
+            p_diags = diags;
+          })
+
+  let try_prepare_scalar ?backend eng sq =
+    match
+      run_checks_result eng (fun () ->
+          chain_diags Canon.of_scalar sq @ Check.scalar sq)
+    with
+    | Error errs -> Error (Check_error errs)
+    | Ok diags -> (
+      let sq, ast_rules = optimize_ast eng Opt.scalar sq in
+      let plan, chain_rules = with_chain_pass eng (scalar_plan sq) in
+      match prepare_plan_result eng ?backend (with_verified_chain plan) with
+      | Error reason -> Error (Compile_failure reason)
+      | Ok p ->
+        Ok
+          {
+            p with
+            p_rules = dedup_consecutive (ast_rules @ !chain_rules);
+            p_diags = diags;
+          })
+
+  let raise_error = function
+    | Check_error errs -> raise (Check_failed errs)
+    | Compile_failure reason ->
+      raise (Dynload.Compilation_failed (fallback_reason_message reason))
+
   let prepare ?backend eng q =
-    let diags = check eng q in
-    let q, ast_rules = optimize_ast eng Opt.query q in
-    let plan, chain_rules = with_chain_pass eng (query_plan q) in
-    let p = prepare_plan eng ?backend (with_verified_chain plan) in
-    {
-      p with
-      p_rules = dedup_consecutive (ast_rules @ !chain_rules);
-      p_diags = diags;
-    }
+    match try_prepare ?backend eng q with
+    | Ok p -> p
+    | Error e -> raise_error e
 
   let prepare_scalar ?backend eng sq =
-    let diags = check_scalar eng sq in
-    let sq, ast_rules = optimize_ast eng Opt.scalar sq in
-    let plan, chain_rules = with_chain_pass eng (scalar_plan sq) in
-    let p = prepare_plan eng ?backend (with_verified_chain plan) in
-    {
-      p with
-      p_rules = dedup_consecutive (ast_rules @ !chain_rules);
-      p_diags = diags;
-    }
+    match try_prepare_scalar ?backend eng sq with
+    | Ok p -> p
+    | Error e -> raise_error e
 
   let to_array ?backend eng q = (prepare ?backend eng q).run_fn ()
 
@@ -886,16 +996,159 @@ module Engine = struct
     Buffer.contents b
 end
 
-(* The compatibility default engine: the only process-global engine
-   state, created on first use. *)
-let default_engine_v = lazy (Engine.create Engine.default_config)
+(* {1 Sessions} *)
 
-let default_engine () = Lazy.force default_engine_v
+module Session = struct
+  type stats = {
+    prepares : int;
+    runs : int;
+    run_ms : float;
+  }
 
-let prepare ?backend q = Engine.prepare ?backend (default_engine ()) q
+  (* A session is a client-facing view of an engine: the engine value
+     inside is a derived copy whose [cfg] carries the session's
+     overrides, while the plugin cache and the single-flight group are
+     physically shared with the base engine (config flags that change
+     generated code are part of the cache key, so sharing never
+     aliases).  The counters are atomics: one session handle may be
+     driven from several domains. *)
+  type t = {
+    s_engine : Engine.t;
+    s_client : string;
+    s_labels : (string * string) list;
+    s_prepares : int Atomic.t;
+    s_runs : int Atomic.t;
+    s_run_ms : float Atomic.t;
+  }
+
+  (* Same boxed-float CAS spin as the metrics shards. *)
+  let rec add_float cell x =
+    let cur = Atomic.get cell in
+    if not (Atomic.compare_and_set cell cur (cur +. x)) then add_float cell x
+
+  let create ?backend ?optimize ?profile ?strict ?(labels = []) engine
+      ~client_id =
+    let cfg = Engine.config engine in
+    let cfg =
+      {
+        cfg with
+        Engine.backend = Option.value backend ~default:cfg.Engine.backend;
+        optimize = Option.value optimize ~default:cfg.Engine.optimize;
+        profile = Option.value profile ~default:cfg.Engine.profile;
+        strict = Option.value strict ~default:cfg.Engine.strict;
+      }
+    in
+    {
+      s_engine = { engine with Engine.cfg };
+      s_client = client_id;
+      s_labels = labels;
+      s_prepares = Atomic.make 0;
+      s_runs = Atomic.make 0;
+      s_run_ms = Atomic.make 0.0;
+    }
+
+  let engine s = s.s_engine
+
+  let client_id s = s.s_client
+
+  let labels s = s.s_labels
+
+  (* Wrap a preparation's run function with the session's accounting:
+     wall time and run count flow into the engine's metrics registry
+     under this session's client/tenant labels, and into the session's
+     own counters.  Instrument handles are registered once, here. *)
+  let instrument s (p : 'r prep) : 'r prep =
+    let m = Engine.metrics s.s_engine in
+    let labels =
+      ("backend", backend_name p.p_info.backend)
+      :: ("client", s.s_client)
+      :: s.s_labels
+    in
+    let hist =
+      Metrics.histogram m "steno_run_ms"
+        ~help:"Wall time of profiled query runs (milliseconds)" ~labels
+    in
+    let runs_c =
+      Metrics.counter m "steno_runs" ~help:"Profiled query runs" ~labels
+    in
+    let base = p.run_fn in
+    let run_fn () =
+      let t0 = now_ms () in
+      let r = base () in
+      let dt = now_ms () -. t0 in
+      Metrics.observe hist dt;
+      Metrics.inc runs_c;
+      Atomic.incr s.s_runs;
+      add_float s.s_run_ms dt;
+      r
+    in
+    { p with run_fn }
+
+  let try_prepare ?backend s q =
+    Atomic.incr s.s_prepares;
+    Result.map (instrument s) (Engine.try_prepare ?backend s.s_engine q)
+
+  let try_prepare_scalar ?backend s sq =
+    Atomic.incr s.s_prepares;
+    Result.map (instrument s)
+      (Engine.try_prepare_scalar ?backend s.s_engine sq)
+
+  let prepare ?backend s q =
+    Atomic.incr s.s_prepares;
+    instrument s (Engine.prepare ?backend s.s_engine q)
+
+  let prepare_scalar ?backend s sq =
+    Atomic.incr s.s_prepares;
+    instrument s (Engine.prepare_scalar ?backend s.s_engine sq)
+
+  let to_array ?backend s q = (prepare ?backend s q).run_fn ()
+
+  let to_list ?backend s q = Array.to_list (to_array ?backend s q)
+
+  let scalar ?backend s sq = (prepare_scalar ?backend s sq).run_fn ()
+
+  let stats s =
+    {
+      prepares = Atomic.get s.s_prepares;
+      runs = Atomic.get s.s_runs;
+      run_ms = Atomic.get s.s_run_ms;
+    }
+
+  let cache_stats s = Engine.cache_stats s.s_engine
+
+  let cache_size s = Engine.cache_size s.s_engine
+
+  let clear_cache s = Engine.clear_cache s.s_engine
+end
+
+(* The compatibility default engine and session: the only process-global
+   engine state, created on first use.  Published by CAS rather than
+   [lazy]: forcing a lazy from two domains at once raises [RacyLazy],
+   and the free functions below are documented as domain-safe. *)
+let default_engine_v : Engine.t option Atomic.t = Atomic.make None
+
+let rec default_engine () =
+  match Atomic.get default_engine_v with
+  | Some e -> e
+  | None ->
+    let e = Engine.create Engine.default_config in
+    if Atomic.compare_and_set default_engine_v None (Some e) then e
+    else default_engine ()
+
+let default_session_v : Session.t option Atomic.t = Atomic.make None
+
+let rec default_session () =
+  match Atomic.get default_session_v with
+  | Some s -> s
+  | None ->
+    let s = Session.create (default_engine ()) ~client_id:"default" in
+    if Atomic.compare_and_set default_session_v None (Some s) then s
+    else default_session ()
+
+let prepare ?backend q = Session.prepare ?backend (default_session ()) q
 
 let prepare_scalar ?backend sq =
-  Engine.prepare_scalar ?backend (default_engine ()) sq
+  Session.prepare_scalar ?backend (default_session ()) sq
 
 let run p = p.run_fn ()
 

@@ -24,9 +24,17 @@
 
     All execution goes through an {!Engine}: an explicit value packaging
     the backend choice, the bounded plugin cache, the failure policy for
-    the external compiler, and a telemetry sink.  The free functions below
-    are thin wrappers over a lazily-created {!default_engine}; servers
-    hosting several tenants or configurations create their own engines. *)
+    the external compiler, and a telemetry sink.  Engines are safe to
+    share across domains: the plugin cache takes sharded locks,
+    concurrent identical prepares are collapsed onto one compile
+    (single-flight), and the metrics write path is lock-free.  Clients
+    of a shared engine speak through a {!Session}: a lightweight handle
+    carrying per-client configuration overrides, tenant labels for
+    metrics, and usage counters.  The free functions below are thin
+    wrappers over a {!default_session} on a lazily-created
+    {!default_engine}; servers hosting several tenants or configurations
+    create their own engines and sessions (see [Steno_server] for a
+    full admission-controlled front end). *)
 
 type backend =
   | Linq  (** Unoptimized iterator pipeline (the baseline). *)
@@ -193,11 +201,38 @@ module Engine : sig
 
   val metrics : t -> Metrics.t
 
-  (** {2 Execution} *)
+  (** {2 Execution}
+
+      Two entry points per query shape.  [try_prepare] reports every
+      refusal as a value; [prepare] is the raising wrapper over it, kept
+      for code that treats refusal as a bug. *)
+
+  (** Why an engine refused to prepare a query. *)
+  type error =
+    | Check_error of Check.diagnostic list
+        (** A [strict] engine found [Error]-level static diagnostics;
+            carries exactly those errors.  ({!prepare} raises these as
+            {!Check_failed}.) *)
+    | Compile_failure of fallback_reason
+        (** The [Native] backend could not compile and the engine has
+            [fallback = false].  ({!prepare} raises this as
+            [Dynload.Compilation_failed].) *)
+
+  val error_message : error -> string
+
+  val try_prepare :
+    ?backend:backend -> t -> 'a Query.t -> ('a prepared, error) result
+  (** [?backend] overrides the engine's configured backend for this
+      query only.  Never raises for a refusal; a server loop can turn
+      the [Error] into a client reply without exception plumbing. *)
+
+  val try_prepare_scalar :
+    ?backend:backend -> t -> 's Query.sq -> ('s prepared_scalar, error) result
 
   val prepare : ?backend:backend -> t -> 'a Query.t -> 'a prepared
-  (** [?backend] overrides the engine's configured backend for this
-      query only. *)
+  (** [try_prepare] with refusals raised: {!Check_failed} for
+      [Check_error], [Dynload.Compilation_failed] for
+      [Compile_failure]. *)
 
   val prepare_scalar : ?backend:backend -> t -> 's Query.sq -> 's prepared_scalar
   val to_array : ?backend:backend -> t -> 'a Query.t -> 'a array
@@ -292,11 +327,115 @@ module Engine : sig
       exclusive time — what [stenoc analyze] prints. *)
 end
 
+(** {1 Sessions}
+
+    A session is a client's handle onto a shared engine — the unit of
+    multi-tenancy in a query service.  Sessions are cheap (no cache, no
+    compiled state of their own): the underlying engine's plugin cache
+    and single-flight group are shared by every session on it, while
+    each session carries its own configuration overrides, metric labels,
+    and usage counters.
+
+    {[
+      let engine = Steno.Engine.create Steno.Engine.default_config in
+      let alice = Steno.Session.create engine ~client_id:"alice" in
+      let bob =
+        Steno.Session.create engine ~client_id:"bob" ~strict:true
+          ~labels:[ "tier", "free" ]
+      in
+      let xs = Steno.Session.to_array alice q in
+      ...
+    ]}
+
+    Runs through a session are timed into the engine's metrics registry
+    ([steno_run_ms], [steno_runs_total]) labelled with the session's
+    [client_id] and extra labels, so one OpenMetrics scrape breaks load
+    down by tenant.  A session handle is domain-safe: its counters are
+    atomic and everything it touches on the engine already is. *)
+
+module Session : sig
+  type t
+
+  val create :
+    ?backend:backend ->
+    ?optimize:bool ->
+    ?profile:bool ->
+    ?strict:bool ->
+    ?labels:(string * string) list ->
+    Engine.t ->
+    client_id:string ->
+    t
+  (** A session on [engine] for [client_id].  The optional flags
+      override the engine's configuration for queries prepared through
+      this session; everything else (cache, failure policy, telemetry,
+      metrics registry) is the engine's.  Overriding [optimize] or
+      [profile] is safe on a shared cache: both flags are part of the
+      plugin cache key, so sessions never alias each other's compiled
+      code.  [labels] are extra metric labels (e.g. tenant tier)
+      attached alongside [client_id]. *)
+
+  val engine : t -> Engine.t
+  (** The session's view of its engine — configuration overrides
+      applied, cache shared.  Useful for {!Engine.explain} and friends
+      under the session's flags. *)
+
+  val client_id : t -> string
+  val labels : t -> (string * string) list
+
+  (** {2 Execution}
+
+      The {!Engine} entry points, scoped to this session: prepared runs
+      are timed and counted under the session's labels, and the
+      session's {!stats} advance. *)
+
+  val try_prepare :
+    ?backend:backend -> t -> 'a Query.t -> ('a prepared, Engine.error) result
+
+  val try_prepare_scalar :
+    ?backend:backend ->
+    t ->
+    's Query.sq ->
+    ('s prepared_scalar, Engine.error) result
+
+  val prepare : ?backend:backend -> t -> 'a Query.t -> 'a prepared
+  val prepare_scalar : ?backend:backend -> t -> 's Query.sq -> 's prepared_scalar
+  val to_array : ?backend:backend -> t -> 'a Query.t -> 'a array
+  val to_list : ?backend:backend -> t -> 'a Query.t -> 'a list
+  val scalar : ?backend:backend -> t -> 's Query.sq -> 's
+
+  (** {2 Stats} *)
+
+  type stats = {
+    prepares : int;  (** Prepare calls through this session. *)
+    runs : int;  (** Runs of preparations made through this session. *)
+    run_ms : float;  (** Total wall time of those runs. *)
+  }
+
+  val stats : t -> stats
+
+  (** {2 Cache}
+
+      The plugin cache is {e engine}-scoped, not session-scoped: these
+      report on and clear the cache shared by every session on this
+      session's engine.  In particular [clear_cache] evicts other
+      tenants' hot entries — it is an operator action, not a client
+      one. *)
+
+  val cache_stats : t -> Engine.cache_stats
+  val cache_size : t -> int
+  val clear_cache : t -> unit
+end
+
 val default_engine : unit -> Engine.t
 (** The engine behind the free functions, created on first use from
     {!Engine.default_config}.  This is the only process-global engine
     state; code that needs different settings builds its own
-    {!Engine.t}. *)
+    {!Engine.t}.  Safe to call from any domain. *)
+
+val default_session : unit -> Session.t
+(** The session behind the free functions: [client_id = "default"] on
+    {!default_engine}.  The free functions [prepare], [to_array], etc.
+    are exactly this session's operations. *)
 
 (** {1 Running queries} *)
 
@@ -355,23 +494,23 @@ module Prepared_scalar : sig
 end
 
 val run : 'a prepared -> 'a array
-(** Alias of {!Prepared.run}, kept for one release; new code should use
-    the {!Prepared} accessors. *)
+(** @deprecated Alias of {!Prepared.run}; new code should use the
+    {!Prepared} accessors.  Will be removed in a future release. *)
 
 val run_scalar : 's prepared_scalar -> 's
-(** Alias of {!Prepared_scalar.run}, kept for one release. *)
+(** @deprecated Alias of {!Prepared_scalar.run}. *)
 
 val info : 'a prepared -> compile_info
-(** Alias of {!Prepared.compile_info}, kept for one release. *)
+(** @deprecated Alias of {!Prepared.compile_info}. *)
 
 val info_scalar : 's prepared_scalar -> compile_info
-(** Alias of {!Prepared_scalar.compile_info}, kept for one release. *)
+(** @deprecated Alias of {!Prepared_scalar.compile_info}. *)
 
 val rewrite_log : 'a prepared -> string list
-(** Alias of {!Prepared.rewrite_log}. *)
+(** @deprecated Alias of {!Prepared.rewrite_log}. *)
 
 val rewrite_log_scalar : 's prepared_scalar -> string list
-(** Alias of {!Prepared_scalar.rewrite_log}. *)
+(** @deprecated Alias of {!Prepared_scalar.rewrite_log}. *)
 
 (** {1 Inspection} *)
 
@@ -387,7 +526,12 @@ val quil_scalar : 's Query.sq -> string
 
 (** {1 Default-engine cache control}
 
-    Compatibility wrappers over [default_engine ()]'s cache. *)
+    Compatibility wrappers over [default_engine ()]'s cache.  Sharp
+    edge: the scope is the {e default engine}, process-wide — these see
+    and clear the cache shared by every session on the default engine,
+    and see nothing of any engine you created yourself.  Code holding a
+    session or engine should use {!Session.clear_cache} /
+    {!Engine.clear_cache}, which name their scope explicitly. *)
 
 val cache_size : unit -> int
 val clear_cache : unit -> unit

@@ -1,0 +1,62 @@
+(* At most one in-flight computation per key; followers block on the
+   call's condition variable and share the leader's outcome (value or
+   exception). *)
+
+type 'v outcome = ('v, exn) result
+
+type 'v call = {
+  c_mu : Mutex.t;
+  c_cv : Condition.t;
+  mutable c_done : 'v outcome option;  (* None while in flight *)
+}
+
+type ('k, 'v) t = {
+  mu : Mutex.t;
+  calls : ('k, 'v call) Hashtbl.t;
+}
+
+let create () = { mu = Mutex.create (); calls = Hashtbl.create 16 }
+
+let in_flight t = Mutex.protect t.mu (fun () -> Hashtbl.length t.calls)
+
+let await (c : _ call) =
+  Mutex.protect c.c_mu @@ fun () ->
+  let rec go () =
+    match c.c_done with
+    | Some outcome -> outcome
+    | None ->
+      Condition.wait c.c_cv c.c_mu;
+      go ()
+  in
+  go ()
+
+let run t k f =
+  let role =
+    Mutex.protect t.mu @@ fun () ->
+    match Hashtbl.find_opt t.calls k with
+    | Some c -> `Follow c
+    | None ->
+      let c =
+        { c_mu = Mutex.create (); c_cv = Condition.create (); c_done = None }
+      in
+      Hashtbl.replace t.calls k c;
+      `Lead c
+  in
+  match role with
+  | `Follow c -> (
+    match await c with
+    | Ok v -> false, v
+    | Error e -> raise e)
+  | `Lead c ->
+    let outcome = try Ok (f ()) with e -> Error e in
+    (* Retire the call before broadcasting: a caller arriving after this
+       point leads a fresh computation (and will consult whatever cache
+       the leader populated); callers already waiting hold a reference
+       to [c] and read its settled outcome. *)
+    Mutex.protect t.mu (fun () -> Hashtbl.remove t.calls k);
+    Mutex.protect c.c_mu (fun () ->
+        c.c_done <- Some outcome;
+        Condition.broadcast c.c_cv);
+    (match outcome with
+    | Ok v -> true, v
+    | Error e -> raise e)

@@ -1,0 +1,36 @@
+(** Single-flight execution groups: at most one in-flight computation
+    per key.
+
+    The serving problem this solves (ROADMAP "query service"): two
+    clients preparing the same query race duplicate [ocamlopt]
+    invocations — each pays the full ~30 ms compile and one result is
+    thrown away.  A single-flight group collapses the race: the first
+    caller for a key becomes the {e leader} and runs the computation;
+    callers arriving while it is in flight become {e followers} and
+    block until the leader finishes, then share its result.  A leader's
+    exception is broadcast too: every follower re-raises it, so a failed
+    compile sheds all its waiters at once instead of retrying N times.
+
+    Once a call completes it is forgotten — a later caller for the same
+    key leads a fresh computation.  Deduplication is therefore only of
+    {e concurrent} calls; memoization across calls is the cache's job
+    (the caller is expected to consult its cache inside the leader
+    body, see [Steno.Engine]).
+
+    Domain-safe: followers block on a per-call condition variable; the
+    group's own lock is held only for the table lookup, never during the
+    computation. *)
+
+type ('k, 'v) t
+
+val create : unit -> ('k, 'v) t
+
+val run : ('k, 'v) t -> 'k -> (unit -> 'v) -> bool * 'v
+(** [run t k f] returns [(led, v)]: if no call for [k] is in flight,
+    runs [f ()] as the leader ([led = true]); otherwise blocks until the
+    in-flight leader for [k] finishes and returns its result
+    ([led = false]).  If the leader's [f] raises, the exception is
+    re-raised in the leader {e and} in every follower. *)
+
+val in_flight : ('k, 'v) t -> int
+(** Number of keys currently being computed (for tests/diagnostics). *)

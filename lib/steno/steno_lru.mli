@@ -2,10 +2,17 @@
     per-engine plugin cache behind [Steno.Engine] (the paper's section
     7.1 query cache, made bounded and observable).
 
-    Thread-safe: every operation holds the cache's internal mutex.
-    Recency is exact LRU ({!find} promotes); entries live on an
-    intrusive doubly-linked recency list, so find, add and eviction are
-    all O(1).  Evicted values are handed to the [on_evict] callback
+    Thread-safe: the cache is split into independent {e shards}, each
+    guarded by its own mutex, and a key's shard is chosen by hashing the
+    key — so concurrent domains operating on distinct keys contend only
+    when the keys collide on a shard.  With the default [shards = 1] the
+    cache is a single exact LRU; with more shards, recency and eviction
+    are exact {e within} a shard (capacity is divided across shards), an
+    approximation that trades global recency order for lock sharding.
+
+    Recency is exact LRU per shard ({!find} promotes); entries live on
+    an intrusive doubly-linked recency list, so find, add and eviction
+    are all O(1).  Evicted values are handed to the [on_evict] callback
     rather than dropped on the floor, so cached resources (e.g. Native
     plugin handles) can be released or accounted. *)
 
@@ -19,9 +26,19 @@ type stats = {
   evictions : int;
 }
 
-val create : ?on_evict:('k -> 'v -> unit) -> capacity:int -> unit -> ('k, 'v) t
+val create :
+  ?on_evict:('k -> 'v -> unit) ->
+  ?shards:int ->
+  capacity:int ->
+  unit ->
+  ('k, 'v) t
 (** [capacity <= 0] disables the cache: every {!find} misses and {!add}
     passes the value straight to [on_evict] (if any) without storing it.
+
+    [shards] (default [1]) splits the cache into that many independently
+    locked sub-caches; it is clamped to [capacity] so no shard ever has
+    zero capacity.  Use more shards for caches hammered by concurrent
+    domains; keep [1] where exact global LRU order matters.
 
     [on_evict] fires for every value leaving the cache: LRU eviction on
     a full {!add}, replacement of an existing key's value, {!clear}

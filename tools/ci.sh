@@ -47,6 +47,31 @@ do
   fi
 done
 
+echo "== server concurrency suite =="
+dune exec test/test_server.exe
+
+echo "== stenoc serve (per-tenant metric labels) =="
+serve_dump=$(dune exec bin/stenoc.exe -- serve --clients 6 --requests 3 -n 2000)
+for needle in \
+    'client="tenant-0"' \
+    'TYPE steno_server_requests counter' \
+    'TYPE steno_server_queue_ms histogram'
+do
+  if ! printf '%s\n' "$serve_dump" | grep -qF "$needle"; then
+    echo "missing from serve metrics dump: $needle" >&2
+    exit 1
+  fi
+done
+# With a native toolchain, 18 identical concurrent requests must cost
+# exactly one compiler run (plugin cache + single-flight dedup).
+if printf '%s\n' "$serve_dump" | grep -q 'backend="native"'; then
+  if ! printf '%s\n' "$serve_dump" | \
+      grep -qF 'steno_compile_total{result="ok"} 1'; then
+    echo "serve: expected exactly one native compile" >&2
+    exit 1
+  fi
+fi
+
 echo "== bench smoke (scale 0.01) =="
 dune exec bench/main.exe -- --scale 0.01 --json BENCH_PR2.json
 
@@ -56,5 +81,18 @@ dune exec bench/main.exe -- --scale 0.01 --json-profile BENCH_PR3.json
 echo "== partitioned aggregation (scale 0.01) =="
 dune exec bench/main.exe -- --scale 0.01 --json-par BENCH_PR5.json
 python3 -m json.tool BENCH_PR5.json > /dev/null
+
+echo "== serving-layer stress smoke (8 clients x 4 requests) =="
+dune exec bench/main.exe -- serve --scale 0.01 --clients 8 --requests 4 \
+  --json-serve BENCH_PR6.json
+python3 -m json.tool BENCH_PR6.json > /dev/null
+for key in throughput_rps p50_ms p99_ms queue_p99_ms dedup_joins \
+    rejected compiles
+do
+  if ! grep -qF "\"$key\"" BENCH_PR6.json; then
+    echo "missing from BENCH_PR6.json: $key" >&2
+    exit 1
+  fi
+done
 
 echo "== ok =="

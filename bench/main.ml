@@ -6,9 +6,10 @@
      dune exec bench/main.exe -- fig1         -- one experiment
      dune exec bench/main.exe -- fig13 --scale 0.1
    Experiments: fig1 fig13 breakeven fig14 ablation-gba ablation-chain
-                ablation-backend par par-agg serve bechamel
+                ablation-backend par par-agg serve tier bechamel
    JSON output: --json FILE / --json-profile FILE / --json-par FILE /
-                --json-serve FILE (with --clients N --requests R)
+                --json-serve FILE (with --clients N --requests R) /
+                --json-tier FILE
 
    Absolute numbers differ from the paper (different machine, language and
    runtime); the claims under test are the *shapes*: who wins, by roughly
@@ -156,28 +157,28 @@ let measure_scalar_quantities (type s) ?(runs = 3) (sq : s Query.sq)
     (hand : unit -> 'h) : quantities =
   Steno.clear_cache ();
   let linq = Steno.prepare_scalar ~backend:Steno.Linq sq in
-  let t_linq = time_ms ~runs (fun () -> Steno.run_scalar linq) in
+  let t_linq = time_ms ~runs (fun () -> Steno.Prepared_scalar.run linq) in
   let t_incl =
     time_ms ~runs (fun () ->
         Steno.clear_cache ();
         Steno.scalar ~backend:Steno.Native sq)
   in
   let p = Steno.prepare_scalar ~backend:Steno.Native sq in
-  let t_excl = time_ms ~runs (fun () -> Steno.run_scalar p) in
+  let t_excl = time_ms ~runs (fun () -> Steno.Prepared_scalar.run p) in
   let t_hand = time_ms ~runs hand in
   { linq = t_linq; steno_incl = t_incl; steno_excl = t_excl; hand = t_hand }
 
 let measure_query_quantities ?(runs = 3) q hand : quantities =
   Steno.clear_cache ();
   let linq = Steno.prepare ~backend:Steno.Linq q in
-  let t_linq = time_ms ~runs (fun () -> Steno.run linq) in
+  let t_linq = time_ms ~runs (fun () -> Steno.Prepared.run linq) in
   let t_incl =
     time_ms ~runs (fun () ->
         Steno.clear_cache ();
         Steno.to_array ~backend:Steno.Native q)
   in
   let p = Steno.prepare ~backend:Steno.Native q in
-  let t_excl = time_ms ~runs (fun () -> Steno.run p) in
+  let t_excl = time_ms ~runs (fun () -> Steno.Prepared.run p) in
   let t_hand = time_ms ~runs hand in
   { linq = t_linq; steno_incl = t_incl; steno_excl = t_excl; hand = t_hand }
 
@@ -236,7 +237,7 @@ let breakeven () =
             |> Query.select (fun x -> I.(x *. Expr.float (float_of_int k))))
         in
         let p = Steno.prepare_scalar ~backend:Steno.Native q in
-        (Steno.info_scalar p).Steno.compile_ms)
+        (Steno.Prepared_scalar.compile_info p).Steno.compile_ms)
       [ 1; 2; 3; 4; 5 ]
   in
   let compile_ms = List.fold_left ( +. ) 0.0 costs /. 5.0 in
@@ -246,7 +247,7 @@ let breakeven () =
   let q = sum_query xs in
   let t_linq = time_ms (fun () -> Steno.scalar ~backend:Steno.Linq q) in
   let p = Steno.prepare_scalar ~backend:Steno.Native q in
-  let t_steno = time_ms (fun () -> Steno.run_scalar p) in
+  let t_steno = time_ms (fun () -> Steno.Prepared_scalar.run p) in
   let per_elem_gain = (t_linq -. t_steno) /. float_of_int n in
   let breakeven_n = compile_ms /. per_elem_gain in
   row "Sum of %d doubles: LINQ %.1f ms, Steno %.1f ms\n" n t_linq t_steno;
@@ -306,7 +307,7 @@ let ablation_gba () =
     with_flag flag (fun () ->
         Steno.clear_cache ();
         let p = Steno.prepare ~backend:Steno.Native q in
-        time_ms (fun () -> Steno.run p))
+        time_ms (fun () -> Steno.Prepared.run p))
   in
   let t_on = measure true in
   let t_off = measure false in
@@ -334,7 +335,7 @@ let ablation_chain () =
       let t_linq = time_ms (fun () -> Steno.scalar ~backend:Steno.Linq q) in
       let t_fused = time_ms (fun () -> Steno.scalar ~backend:Steno.Fused q) in
       let p = Steno.prepare_scalar ~backend:Steno.Native q in
-      let t_native = time_ms (fun () -> Steno.run_scalar p) in
+      let t_native = time_ms (fun () -> Steno.Prepared_scalar.run p) in
       row "%6d %12.1f %12.1f %12.1f %18.2f\n" ops t_linq t_fused t_native
         (1e6 *. t_linq /. float_of_int (n * max 1 ops)))
     [ 0; 1; 2; 4; 8; 16 ];
@@ -395,7 +396,7 @@ let ablation_join () =
         @@ fun () ->
         Steno.clear_cache ();
         let p = Steno.prepare_scalar ~backend:Steno.Native joined in
-        time_ms (fun () -> Steno.run_scalar p)
+        time_ms (fun () -> Steno.Prepared_scalar.run p)
       in
       let t_nested = measure false in
       let t_hash = measure true in
@@ -423,7 +424,7 @@ let ablation_sorted_group () =
     @@ fun () ->
     Steno.clear_cache ();
     let p = Steno.prepare ~backend:Steno.Native q in
-    time_ms (fun () -> Steno.run p)
+    time_ms (fun () -> Steno.Prepared.run p)
   in
   let t_sorted = measure true in
   let t_hash = measure false in
@@ -482,7 +483,7 @@ let par_scaling () =
     |> Query.sum_float
   in
   let p = Steno.prepare_scalar ~backend:Steno.Native (build xs) in
-  let t_seq = time_ms (fun () -> Steno.run_scalar p) in
+  let t_seq = time_ms (fun () -> Steno.Prepared_scalar.run p) in
   row "sequential Steno: %8.1f ms over %d doubles\n" t_seq n;
   row "available cores: %d%s\n"
     (Domain.recommended_domain_count ())
@@ -520,7 +521,7 @@ let par_agg_measurements () =
   let workers = max 4 cores in
   let backend = if native then Steno.Native else Steno.Fused in
   let p = Steno.prepare_scalar ~backend sq in
-  let seq_ms = time_ms (fun () -> Steno.run_scalar p) in
+  let seq_ms = time_ms (fun () -> Steno.Prepared_scalar.run p) in
   (* Warm once so the shared per-partition plan is compiled and cached
      before timing (partitions differ only in the captured source, so
      all of them hit the same plugin). *)
@@ -691,14 +692,14 @@ let bechamel () =
       [
         Test.make ~name:"sum-hand" (Staged.stage (sum_hand xs));
         Test.make ~name:"sum-steno"
-          (Staged.stage (fun () -> Steno.run_scalar p_sum));
+          (Staged.stage (fun () -> Steno.Prepared_scalar.run p_sum));
         Test.make ~name:"sum-linq"
-          (Staged.stage (fun () -> Steno.run_scalar l_sum));
+          (Staged.stage (fun () -> Steno.Prepared_scalar.run l_sum));
         Test.make ~name:"sumsq-hand" (Staged.stage (sumsq_hand xs));
         Test.make ~name:"sumsq-steno"
-          (Staged.stage (fun () -> Steno.run_scalar p_sumsq));
+          (Staged.stage (fun () -> Steno.Prepared_scalar.run p_sumsq));
         Test.make ~name:"sumsq-linq"
-          (Staged.stage (fun () -> Steno.run_scalar l_sumsq));
+          (Staged.stage (fun () -> Steno.Prepared_scalar.run l_sumsq));
       ]
   in
   let instances = Instance.[ monotonic_clock ] in
@@ -743,7 +744,7 @@ let profile_overhead_rows () =
           })
     in
     let p = Steno.Engine.prepare_scalar eng sq in
-    time_ms ~runs:5 (fun () -> Steno.run_scalar p)
+    time_ms ~runs:5 (fun () -> Steno.Prepared_scalar.run p)
   in
   let backends =
     [ "linq", Steno.Linq; "fused", Steno.Fused ]
@@ -865,9 +866,12 @@ let measure_serve () =
         { default_config with backend; metrics = reg; cache_capacity = 128 })
   in
   let workers = max 2 (Domain_pool.recommended_workers ()) in
-  (* Fewer execution slots than driver domains, so admission control and
-     the wait queue actually engage. *)
-  let inflight = max 1 (workers / 2) in
+  (* Execution slots match the driver count: with fewer slots than
+     drivers (this used to be workers/2, and BENCH_PR6 effectively ran
+     one slot against two drivers) every measurement was dominated by
+     queue wait rather than query cost.  Admission control still
+     engages under a burst: the drivers submit in lockstep. *)
+  let inflight = workers in
   let srv =
     Server.create ~max_inflight:inflight ~max_queue:(clients * requests) eng
   in
@@ -1018,19 +1022,19 @@ let json_report file =
   let sq = sumsq_query xs in
   let t_hand = time_ms (sumsq_hand xs) in
   let linq = Steno.prepare_scalar ~backend:Steno.Linq sq in
-  let t_linq = time_ms (fun () -> Steno.run_scalar linq) in
+  let t_linq = time_ms (fun () -> Steno.Prepared_scalar.run linq) in
   let fused = Steno.prepare_scalar ~backend:Steno.Fused sq in
-  let t_fused = time_ms (fun () -> Steno.run_scalar fused) in
+  let t_fused = time_ms (fun () -> Steno.Prepared_scalar.run fused) in
   let fnum v = if Float.is_nan v then "null" else Printf.sprintf "%.3f" v in
   let t_native, prepare_cold_ms, prepare_hit_ms =
     if native then begin
       Steno.clear_cache ();
       let p1 = Steno.prepare_scalar ~backend:Steno.Native sq in
-      let cold = (Steno.info_scalar p1).Steno.prepare_ms in
+      let cold = (Steno.Prepared_scalar.compile_info p1).Steno.prepare_ms in
       let p2 = Steno.prepare_scalar ~backend:Steno.Native sq in
-      let hit = (Steno.info_scalar p2).Steno.prepare_ms in
-      assert (Steno.info_scalar p2).Steno.cache_hit;
-      time_ms (fun () -> Steno.run_scalar p2), cold, hit
+      let hit = (Steno.Prepared_scalar.compile_info p2).Steno.prepare_ms in
+      assert (Steno.Prepared_scalar.compile_info p2).Steno.cache_hit;
+      time_ms (fun () -> Steno.Prepared_scalar.run p2), cold, hit
     end
     else Float.nan, Float.nan, Float.nan
   in
@@ -1082,6 +1086,227 @@ let json_report file =
      operators %d -> %d\n"
     m.opt_n m.fused_run_off m.fused_run_on m.native_ops_off m.native_ops_on
 
+(* {1 PR 7: tiered execution and the persistent plugin cache}
+
+   Three cold-prepare figures for one query shape — full in-process
+   compile, compile+publish into a fresh on-disk store, and a cold
+   process hitting the warm store — plus a tiering warm-up curve: the
+   run-by-run latency of a tiered preparation from its first Fused run
+   through the background promotion to Native. *)
+
+type tier_measurements = {
+  tm_threshold : int;
+  tm_compile_cold_ms : float;  (* fresh engine, no disk cache *)
+  tm_pcache_cold_ms : float;  (* fresh store: compile + publish *)
+  tm_pcache_warm_ms : float;  (* new engine on the warm store *)
+  tm_warm_is_hit : bool;  (* the warm prepare compiled nothing *)
+  tm_warm_compiles : int;  (* compiler runs seen by the warm engine *)
+  tm_pcache_hits : int;
+  tm_promotion_ms : float;  (* threshold crossing -> Native observed *)
+  tm_promoted : bool;
+  tm_curve : (int * string * float) list;  (* run #, live tier, ms *)
+  tm_diverged : bool;  (* any run result != Reference result *)
+}
+
+let measure_tier () =
+  let xs = Array.init 4096 (fun i -> (i * 31) mod 977) in
+  let shape k =
+    Query.sum_int
+      (Query.of_array Ty.Int xs |> Query.select (fun x -> I.(x + Expr.int k)))
+  in
+  (* Literals no other experiment uses, so the generated source (and
+     hence every cache key) is private to this measurement. *)
+  let sq_cache = shape 7_424_242 in
+  let sq_tier = shape 7_424_243 in
+  let expected =
+    Steno.Prepared_scalar.run
+      (Steno.prepare_scalar ~backend:Steno.Linq sq_tier)
+  in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "steno-bench-pcache-%d" (Unix.getpid ()))
+  in
+  let prepare_ms cfg sq =
+    let eng = Steno.Engine.create cfg in
+    let p = Steno.Engine.prepare_scalar eng sq in
+    let i = Steno.Prepared_scalar.compile_info p in
+    i.Steno.prepare_ms, i.Steno.cache_hit, eng
+  in
+  let compile_cold, pcache_cold, pcache_warm, warm_hit, warm_compiles,
+      pcache_hits =
+    if not native then Float.nan, Float.nan, Float.nan, false, 0, 0
+    else begin
+      let base reg =
+        Steno.Config.(
+          default |> with_backend Steno.Native
+          |> with_metrics reg)
+      in
+      let cold_ms, _, _ = prepare_ms (base (Metrics.create ())) sq_cache in
+      let store_ms, _, _ =
+        prepare_ms
+          (base (Metrics.create ()) |> Steno.Config.with_disk_cache ~dir)
+          sq_cache
+      in
+      (* A different engine (fresh LRU, fresh metrics) on the same
+         store: this is the restarted process paying only the dynlink
+         load. *)
+      let warm_reg = Metrics.create () in
+      let warm_ms, warm_hit, warm_eng =
+        prepare_ms
+          (base warm_reg |> Steno.Config.with_disk_cache ~dir)
+          sq_cache
+      in
+      let warm_compiles =
+        Metrics.counter_value
+          (Metrics.counter warm_reg "steno_compile" ~labels:[ "result", "ok" ])
+      in
+      let hits =
+        match Steno.Engine.pcache_stats warm_eng with
+        | Some s -> s.Pcache.st_hits
+        | None -> 0
+      in
+      cold_ms, store_ms, warm_ms, warm_hit, warm_compiles, hits
+    end
+  in
+  (* Best-effort cleanup of the scratch store. *)
+  (try
+     let rec rm d =
+       Sys.readdir d
+       |> Array.iter (fun f ->
+              let p = Filename.concat d f in
+              if Sys.is_directory p then rm p else Sys.remove p);
+       Unix.rmdir d
+     in
+     if Sys.file_exists dir then rm dir
+   with _ -> ());
+  (* The warm-up curve: a tiered engine (threshold 3) with no disk
+     cache, so the promotion pays a real background compile. *)
+  let threshold = 3 in
+  let tier_eng =
+    Steno.Engine.create
+      Steno.Config.(
+        default |> with_backend Steno.Native
+        |> with_metrics (Metrics.create ())
+        |> with_tiering ~threshold)
+  in
+  let p = Steno.Engine.prepare_scalar tier_eng sq_tier in
+  let diverged = ref false in
+  let timed_run n =
+    let tier = Steno.backend_name (Steno.Prepared_scalar.backend_used p) in
+    let t0 = Unix.gettimeofday () in
+    let r = Steno.Prepared_scalar.run p in
+    let ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+    if r <> expected then diverged := true;
+    n, tier, ms
+  in
+  let head = List.init threshold (fun i -> timed_run (i + 1)) in
+  (* The threshold run queued the background compile; wait (bounded)
+     for the hot swap, measuring promotion latency as observed by a
+     client polling the live tier. *)
+  let t_promote = Unix.gettimeofday () in
+  let deadline = t_promote +. 10.0 in
+  let rec await () =
+    if Steno.Prepared_scalar.backend_used p = Steno.Native then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Unix.sleepf 0.005;
+      await ()
+    end
+  in
+  let promoted = native && await () in
+  let promotion_ms =
+    if promoted then 1000.0 *. (Unix.gettimeofday () -. t_promote)
+    else Float.nan
+  in
+  let tail =
+    List.init 3 (fun i -> timed_run (threshold + i + 1))
+  in
+  {
+    tm_threshold = threshold;
+    tm_compile_cold_ms = compile_cold;
+    tm_pcache_cold_ms = pcache_cold;
+    tm_pcache_warm_ms = pcache_warm;
+    tm_warm_is_hit = warm_hit;
+    tm_warm_compiles = warm_compiles;
+    tm_pcache_hits = pcache_hits;
+    tm_promotion_ms = promotion_ms;
+    tm_promoted = promoted;
+    tm_curve = head @ tail;
+    tm_diverged = !diverged;
+  }
+
+let tier () =
+  header "PR 7: tiered execution + persistent plugin cache";
+  let m = measure_tier () in
+  if native then begin
+    row "cold prepare: %.1f ms compile-only, %.1f ms compile+publish\n"
+      m.tm_compile_cold_ms m.tm_pcache_cold_ms;
+    row "warm-store prepare (new engine): %.3f ms (%.0fx faster; %d \
+         compiler runs, %d disk hits)\n"
+      m.tm_pcache_warm_ms
+      (m.tm_compile_cold_ms /. m.tm_pcache_warm_ms)
+      m.tm_warm_compiles m.tm_pcache_hits
+  end
+  else row "native compiler unavailable: pcache figures skipped\n";
+  row "tiering warm-up (threshold %d):\n" m.tm_threshold;
+  List.iter
+    (fun (n, tier, ms) -> row "  run %d: %-6s %.3f ms\n" n tier ms)
+    m.tm_curve;
+  if m.tm_promoted then
+    row "promoted to native %.1f ms after the threshold run%s\n"
+      m.tm_promotion_ms
+      (if m.tm_diverged then "; RESULTS DIVERGED" else "; results identical")
+  else row "no promotion (native unavailable or compile failed)\n"
+
+let json_tier_report file =
+  header (Printf.sprintf "tiering/pcache JSON report -> %s" file);
+  let m = measure_tier () in
+  let fnum v = if Float.is_nan v then "null" else Printf.sprintf "%.3f" v in
+  let oc =
+    try open_out file
+    with Sys_error msg ->
+      Printf.eprintf "cannot write %s: %s\n" file msg;
+      exit 2
+  in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "tier",
+  "scale": %.3f,
+  "native_available": %b,
+  "threshold": %d,
+  "compile_cold_prepare_ms": %s,
+  "pcache_cold_prepare_ms": %s,
+  "pcache_warm_prepare_ms": %s,
+  "pcache_speedup": %s,
+  "pcache_warm_is_hit": %b,
+  "pcache_warm_compiles": %d,
+  "pcache_hits": %d,
+  "promoted": %b,
+  "promotion_ms": %s,
+  "diverged": %b,
+  "warmup_curve": [%s]
+}
+|}
+    !scale native m.tm_threshold
+    (fnum m.tm_compile_cold_ms)
+    (fnum m.tm_pcache_cold_ms)
+    (fnum m.tm_pcache_warm_ms)
+    (fnum (m.tm_compile_cold_ms /. m.tm_pcache_warm_ms))
+    m.tm_warm_is_hit m.tm_warm_compiles m.tm_pcache_hits m.tm_promoted
+    (fnum m.tm_promotion_ms) m.tm_diverged
+    (String.concat ", "
+       (List.map
+          (fun (n, tier, ms) ->
+            Printf.sprintf {|{"run": %d, "tier": %S, "ms": %s}|} n tier
+              (fnum ms))
+          m.tm_curve));
+  close_out oc;
+  row "warm-store prepare %s ms vs %s ms compile; promoted: %b\n"
+    (fnum m.tm_pcache_warm_ms)
+    (fnum m.tm_compile_cold_ms)
+    m.tm_promoted
+
 let experiments =
   [
     "fig1", fig1;
@@ -1099,6 +1324,7 @@ let experiments =
     "par-agg", par_agg;
     "profiling", profiling;
     "serve", serve;
+    "tier", tier;
     "bechamel", bechamel;
   ]
 
@@ -1108,6 +1334,7 @@ let () =
   let json_profile_file = ref None in
   let json_par_file = ref None in
   let json_serve_file = ref None in
+  let json_tier_file = ref None in
   let rec parse = function
     | [] -> []
     | "--scale" :: v :: rest ->
@@ -1131,24 +1358,31 @@ let () =
     | "--json-serve" :: file :: rest ->
       json_serve_file := Some file;
       parse rest
+    | "--json-tier" :: file :: rest ->
+      json_tier_file := Some file;
+      parse rest
     | [
         ( "--scale" | "--clients" | "--requests" | "--json" | "--json-profile"
-        | "--json-par" | "--json-serve" ) as flag;
+        | "--json-par" | "--json-serve" | "--json-tier" ) as flag;
       ] ->
       Printf.eprintf "%s requires a value\n" flag;
       exit 2
     | x :: rest -> x :: parse rest
   in
   let picks = parse (List.tl args) in
+  let json_requested =
+    [
+      !json_file; !json_profile_file; !json_par_file; !json_serve_file;
+      !json_tier_file;
+    ]
+    |> List.exists Option.is_some
+  in
   let named =
-    match
-      picks, (!json_file, !json_profile_file, !json_par_file, !json_serve_file)
-    with
-    | [], (Some _, _, _, _ | _, Some _, _, _ | _, _, Some _, _ | _, _, _, Some _)
-      ->
+    match picks with
+    | [] when json_requested ->
       [] (* a --json* flag alone: just those measurements *)
-    | [], (None, None, None, None) -> List.map fst experiments
-    | picks, _ -> picks
+    | [] -> List.map fst experiments
+    | picks -> picks
   in
   Printf.printf "Steno benchmark harness (scale = %.2f, native = %b)\n" !scale
     native;
@@ -1163,4 +1397,5 @@ let () =
   Option.iter json_report !json_file;
   Option.iter json_profile_report !json_profile_file;
   Option.iter json_par_report !json_par_file;
-  Option.iter json_serve_report !json_serve_file
+  Option.iter json_serve_report !json_serve_file;
+  Option.iter json_tier_report !json_tier_file

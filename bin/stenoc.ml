@@ -295,9 +295,9 @@ let cmd_stats name backend n reps =
     for _ = 1 to reps do
       match demo with
       | Collection { build; _ } ->
-        ignore (Steno.run (Steno.Engine.prepare eng (build n)))
+        ignore (Steno.Prepared.run (Steno.Engine.prepare eng (build n)))
       | Scalar { build; _ } ->
-        ignore (Steno.run_scalar (Steno.Engine.prepare_scalar eng (build n)))
+        ignore (Steno.Prepared_scalar.run (Steno.Engine.prepare_scalar eng (build n)))
     done;
     Printf.printf "%d x prepare+run of %S on %s (n = %d)\n\n" reps name
       (Steno.backend_name b) n;
@@ -412,6 +412,60 @@ let cmd_metrics n =
   ignore
     (Par.scalar_auto ~engine:eng
        (Query.of_array Ty.Float fs |> Query.average));
+  (* Exercise the persistent plugin cache and tiered execution against a
+     scratch store, so their metric families carry real values in the
+     dump.  Both engines share [reg]; the tiering engine must not
+     profile (tiering and profiling are mutually exclusive). *)
+  let pdir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "stenoc-metrics-pcache-%d" (Unix.getpid ()))
+  in
+  let pcfg =
+    Steno.Config.(
+      default |> with_metrics reg |> with_disk_cache ~dir:pdir
+      |> with_tiering ~threshold:2)
+  in
+  (if Steno.native_available () then begin
+     let sq =
+       Query.of_array Ty.Int (int_input (max 16 n))
+       |> Query.select (fun x -> I.(x + Expr.int 9_000_001))
+       |> Query.sum_int
+     in
+     (* First engine compiles and publishes; a second engine on the same
+        store loads from disk — one pcache miss, one hit. *)
+     ignore
+       (Steno.Engine.scalar ~backend:Steno.Native
+          (Steno.Engine.create Steno.Config.(pcfg |> without_tiering))
+          sq);
+     let tiered = Steno.Engine.create pcfg in
+     let p = Steno.Engine.prepare_scalar ~backend:Steno.Native tiered sq in
+     for _ = 1 to 3 do
+       ignore (Steno.Prepared_scalar.run p)
+     done;
+     (* Bounded wait for the background promotion to count itself. *)
+     let deadline = Unix.gettimeofday () +. 5.0 in
+     while
+       Steno.Prepared_scalar.backend_used p <> Steno.Native
+       && Unix.gettimeofday () < deadline
+     do
+       Unix.sleepf 0.005
+     done
+   end
+   else
+     (* No compiler: still create the engines so the pcache/tiering
+        families render (at zero). *)
+     ignore (Steno.Engine.create pcfg));
+  (try
+     let rec rm d =
+       Sys.readdir d
+       |> Array.iter (fun f ->
+              let p = Filename.concat d f in
+              if Sys.is_directory p then rm p else Sys.remove p);
+       Unix.rmdir d
+     in
+     if Sys.file_exists pdir then rm pdir
+   with _ -> ());
   let stats = Steno.Engine.cache_stats eng in
   let set name help v =
     Metrics.set_gauge
@@ -468,6 +522,29 @@ let cmd_serve clients requests n =
   print_string (Metrics.render reg);
   if st.Server.failed > 0 then 1 else 0
 
+(* Operator maintenance of the persistent plugin store.  A handle's
+   hit/miss counters are per-process, so [stats] reports only the disk
+   figures; [clear] empties this toolchain's subdirectory. *)
+let pcache_open dir =
+  let dir = match dir with Some d -> d | None -> Pcache.default_dir () in
+  dir, Pcache.create ~fingerprint:(Dynload.fingerprint ()) ~dir ()
+
+let cmd_pcache_stats dir =
+  let root, pc = pcache_open dir in
+  let s = Pcache.stats pc in
+  Printf.printf "store root:   %s\n" root;
+  Printf.printf "fingerprint:  %s\n" (Dynload.fingerprint ());
+  Printf.printf "store dir:    %s\n" (Pcache.dir pc);
+  Printf.printf "entries:      %d\n" s.Pcache.st_entries;
+  Printf.printf "bytes:        %d\n" s.Pcache.st_bytes;
+  0
+
+let cmd_pcache_clear dir =
+  let _, pc = pcache_open dir in
+  let removed = Pcache.clear pc in
+  Printf.printf "removed %d entries from %s\n" removed (Pcache.dir pc);
+  0
+
 let cmd_bench name n =
   match find name with
   | Error e ->
@@ -489,10 +566,10 @@ let cmd_bench name n =
           match demo with
           | Collection { build; _ } ->
             let p = Steno.prepare ~backend:b (build n) in
-            median (fun () -> ignore (Steno.run p))
+            median (fun () -> ignore (Steno.Prepared.run p))
           | Scalar { build; _ } ->
             let p = Steno.prepare_scalar ~backend:b (build n) in
-            median (fun () -> ignore (Steno.run_scalar p))
+            median (fun () -> ignore (Steno.Prepared_scalar.run p))
         in
         Printf.printf "%-8s %10.2f ms\n" bname t)
       backends;
@@ -714,6 +791,32 @@ let serve_cmd =
           text format.")
     Term.(const cmd_serve $ clients_arg $ requests_arg $ size)
 
+let pcache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dir" ]
+        ~doc:
+          "Store root directory (default: \\$STENO_PCACHE_DIR, else the \
+           XDG cache directory).")
+
+let pcache_cmd =
+  Cmd.group
+    (Cmd.info "pcache"
+       ~doc:
+         "Inspect or clear the persistent compiled-plugin store (the \
+          on-disk cache engines configured with a disk_cache read and \
+          write).  Scoped to this toolchain's compiler/ABI fingerprint.")
+    [
+      Cmd.v
+        (Cmd.info "stats" ~doc:"Report entry count and bytes on disk.")
+        Term.(const cmd_pcache_stats $ pcache_dir_arg);
+      Cmd.v
+        (Cmd.info "clear"
+           ~doc:"Delete every cached plugin for this toolchain.")
+        Term.(const cmd_pcache_clear $ pcache_dir_arg);
+    ]
+
 let () =
   let doc = "Steno: automatic optimization of declarative queries" in
   exit
@@ -722,4 +825,5 @@ let () =
           [
             list_cmd; show_cmd; run_cmd; bench_cmd; stats_cmd; eval_cmd;
             explain_cmd; analyze_cmd; lint_cmd; metrics_cmd; serve_cmd;
+            pcache_cmd;
           ]))

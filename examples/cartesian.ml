@@ -51,7 +51,7 @@ let () =
   Printf.printf "LINQ iterators:     sum = %.6f  (%.1f ms)\n" l tl;
   if Steno.native_available () then begin
     let p = Steno.prepare_scalar ~backend:Steno.Native q in
-    let s, ts = time (fun () -> Steno.run_scalar p) in
+    let s, ts = time (fun () -> Steno.Prepared_scalar.run p) in
     Printf.printf "Steno native:       sum = %.6f  (%.1f ms)\n" s ts;
     Printf.printf "\nspeedup over LINQ: %.1fx; overhead vs hand loops: %+.0f%%\n"
       (tl /. ts)

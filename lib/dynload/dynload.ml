@@ -73,6 +73,32 @@ let compiler_command =
 let is_available () =
   (not !disabled) && Dynlink.is_native && force_shared compiler_command <> None
 
+(* Toolchain/ABI fingerprint for the persistent plugin cache: a [.cmxs]
+   built by one compiler must never be offered to a runtime built by
+   another, so the on-disk store namespaces entries by this string. *)
+let command_first_line cmd =
+  try
+    let ic = Unix.open_process_in (cmd ^ " 2>/dev/null") in
+    let line = try input_line ic with End_of_file -> "" in
+    ignore (Unix.close_process_in ic);
+    line
+  with _ -> ""
+
+let fingerprint_lazy =
+  lazy
+    (let compiler_ver =
+       match Lazy.force compiler_command with
+       | None -> "nocc"
+       | Some c -> (
+         match command_first_line (c ^ " -version") with
+         | "" -> "nocc"
+         | v -> v)
+     in
+     Printf.sprintf "ocaml%s-w%d-%s" Sys.ocaml_version Sys.word_size
+       compiler_ver)
+
+let fingerprint () = force_shared fingerprint_lazy
+
 let next_plugin = Atomic.make 0
 
 (* Dynlink is not re-entrant; serialize loads across domains. *)
@@ -167,7 +193,19 @@ let run_command ?timeout_ms ~out_file cmd : (unit, error) result =
          (Printf.sprintf "command failed (%s): %s\n%s" (describe st) cmd
             (read_output ())))
 
-let compile_result ?timeout_ms ~source () : (compiled, error) result =
+type artifact = {
+  a_cmxs : string;
+  a_ml : string;
+  a_modname : string;
+  a_write_ms : float;
+  a_compile_ms : float;
+}
+
+(* Compile-only half: write the source and run the external compiler,
+   leaving the artifacts on disk for the caller to load (and, with the
+   persistent cache, to copy into the store).  Pair with {!load_file}
+   and {!remove_artifact}. *)
+let compile_artifact ?timeout_ms ~source () : (artifact, error) result =
   if !disabled then Error Unavailable
   else
     match force_shared compiler_command with
@@ -180,12 +218,11 @@ let compile_result ?timeout_ms ~source () : (compiled, error) result =
       let ml = Filename.concat dir (modname ^ ".ml") in
       let cmxs = Filename.concat dir (modname ^ ".cmxs") in
       let cleanup () =
-        if not !keep_artifacts then
-          List.iter
-            (fun ext ->
-              try Sys.remove (Filename.concat dir (modname ^ ext))
-              with Sys_error _ -> ())
-            [ ".cmi"; ".cmx"; ".o"; ".cmxs"; ".ml"; ".log" ]
+        List.iter
+          (fun ext ->
+            try Sys.remove (Filename.concat dir (modname ^ ext))
+            with Sys_error _ -> ())
+          [ ".cmi"; ".cmx"; ".o"; ".cmxs"; ".ml"; ".log" ]
       in
       let t0 = now_ms () in
       let oc = open_out ml in
@@ -199,44 +236,96 @@ let compile_result ?timeout_ms ~source () : (compiled, error) result =
              (Filename.quote dir) (Filename.quote ml) (Filename.quote cmxs))
       with
       | Error e ->
-        cleanup ();
+        if not !keep_artifacts then cleanup ();
         Error e
-      | Ok () -> (
+      | Ok () ->
         let t2 = now_ms () in
-        let outcome =
-          Mutex.lock load_mutex;
-          Fun.protect ~finally:(fun () -> Mutex.unlock load_mutex)
-          @@ fun () ->
-          try
-            Dynlink.loadfile_private cmxs;
-            Error (Load_error "plugin did not hand back a query function")
-          with
-          | Dynlink.Error (Dynlink.Library's_module_initializers_failed e) -> (
-            match extract_result e with
-            | Some fn -> Ok fn
-            | None ->
-              (* A foreign exception escaping the initializer is a host
-                 bug, not a compilation outcome; let it propagate. *)
-              cleanup ();
-              raise e)
-          | Dynlink.Error err -> Error (Load_error (Dynlink.error_message err))
-        in
-        let t3 = now_ms () in
-        cleanup ();
-        match outcome with
-        | Error _ as e -> e
-        | Ok run ->
-          Ok
-            {
-              run;
-              timings =
-                {
-                  write_ms = t1 -. t0;
-                  compile_ms = t2 -. t1;
-                  load_ms = t3 -. t2;
-                };
-              source_path = ml;
-            }))
+        Ok
+          {
+            a_cmxs = cmxs;
+            a_ml = ml;
+            a_modname = modname;
+            a_write_ms = t1 -. t0;
+            a_compile_ms = t2 -. t1;
+          })
+
+let remove_artifact a =
+  if not !keep_artifacts then
+    let dir = Filename.dirname a.a_cmxs in
+    List.iter
+      (fun ext ->
+        try Sys.remove (Filename.concat dir (a.a_modname ^ ext))
+        with Sys_error _ -> ())
+      [ ".cmi"; ".cmx"; ".o"; ".cmxs"; ".ml"; ".log" ]
+
+(* Load-only half: dynlink a plugin [.cmxs] — freshly built or pulled
+   from the persistent store — and perform the [Steno_result] handshake.
+   [loadfile_private] keeps each load's module in a private namespace,
+   so the same module name can be loaded repeatedly in one process and
+   a cached artifact's embedded name (stamped by whichever process
+   compiled it) never collides with ours. *)
+let load_file ~path () : (compiled, error) result =
+  if !disabled then Error Unavailable
+  else if not Dynlink.is_native then Error Unavailable
+  else begin
+    let t0 = now_ms () in
+    let outcome =
+      Mutex.lock load_mutex;
+      Fun.protect ~finally:(fun () -> Mutex.unlock load_mutex)
+      @@ fun () ->
+      try
+        Dynlink.loadfile_private path;
+        Error (Load_error "plugin did not hand back a query function")
+      with
+      | Dynlink.Error (Dynlink.Library's_module_initializers_failed e) -> (
+        match extract_result e with
+        | Some fn -> Ok fn
+        | None ->
+          (* A foreign exception escaping the initializer is a host
+             bug, not a compilation outcome; let it propagate. *)
+          raise e)
+      | Dynlink.Error err -> Error (Load_error (Dynlink.error_message err))
+    in
+    let t1 = now_ms () in
+    match outcome with
+    | Error _ as e -> e
+    | Ok run ->
+      Ok
+        {
+          run;
+          timings = { write_ms = 0.0; compile_ms = 0.0; load_ms = t1 -. t0 };
+          source_path = path;
+        }
+  end
+
+let compile_result ?timeout_ms ~source () : (compiled, error) result =
+  match compile_artifact ?timeout_ms ~source () with
+  | Error e -> Error e
+  | Ok a -> (
+    let finish outcome =
+      remove_artifact a;
+      outcome
+    in
+    match
+      try load_file ~path:a.a_cmxs ()
+      with e ->
+        remove_artifact a;
+        raise e
+    with
+    | Error _ as e -> finish e
+    | Ok c ->
+      finish
+        (Ok
+           {
+             c with
+             timings =
+               {
+                 write_ms = a.a_write_ms;
+                 compile_ms = a.a_compile_ms;
+                 load_ms = c.timings.load_ms;
+               };
+             source_path = a.a_ml;
+           }))
 
 let compile ~source =
   match compile_result ~source () with

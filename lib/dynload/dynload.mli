@@ -57,7 +57,46 @@ val compile_result :
     external compiler process: past the deadline it is killed and
     [Error (Timeout _)] is returned, so a wedged or pathologically slow
     compiler can never stall a query.  Thread- and domain-safe: each call
-    uses a fresh module name. *)
+    uses a fresh module name.  Equivalent to {!compile_artifact} +
+    {!load_file} + {!remove_artifact}. *)
+
+(** {1 Split compile/load pipeline}
+
+    The persistent plugin cache ([Pcache]) needs the two halves
+    separately: compile once, copy the artifact into the store, load —
+    and on a later run in another process, skip straight to the load. *)
+
+type artifact = {
+  a_cmxs : string;  (** the compiled shared object, ready to load *)
+  a_ml : string;  (** the generated source it was built from *)
+  a_modname : string;  (** module name stamped into the plugin *)
+  a_write_ms : float;
+  a_compile_ms : float;
+}
+
+val compile_artifact :
+  ?timeout_ms:int -> source:string -> unit -> (artifact, error) result
+(** Write the source and run [ocamlopt -shared], leaving every artifact
+    on disk.  The caller must eventually call {!remove_artifact}. *)
+
+val load_file : path:string -> unit -> (compiled, error) result
+(** Dynlink the plugin at [path] and perform the [Steno_result]
+    handshake.  Uses [Dynlink.loadfile_private], so repeated loads of
+    the same module name — including a cached artifact stamped by
+    another process — are safe.  The returned [timings] carry only
+    [load_ms].  Any [Dynlink] failure is [Error (Load_error _)]; treat
+    it as "this artifact is unusable" (delete and recompile), not as a
+    fatal condition. *)
+
+val remove_artifact : artifact -> unit
+(** Delete the artifact's on-disk files (no-op when {!keep_artifacts}
+    is set). *)
+
+val fingerprint : unit -> string
+(** Identifies the compiler/ABI this process compiles and loads against
+    (OCaml version, word size, native-compiler version).  The
+    persistent cache namespaces entries by this string so artifacts
+    from an incompatible toolchain are never offered to [Dynlink]. *)
 
 val compile : source:string -> compiled
 (** {!compile_result} without a timeout, raising {!Compilation_failed}

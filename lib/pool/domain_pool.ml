@@ -219,3 +219,45 @@ let run_until (type r) ~workers ~tasks ~(stop : r -> bool) (f : int -> r) :
 
 let map_array ~workers f arr =
   run ~workers ~tasks:(Array.length arr) (fun i -> f arr.(i))
+
+(* Fire-and-forget submission.  The task is queued as a one-chunk job
+   and executed by whichever pool worker frees up first; the caller
+   never blocks and never participates.  Unlike the blocking entry
+   points, a submission from inside a pool worker is still queued (not
+   run inline): nobody waits on the result, so there is no deadlock to
+   avoid, and the submitting worker must not pay the task's cost. *)
+let async f =
+  Atomic.incr submitted;
+  ensure_workers 2;
+  let taken = Atomic.make false in
+  let grabbed = Atomic.make false in
+  let job_cell = ref None in
+  let retire () =
+    Mutex.lock pool_mu;
+    (match !job_cell with
+    | Some j -> jobs := List.filter (fun j' -> j' != j) !jobs
+    | None -> ());
+    Condition.broadcast pool_cv;
+    Mutex.unlock pool_mu
+  in
+  let thunk () =
+    (* A stray exception must not kill the worker domain: background
+       tasks are expected to report failures through their own channel
+       (e.g. a metrics counter) before raising. *)
+    Fun.protect ~finally:retire (fun () -> try f () with _ -> ())
+  in
+  let job =
+    {
+      job_capacity = (fun () -> not (Atomic.get taken));
+      job_acquire = (fun () -> Atomic.compare_and_set taken false true);
+      job_grab =
+        (fun () ->
+          if Atomic.compare_and_set grabbed false true then Some thunk
+          else None);
+    }
+  in
+  job_cell := Some job;
+  Mutex.lock pool_mu;
+  jobs := !jobs @ [ job ];
+  Condition.broadcast pool_cv;
+  Mutex.unlock pool_mu

@@ -30,6 +30,17 @@ val run_until :
 
 val map_array : workers:int -> ('a -> 'b) -> 'a array -> 'b array
 
+val async : (unit -> unit) -> unit
+(** Submit a fire-and-forget task to the pool and return immediately:
+    the task runs on whichever pool worker frees up first (at least two
+    workers are ensured, so a task queued while one long job saturates a
+    single-worker pool still gets served).  The caller never blocks —
+    including from inside a pool worker, where the task is queued rather
+    than run inline (nothing waits on it, so there is no deadlock to
+    avoid).  An exception escaping the task is swallowed: background
+    tasks report failures through their own channel (e.g. a metrics
+    counter).  Used for tier-promotion compiles (see [Steno.Engine]). *)
+
 (** {1 Introspection} (for tests and diagnostics) *)
 
 val pool_size : unit -> int

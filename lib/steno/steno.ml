@@ -152,6 +152,11 @@ type 'r prep = {
   p_diags : Check.diagnostic list;
       (* Static-check diagnostics for the query as written (computed
          before optimization). *)
+  p_tier : backend Atomic.t;
+      (* The backend currently executing this preparation.  Fixed for
+         ordinary preparations; a tiered preparation starts at [Fused]
+         and is atomically flipped to [Native] when the background
+         promotion lands. *)
 }
 
 exception Check_failed of Check.diagnostic list
@@ -250,8 +255,14 @@ let scalar_plan (sq : 's Query.sq) : 's plan =
     of_raw = Obj.obj;
   }
 
-module Engine = struct
-  type config = {
+(* {1 Configuration} *)
+
+module Config = struct
+  type tiering = { threshold : int }
+
+  type disk_cache = { dir : string; max_bytes : int; max_entries : int }
+
+  type t = {
     backend : backend;
     fallback : bool;
     optimize : bool;
@@ -261,6 +272,60 @@ module Engine = struct
     profile : bool;
     metrics : Metrics.t;
     strict : bool;
+    tiering : tiering option;
+    disk_cache : disk_cache option;
+  }
+
+  let default =
+    {
+      backend = (if native_available () then Native else Fused);
+      fallback = true;
+      optimize = true;
+      compile_timeout_ms = None;
+      cache_capacity = 128;
+      telemetry = Telemetry.null;
+      profile = false;
+      metrics = Metrics.default ();
+      strict = false;
+      tiering = None;
+      disk_cache = None;
+    }
+
+  let with_backend backend t = { t with backend }
+  let with_fallback fallback t = { t with fallback }
+  let with_optimize optimize t = { t with optimize }
+  let with_compile_timeout compile_timeout_ms t = { t with compile_timeout_ms }
+  let with_cache_capacity cache_capacity t = { t with cache_capacity }
+  let with_telemetry telemetry t = { t with telemetry }
+  let with_profile profile t = { t with profile }
+  let with_metrics metrics t = { t with metrics }
+  let with_strict strict t = { t with strict }
+  let with_tiering ?(threshold = 8) t = { t with tiering = Some { threshold } }
+  let without_tiering t = { t with tiering = None }
+
+  let with_disk_cache ~dir ?(max_bytes = 256 * 1024 * 1024)
+      ?(max_entries = 512) t =
+    { t with disk_cache = Some { dir; max_bytes; max_entries } }
+
+  let without_disk_cache t = { t with disk_cache = None }
+end
+
+module Engine = struct
+  (* Re-exported so existing [{ default_config with backend = ... }]
+     record syntax keeps working; [Config.t] with its combinators is the
+     primary construction surface. *)
+  type config = Config.t = {
+    backend : backend;
+    fallback : bool;
+    optimize : bool;
+    compile_timeout_ms : int option;
+    cache_capacity : int;
+    telemetry : Telemetry.sink;
+    profile : bool;
+    metrics : Metrics.t;
+    strict : bool;
+    tiering : Config.tiering option;
+    disk_cache : Config.disk_cache option;
   }
 
   type t = {
@@ -273,20 +338,37 @@ module Engine = struct
            identical prepares share one compile.  The flight value
            carries (cache_hit, plugin) on success so followers can
            report how the leader got the plugin. *)
+    pcache : Pcache.t option;
+        (* The persistent on-disk plugin store, when the configuration
+           asked for one.  Consulted between the in-process LRU and the
+           compiler. *)
   }
 
-  let default_config =
-    {
-      backend = (if native_available () then Native else Fused);
-      fallback = true;
-      optimize = true;
-      compile_timeout_ms = None;
-      cache_capacity = 128;
-      telemetry = Telemetry.null;
-      profile = false;
-      metrics = Metrics.default ();
-      strict = false;
-    }
+  let default_config = Config.default
+
+  (* Instrument handles for the optional subsystems.  [Metrics.counter]
+     is get-or-register on (name, labels), so these are cheap to call on
+     the hot path and safe from any domain. *)
+  let pcache_hits_c eng =
+    Metrics.counter eng.cfg.metrics "steno_pcache_hits"
+      ~help:"Plugin loads served from the persistent on-disk cache"
+
+  let pcache_misses_c eng =
+    Metrics.counter eng.cfg.metrics "steno_pcache_misses"
+      ~help:
+        "Persistent-cache lookups that found no usable entry (including \
+         corrupt artifacts dropped at load time)"
+
+  let pcache_evictions_c eng =
+    Metrics.counter eng.cfg.metrics "steno_pcache_evictions"
+      ~help:"Entries evicted from the persistent on-disk cache by its caps"
+
+  let tier_promotions_c eng result =
+    Metrics.counter eng.cfg.metrics "steno_tier_promotions"
+      ~help:
+        "Background tier promotions of hot prepared queries (Fused -> \
+         Native)"
+      ~labels:[ "result", result ]
 
   let create cfg =
     (* Dynlink cannot unload plugin code, so a released handle is only
@@ -298,12 +380,36 @@ module Engine = struct
        shard-local LRU order is a good approximation of global order;
        tiny caches keep one shard and exact eviction order. *)
     let shards = if cfg.cache_capacity >= 32 then 8 else 1 in
-    {
-      cfg;
-      cache =
-        Steno_lru.create ~on_evict ~shards ~capacity:cfg.cache_capacity ();
-      flight = Steno_flight.create ();
-    }
+    let pcache =
+      match cfg.disk_cache with
+      | None -> None
+      | Some { Config.dir; max_bytes; max_entries } ->
+        Some
+          (Pcache.create ~max_bytes ~max_entries
+             ~fingerprint:(Dynload.fingerprint ()) ~dir ())
+    in
+    let eng =
+      {
+        cfg;
+        cache =
+          Steno_lru.create ~on_evict ~shards ~capacity:cfg.cache_capacity ();
+        flight = Steno_flight.create ();
+        pcache;
+      }
+    in
+    (* Register the optional-feature families eagerly, so a scrape shows
+       them at zero before the first disk lookup or promotion. *)
+    if pcache <> None then begin
+      ignore (pcache_hits_c eng);
+      ignore (pcache_misses_c eng);
+      ignore (pcache_evictions_c eng)
+    end;
+    if cfg.tiering <> None then ignore (tier_promotions_c eng "ok");
+    eng
+
+  let pcache_stats e = Option.map Pcache.stats e.pcache
+
+  let pcache_dir e = Option.map Pcache.dir e.pcache
 
   let config e = e.cfg
 
@@ -479,24 +585,97 @@ module Engine = struct
         Telemetry.count sink "cache.hit" 1;
         Ok (true, p)
       | None -> (
-        match
-          Dynload.compile_result ?timeout_ms:eng.cfg.compile_timeout_ms
-            ~source:out.Codegen.source ()
-        with
-        | Error e ->
-          count_compile eng "error";
-          Error (error_to_reason e)
-        | Ok p ->
-          count_compile eng "ok";
-          Telemetry.count sink "cache.miss" 1;
+        (* Between the in-process LRU and the compiler sits the
+           persistent store: an artifact compiled by an earlier process
+           (or another engine on the same directory) loads in ~the
+           dynlink cost alone.  Anything wrong with a cached artifact —
+           torn file, stale ABI that slipped past the fingerprint, a
+           hostile edit — downgrades to a miss: drop the entry and let
+           the compiler rebuild it. *)
+        let from_disk =
+          match eng.pcache with
+          | None -> None
+          | Some pc -> (
+            match Pcache.find pc ~key:cache_key with
+            | None ->
+              Metrics.inc (pcache_misses_c eng);
+              None
+            | Some path -> (
+              match
+                try Dynload.load_file ~path ()
+                with _ -> Error (Dynload.Load_error "cached plugin raised")
+              with
+              | Ok p ->
+                Metrics.inc (pcache_hits_c eng);
+                Telemetry.count sink "pcache.hit" 1;
+                Telemetry.emit sink "dynlink" ~start_ms:t1
+                  ~duration_ms:p.Dynload.timings.Dynload.load_ms ();
+                Some p
+              | Error _ ->
+                Pcache.remove pc ~key:cache_key;
+                Metrics.inc (pcache_misses_c eng);
+                None))
+        in
+        match from_disk with
+        | Some p ->
           if Steno_lru.add eng.cache cache_key p then
             Telemetry.count sink "cache.eviction" 1;
-          Telemetry.emit sink "compile" ~start_ms:t1
-            ~duration_ms:p.Dynload.timings.Dynload.compile_ms ();
-          Telemetry.emit sink "dynlink"
-            ~start_ms:(t1 +. p.Dynload.timings.Dynload.compile_ms)
-            ~duration_ms:p.Dynload.timings.Dynload.load_ms ();
-          Ok (false, p))
+          (* No compile happened: for this preparation's cost accounting
+             a disk hit is a cache hit. *)
+          Ok (true, p)
+        | None -> (
+          match
+            Dynload.compile_artifact ?timeout_ms:eng.cfg.compile_timeout_ms
+              ~source:out.Codegen.source ()
+          with
+          | Error e ->
+            count_compile eng "error";
+            Error (error_to_reason e)
+          | Ok a -> (
+            match
+              try Dynload.load_file ~path:a.Dynload.a_cmxs ()
+              with e ->
+                Dynload.remove_artifact a;
+                raise e
+            with
+            | Error e ->
+              Dynload.remove_artifact a;
+              count_compile eng "error";
+              Error (error_to_reason e)
+            | Ok loaded ->
+              let p =
+                {
+                  loaded with
+                  Dynload.timings =
+                    {
+                      Dynload.write_ms = a.Dynload.a_write_ms;
+                      compile_ms = a.Dynload.a_compile_ms;
+                      load_ms = loaded.Dynload.timings.Dynload.load_ms;
+                    };
+                  source_path = a.Dynload.a_ml;
+                }
+              in
+              (* Publish to the persistent store before the scratch
+                 artifact is deleted. *)
+              (match eng.pcache with
+              | None -> ()
+              | Some pc ->
+                let evicted =
+                  Pcache.store pc ~key:cache_key ~cmxs:a.Dynload.a_cmxs
+                in
+                if evicted > 0 then
+                  Metrics.add (pcache_evictions_c eng) evicted);
+              Dynload.remove_artifact a;
+              count_compile eng "ok";
+              Telemetry.count sink "cache.miss" 1;
+              if Steno_lru.add eng.cache cache_key p then
+                Telemetry.count sink "cache.eviction" 1;
+              Telemetry.emit sink "compile" ~start_ms:t1
+                ~duration_ms:p.Dynload.timings.Dynload.compile_ms ();
+              Telemetry.emit sink "dynlink"
+                ~start_ms:(t1 +. p.Dynload.timings.Dynload.compile_ms)
+                ~duration_ms:p.Dynload.timings.Dynload.load_ms ();
+              Ok (false, p))))
     in
     if not led then begin
       (* This prepare joined another domain's in-flight compile. *)
@@ -592,6 +771,7 @@ module Engine = struct
       p_rules = [];
       p_profile = prof;
       p_diags = [];
+      p_tier = Atomic.make actual;
     }
 
   let prepare_plan_result (eng : t) ?backend (plan : 'r plan) :
@@ -611,6 +791,49 @@ module Engine = struct
       Ok
         (prep_of_staged eng ~sink ~t0 ~requested ~actual:Fused ~fallback:None
            plan.stage_fused)
+    | Native when eng.cfg.tiering <> None && not eng.cfg.profile ->
+      (* Tiered execution: return instantly on the staged Fused tier and
+         let run-count probes trigger a background Native compile.  Not
+         combined with [profile] — the probe points are allocated per
+         tier at staging/codegen time, so a hot swap would silently
+         split the profile across two point sets; profiled engines keep
+         the synchronous path below. *)
+      let threshold =
+        match eng.cfg.tiering with
+        | Some { Config.threshold } -> max 1 threshold
+        | None -> assert false
+      in
+      let base =
+        prep_of_staged eng ~sink ~t0 ~requested ~actual:Fused ~fallback:None
+          plan.stage_fused
+      in
+      let cell = Atomic.make base.run_fn in
+      let runs = Atomic.make 0 in
+      let started = Atomic.make false in
+      let promote () =
+        (* Runs on a pool domain.  [compile_native] goes through the
+           single-flight group and both plugin caches, so concurrent
+           promotions of the same query (even from different prepared
+           handles) cost one compile — and a pcache hit makes promotion
+           nearly free. *)
+        match compile_native eng plan ~t0:(now_ms ()) with
+        | Ok (run, _info, _prof) ->
+          Atomic.set cell (traced_run sink Native run);
+          Atomic.set base.p_tier Native;
+          Telemetry.count sink "tier.promote" 1;
+          Metrics.inc (tier_promotions_c eng "ok")
+        | Error _ -> Metrics.inc (tier_promotions_c eng "failed")
+        | exception _ -> Metrics.inc (tier_promotions_c eng "failed")
+      in
+      let run_fn () =
+        let n = 1 + Atomic.fetch_and_add runs 1 in
+        if n >= threshold && Atomic.compare_and_set started false true then
+          Domain_pool.async promote;
+        (* In-flight runs that loaded the cell before the swap finish on
+           the old tier; the publication itself is a single atomic. *)
+        (Atomic.get cell) ()
+      in
+      Ok { base with run_fn }
     | Native -> (
       match compile_native eng plan ~t0 with
       | Ok (run, info, prof) ->
@@ -624,6 +847,7 @@ module Engine = struct
             p_rules = [];
             p_profile = prof;
             p_diags = [];
+            p_tier = Atomic.make Native;
           }
       | Error reason when eng.cfg.fallback ->
         Telemetry.count sink "engine.fallback" 1;
@@ -1026,8 +1250,8 @@ module Session = struct
     let cur = Atomic.get cell in
     if not (Atomic.compare_and_set cell cur (cur +. x)) then add_float cell x
 
-  let create ?backend ?optimize ?profile ?strict ?(labels = []) engine
-      ~client_id =
+  let create ?backend ?optimize ?profile ?strict ?config ?(labels = [])
+      engine ~client_id =
     let cfg = Engine.config engine in
     let cfg =
       {
@@ -1038,6 +1262,9 @@ module Session = struct
         strict = Option.value strict ~default:cfg.Engine.strict;
       }
     in
+    (* The [Config] combinator form of the overrides above; applied
+       last, so it wins over the individual flags. *)
+    let cfg = match config with None -> cfg | Some f -> f cfg in
     {
       s_engine = { engine with Engine.cfg };
       s_client = client_id;
@@ -1150,23 +1377,11 @@ let prepare ?backend q = Session.prepare ?backend (default_session ()) q
 let prepare_scalar ?backend sq =
   Session.prepare_scalar ?backend (default_session ()) sq
 
-let run p = p.run_fn ()
-
-let run_scalar p = p.run_fn ()
-
-let info p = p.p_info
-
-let info_scalar p = p.p_info
-
-let rewrite_log p = p.p_rules
-
-let rewrite_log_scalar p = p.p_rules
-
 module Prepared = struct
   type 'a t = 'a prepared
 
   let run p = p.run_fn ()
-  let backend_used p = p.p_info.backend
+  let backend_used p = Atomic.get p.p_tier
   let compile_info p = p.p_info
   let rewrite_log p = p.p_rules
   let diagnostics p = p.p_diags
@@ -1177,18 +1392,18 @@ module Prepared_scalar = struct
   type 's t = 's prepared_scalar
 
   let run p = p.run_fn ()
-  let backend_used p = p.p_info.backend
+  let backend_used p = Atomic.get p.p_tier
   let compile_info p = p.p_info
   let rewrite_log p = p.p_rules
   let diagnostics p = p.p_diags
   let profile p = Option.map profile_snapshot p.p_profile
 end
 
-let to_array ?backend q = run (prepare ?backend q)
+let to_array ?backend q = Prepared.run (prepare ?backend q)
 
 let to_list ?backend q = Array.to_list (to_array ?backend q)
 
-let scalar ?backend sq = run_scalar (prepare_scalar ?backend sq)
+let scalar ?backend sq = Prepared_scalar.run (prepare_scalar ?backend sq)
 
 let generated_source q = (Codegen.generate (Canon.of_query q)).Codegen.source
 

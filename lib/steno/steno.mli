@@ -119,6 +119,86 @@ exception Check_failed of Check.diagnostic list
 (** Raised by a [strict] engine's prepare when the static checks report
     [Error]-level diagnostics; carries exactly those errors. *)
 
+(** {1 Configuration}
+
+    One value describes everything an engine does: start from
+    {!Config.default} and pipe it through the [with_*] combinators.
+
+    {[
+      let cfg =
+        Steno.Config.(
+          default
+          |> with_backend Native
+          |> with_tiering ~threshold:4
+          |> with_disk_cache ~dir:(Pcache.default_dir ()))
+      in
+      let engine = Steno.Engine.create cfg
+    ]}
+
+    [Config.t] and [Engine.config] are the same record type, so the
+    historical [{ Engine.default_config with backend = ... }] update
+    syntax still works; the combinators are the supported surface and
+    the only one that will grow fields without breaking callers. *)
+
+module Config : sig
+  (** Tiered-execution policy (a JIT for queries): prepare instantly on
+      [Fused], count runs, and once a preparation crosses [threshold]
+      runs compile [Native] in the background and hot-swap.  See
+      {!Engine.config.tiering}. *)
+  type tiering = { threshold : int }
+
+  (** Persistent on-disk plugin store configuration.  See
+      {!Engine.config.disk_cache}. *)
+  type disk_cache = { dir : string; max_bytes : int; max_entries : int }
+
+  (** The full engine configuration.  The fields are documented on the
+      (equal) {!Engine.config} re-export; prefer building values with
+      {!default} and the combinators below, which stay source-compatible
+      as fields are added. *)
+  type t = {
+    backend : backend;
+    fallback : bool;
+    optimize : bool;
+    compile_timeout_ms : int option;
+    cache_capacity : int;
+    telemetry : Telemetry.sink;
+    profile : bool;
+    metrics : Metrics.t;
+    strict : bool;
+    tiering : tiering option;
+    disk_cache : disk_cache option;
+  }
+
+  val default : t
+  (** [Native] when a compiler is available ([Fused] otherwise),
+      [fallback = true], [optimize = true], no timeout, capacity 128,
+      null telemetry, [profile = false], the process-wide metrics
+      registry, [strict = false], no tiering, no disk cache. *)
+
+  val with_backend : backend -> t -> t
+  val with_fallback : bool -> t -> t
+  val with_optimize : bool -> t -> t
+  val with_compile_timeout : int option -> t -> t
+  val with_cache_capacity : int -> t -> t
+  val with_telemetry : Telemetry.sink -> t -> t
+  val with_profile : bool -> t -> t
+  val with_metrics : Metrics.t -> t -> t
+  val with_strict : bool -> t -> t
+
+  val with_tiering : ?threshold:int -> t -> t
+  (** Enable tiered execution with the given promotion threshold
+      (default 8 runs; clamped to at least 1). *)
+
+  val without_tiering : t -> t
+
+  val with_disk_cache :
+    dir:string -> ?max_bytes:int -> ?max_entries:int -> t -> t
+  (** Enable the persistent plugin store rooted at [dir] (e.g.
+      [Pcache.default_dir ()]).  Defaults: 256 MiB, 512 entries. *)
+
+  val without_disk_cache : t -> t
+end
+
 (** {1 Engines}
 
     An engine is the host-side runtime contract made explicit: which
@@ -130,7 +210,7 @@ exception Check_failed of Check.diagnostic list
 module Engine : sig
   type t
 
-  type config = {
+  type config = Config.t = {
     backend : backend;  (** Default backend for this engine's queries. *)
     fallback : bool;
         (** When true, a [Native] preparation that cannot compile
@@ -185,15 +265,42 @@ module Engine : sig
             (the default), diagnostics are only recorded
             ({!Prepared.diagnostics}, the [check_diagnostics_total]
             metric family) and never change behaviour. *)
+    tiering : Config.tiering option;
+        (** When set, a [Native] preparation on a non-profiling engine
+            returns instantly on the [Fused] tier; each preparation
+            counts its runs, and the run that reaches
+            [threshold] triggers one background [Native] compile on the
+            domain pool, after which the prepared handle is atomically
+            hot-swapped (in-flight runs finish on the old tier, and
+            concurrent promotions of the same query share one compile
+            via the single-flight group).  {!Prepared.backend_used}
+            tracks the live tier; promotions are counted in
+            [steno_tier_promotions_total] by result.  A preparation
+            whose promotion fails (e.g. no compiler) stays on [Fused]
+            permanently — tiering never raises at prepare or run time.
+            [None] (the default) keeps [Native] preparation
+            synchronous. *)
+    disk_cache : Config.disk_cache option;
+        (** When set, compiled plugins are also published to a
+            content-addressed on-disk store ([Pcache]) keyed by the
+            plugin cache key plus a compiler/ABI fingerprint, and
+            looked up there before invoking the compiler — so a cold
+            process pays roughly a [Dynlink] load (sub-millisecond)
+            instead of a full compile (tens of milliseconds) for any
+            query some earlier process compiled.  Lookups and evictions
+            are counted in [steno_pcache_{hits,misses,evictions}_total];
+            corrupt or incompatible entries are dropped and recompiled,
+            never surfaced as errors.  [None] (the default) keeps
+            compiled code in-process only. *)
   }
 
   val default_config : config
-  (** [Native] when a compiler is available ([Fused] otherwise),
-      [fallback = true], [optimize = true], no timeout, capacity 128,
-      null telemetry, [profile = false], the process-wide metrics
-      registry, [strict = false]. *)
+  (** Alias of {!Config.default}. *)
 
   val create : config -> t
+  (** The one construction path: [Engine.create cfg].  Build [cfg] with
+      the {!Config} combinators (or record update on
+      {!default_config}). *)
 
   val config : t -> config
 
@@ -267,7 +374,16 @@ module Engine : sig
   val cache_stats : t -> cache_stats
   val cache_size : t -> int
   val clear_cache : t -> unit
-  (** Counters are cumulative and survive {!clear_cache}. *)
+  (** Counters are cumulative and survive {!clear_cache}.  These cover
+      the in-process LRU only; the persistent store reports through
+      {!pcache_stats}. *)
+
+  val pcache_stats : t -> Pcache.stats option
+  (** Persistent-store figures; [None] unless the engine was configured
+      with a [disk_cache]. *)
+
+  val pcache_dir : t -> string option
+  (** The fingerprint subdirectory this engine reads and writes. *)
 
   (** {2 Explain}
 
@@ -361,18 +477,27 @@ module Session : sig
     ?optimize:bool ->
     ?profile:bool ->
     ?strict:bool ->
+    ?config:(Config.t -> Config.t) ->
     ?labels:(string * string) list ->
     Engine.t ->
     client_id:string ->
     t
-  (** A session on [engine] for [client_id].  The optional flags
-      override the engine's configuration for queries prepared through
-      this session; everything else (cache, failure policy, telemetry,
+  (** A session on [engine] for [client_id].  [config] transforms the
+      engine's configuration for queries prepared through this session —
+      compose the {!Config} combinators, e.g.
+      [~config:Config.(with_strict true)] or
+      [~config:(fun c -> Config.(c |> with_backend Fused))]; everything
+      outside the configuration (cache, single-flight group, telemetry,
       metrics registry) is the engine's.  Overriding [optimize] or
       [profile] is safe on a shared cache: both flags are part of the
       plugin cache key, so sessions never alias each other's compiled
       code.  [labels] are extra metric labels (e.g. tenant tier)
-      attached alongside [client_id]. *)
+      attached alongside [client_id].
+
+      The [?backend]/[?optimize]/[?profile]/[?strict] flags are the
+      pre-[Config] spelling of the same overrides, kept as a shim;
+      [config] is applied after them and wins on conflict.
+      @deprecated the individual flags — use [config]. *)
 
   val engine : t -> Engine.t
   (** The session's view of its engine — configuration overrides
@@ -461,7 +586,9 @@ module Prepared : sig
   (** Execute.  Reusable: captured inputs are re-read on each run. *)
 
   val backend_used : 'a t -> backend
-  (** The backend that actually executes (after any fallback). *)
+  (** The backend that executes {e now} — after any fallback, and, on a
+      tiered engine, reflecting the live tier: [Fused] until the
+      background promotion lands, [Native] after. *)
 
   val compile_info : 'a t -> compile_info
 
@@ -492,25 +619,6 @@ module Prepared_scalar : sig
   val diagnostics : 's t -> Check.diagnostic list
   val profile : 's t -> profile_snapshot option
 end
-
-val run : 'a prepared -> 'a array
-(** @deprecated Alias of {!Prepared.run}; new code should use the
-    {!Prepared} accessors.  Will be removed in a future release. *)
-
-val run_scalar : 's prepared_scalar -> 's
-(** @deprecated Alias of {!Prepared_scalar.run}. *)
-
-val info : 'a prepared -> compile_info
-(** @deprecated Alias of {!Prepared.compile_info}. *)
-
-val info_scalar : 's prepared_scalar -> compile_info
-(** @deprecated Alias of {!Prepared_scalar.compile_info}. *)
-
-val rewrite_log : 'a prepared -> string list
-(** @deprecated Alias of {!Prepared.rewrite_log}. *)
-
-val rewrite_log_scalar : 's prepared_scalar -> string list
-(** @deprecated Alias of {!Prepared_scalar.rewrite_log}. *)
 
 (** {1 Inspection} *)
 

@@ -147,7 +147,7 @@ let test_fallback_compiler_unavailable () =
   let eng = engine Steno.Native in
   let sq = nth_query 0 [| 2; 5 |] in
   let p = Steno.Engine.prepare_scalar eng sq in
-  let i = Steno.info_scalar p in
+  let i = Steno.Prepared_scalar.compile_info p in
   Alcotest.(check bool) "requested native" true (i.Steno.requested = Steno.Native);
   Alcotest.(check bool) "ran fused" true (i.Steno.backend = Steno.Fused);
   Alcotest.(check bool) "reason recorded" true
@@ -155,7 +155,7 @@ let test_fallback_compiler_unavailable () =
   (* Differential check: the fallback result matches a straight Fused run. *)
   Alcotest.(check int) "correct result via fallback"
     (Steno.scalar ~backend:Steno.Fused sq)
-    (Steno.run_scalar p)
+    (Steno.Prepared_scalar.run p)
 
 let test_fallback_disabled_raises () =
   without_compiler @@ fun () ->
@@ -172,13 +172,13 @@ let test_fallback_on_timeout () =
   let eng = engine ~compile_timeout_ms:0 Steno.Native in
   let sq = nth_query 0 [| 4; 6 |] in
   let p = Steno.Engine.prepare_scalar eng sq in
-  let i = Steno.info_scalar p in
+  let i = Steno.Prepared_scalar.compile_info p in
   Alcotest.(check bool) "timeout recorded" true
     (i.Steno.fallback = Some (Steno.Compile_timeout 0));
   Alcotest.(check bool) "ran fused" true (i.Steno.backend = Steno.Fused);
   Alcotest.(check int) "correct result"
     (Steno.scalar ~backend:Steno.Fused sq)
-    (Steno.run_scalar p)
+    (Steno.Prepared_scalar.run p)
 
 (* Exception parity: all backends raise the same exception for an empty
    sequence, whatever path (iterator, fused closure, compiled plugin with

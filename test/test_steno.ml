@@ -12,8 +12,8 @@ let test_prepare_and_rerun () =
   List.iter
     (fun b ->
       let p = Steno.prepare ~backend:b q in
-      Alcotest.(check (array int)) "run" [| 1; 4; 9 |] (Steno.run p);
-      Alcotest.(check (array int)) "re-run" [| 1; 4; 9 |] (Steno.run p))
+      Alcotest.(check (array int)) "run" [| 1; 4; 9 |] (Steno.Prepared.run p);
+      Alcotest.(check (array int)) "re-run" [| 1; 4; 9 |] (Steno.Prepared.run p))
     (if Steno.native_available () then [ Steno.Linq; Steno.Fused; Steno.Native ]
      else [ Steno.Linq; Steno.Fused ])
 
@@ -22,12 +22,12 @@ let test_cache_hit_on_identical_structure () =
   Steno.clear_cache ();
   let mk arr = Query.sum_int (ints arr |> Query.select (fun x -> I.(x + Expr.int 1))) in
   let p1 = Steno.prepare_scalar ~backend:Steno.Native (mk [| 1; 2 |]) in
-  Alcotest.(check bool) "first is a miss" false (Steno.info_scalar p1).Steno.cache_hit;
-  Alcotest.(check int) "sum 1" 5 (Steno.run_scalar p1);
+  Alcotest.(check bool) "first is a miss" false (Steno.Prepared_scalar.compile_info p1).Steno.cache_hit;
+  Alcotest.(check int) "sum 1" 5 (Steno.Prepared_scalar.run p1);
   (* Same structure, different captured data: cache hit, correct result. *)
   let p2 = Steno.prepare_scalar ~backend:Steno.Native (mk [| 10; 20; 30 |]) in
-  Alcotest.(check bool) "second is a hit" true (Steno.info_scalar p2).Steno.cache_hit;
-  Alcotest.(check int) "sum 2" 63 (Steno.run_scalar p2);
+  Alcotest.(check bool) "second is a hit" true (Steno.Prepared_scalar.compile_info p2).Steno.cache_hit;
+  Alcotest.(check int) "sum 2" 63 (Steno.Prepared_scalar.run p2);
   Alcotest.(check int) "one cached plugin" 1 (Steno.cache_size ());
   (* Different structure compiles separately. *)
   let p3 =
@@ -35,7 +35,7 @@ let test_cache_hit_on_identical_structure () =
       (Query.sum_int (ints [| 1 |] |> Query.select (fun x -> I.(x * Expr.int 2))))
   in
   Alcotest.(check bool) "different structure misses" false
-    (Steno.info_scalar p3).Steno.cache_hit;
+    (Steno.Prepared_scalar.compile_info p3).Steno.cache_hit;
   Alcotest.(check int) "two cached plugins" 2 (Steno.cache_size ())
 
 let test_compile_info_timings () =
@@ -43,12 +43,12 @@ let test_compile_info_timings () =
   Steno.clear_cache ();
   let q = Query.sum_int (ints [| 1; 2; 3 |] |> Query.where (fun x -> I.(x > Expr.int 1))) in
   let p = Steno.prepare_scalar ~backend:Steno.Native q in
-  let i = Steno.info_scalar p in
+  let i = Steno.Prepared_scalar.compile_info p in
   Alcotest.(check bool) "compile cost present on miss" true (i.Steno.compile_ms > 0.5);
   Alcotest.(check bool) "prepare >= compile" true
     (i.Steno.prepare_ms >= i.Steno.compile_ms);
   let p2 = Steno.prepare_scalar ~backend:Steno.Native q in
-  let i2 = Steno.info_scalar p2 in
+  let i2 = Steno.Prepared_scalar.compile_info p2 in
   Alcotest.(check bool) "hit pays no compile" true (i2.Steno.compile_ms = 0.0)
 
 let test_inspection () =

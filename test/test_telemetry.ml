@@ -136,7 +136,7 @@ let pipeline_collector backend =
   in
   let sq = Query.sum_int (ints [| 1; 2; 3 |] |> Query.select (fun x -> I.(x * x))) in
   let p = Steno.Engine.prepare_scalar eng sq in
-  Alcotest.(check int) "query result" 14 (Steno.run_scalar p);
+  Alcotest.(check int) "query result" 14 (Steno.Prepared_scalar.run p);
   c
 
 let child_names c =

@@ -39,6 +39,10 @@ for family in \
     'TYPE steno_partition_rows histogram' \
     'TYPE steno_agg_merge_ms histogram' \
     'TYPE check_diagnostics counter' \
+    'TYPE steno_pcache_hits counter' \
+    'TYPE steno_pcache_misses counter' \
+    'TYPE steno_pcache_evictions counter' \
+    'TYPE steno_tier_promotions counter' \
     '# EOF'
 do
   if ! printf '%s\n' "$metrics_dump" | grep -qF "$family"; then
@@ -49,6 +53,9 @@ done
 
 echo "== server concurrency suite =="
 dune exec test/test_server.exe
+
+echo "== plugin-cache persistence + tiering suite =="
+dune exec test/test_pcache.exe
 
 echo "== stenoc serve (per-tenant metric labels) =="
 serve_dump=$(dune exec bin/stenoc.exe -- serve --clients 6 --requests 3 -n 2000)
@@ -87,12 +94,52 @@ dune exec bench/main.exe -- serve --scale 0.01 --clients 8 --requests 4 \
   --json-serve BENCH_PR6.json
 python3 -m json.tool BENCH_PR6.json > /dev/null
 for key in throughput_rps p50_ms p99_ms queue_p99_ms dedup_joins \
-    rejected compiles
+    rejected compiles max_inflight workers
 do
   if ! grep -qF "\"$key\"" BENCH_PR6.json; then
     echo "missing from BENCH_PR6.json: $key" >&2
     exit 1
   fi
 done
+
+echo "== tiering + persistent-cache smoke (scale 0.01) =="
+dune exec bench/main.exe -- tier --scale 0.01 --json-tier BENCH_PR7.json
+python3 -m json.tool BENCH_PR7.json > /dev/null
+for key in compile_cold_prepare_ms pcache_cold_prepare_ms \
+    pcache_warm_prepare_ms pcache_speedup pcache_warm_compiles \
+    promoted promotion_ms diverged warmup_curve
+do
+  if ! grep -qF "\"$key\"" BENCH_PR7.json; then
+    echo "missing from BENCH_PR7.json: $key" >&2
+    exit 1
+  fi
+done
+# With a native toolchain: the warm persistent cache must make a cold
+# prepare at least 10x cheaper than compiling, with zero compiler runs;
+# the tiering curve must start fused, promote, and never diverge.
+if grep -qF '"native_available": true' BENCH_PR7.json; then
+  python3 - <<'EOF'
+import json, sys
+r = json.load(open("BENCH_PR7.json"))
+ok = True
+def need(cond, msg):
+    global ok
+    if not cond:
+        print("BENCH_PR7.json: " + msg, file=sys.stderr)
+        ok = False
+need(r["pcache_speedup"] >= 10.0,
+     "pcache_speedup %.1f < 10x" % r["pcache_speedup"])
+need(r["pcache_warm_compiles"] == 0, "warm prepare invoked the compiler")
+need(r["pcache_warm_is_hit"], "warm prepare was not a cache hit")
+need(r["pcache_hits"] >= 1, "no pcache hit recorded")
+need(r["promoted"], "tiered preparation never promoted to native")
+need(not r["diverged"], "results diverged across the tier swap")
+curve = r["warmup_curve"]
+need(curve and curve[0]["tier"] == "fused", "warm-up curve must start fused")
+need(any(p["tier"] == "native" for p in curve),
+     "warm-up curve never reached native")
+sys.exit(0 if ok else 1)
+EOF
+fi
 
 echo "== ok =="

@@ -824,6 +824,10 @@ let serve_clients = ref 64
 
 let serve_requests = ref 10
 
+(* Sampling rate for the traced serve measurement ([--trace-sample],
+   default: trace every request). *)
+let serve_trace_sample = ref 1.0
+
 (* Smallest bucket bound covering the q-th fraction of observations: the
    percentile as a monitoring system computes it from a histogram. *)
 let serve_percentile snap q =
@@ -853,18 +857,28 @@ type serve_measurements = {
   sv_compiles : int;
   sv_dedup : int;
   sv_cache : Steno.Engine.cache_stats;
+  sv_traces : int;  (* completed traces retained (0 when untraced) *)
+  sv_trace_dropped : int;  (* ring overflow head-drops *)
 }
 
-let measure_serve () =
+let measure_serve ?(tracing = 0.0) () =
   let clients = max 1 !serve_clients in
   let requests = max 1 !serve_requests in
   let reg = Metrics.create () in
   let backend = if native then Steno.Native else Steno.Fused in
-  let eng =
-    Steno.Engine.(
-      create
-        { default_config with backend; metrics = reg; cache_capacity = 128 })
+  let cfg =
+    { Steno.Engine.default_config with
+      backend;
+      metrics = reg;
+      cache_capacity = 128
+    }
   in
+  let cfg =
+    if tracing > 0.0 then
+      Steno.Config.with_tracing ~sample:tracing ~slow_ms:50.0 cfg
+    else cfg
+  in
+  let eng = Steno.Engine.create cfg in
   let workers = max 2 (Domain_pool.recommended_workers ()) in
   (* Execution slots match the driver count: with fewer slots than
      drivers (this used to be workers/2, and BENCH_PR6 effectively ran
@@ -940,6 +954,8 @@ let measure_serve () =
     sv_dedup =
       Metrics.counter_value (Metrics.counter reg "steno_prepare_dedup");
     sv_cache = Steno.Engine.cache_stats eng;
+    sv_traces = List.length (Trace.traces (Steno.Engine.tracer eng));
+    sv_trace_dropped = Trace.dropped (Steno.Engine.tracer eng);
   }
 
 let serve () =
@@ -1307,6 +1323,132 @@ let json_tier_report file =
     (fnum m.tm_compile_cold_ms)
     m.tm_promoted
 
+(* {1 PR 8: tracing overhead}
+
+   Two figures.  The serve-layer delta re-runs the PR 6 stress with
+   request tracing off and on, comparing throughput and latency — the
+   end-to-end price of the ops plane.  The hot-path figure isolates the
+   per-request mechanics (trace root, ring push, bridged run span) on a
+   fixed-size fused run where query cost dominates, because that is the
+   path a production request takes once everything is cached; the CI
+   gate holds its overhead under 10%. *)
+
+type trace_overhead = {
+  to_run_off_ms : float;  (* median untraced request *)
+  to_run_traced_ms : float;  (* median fully-traced request *)
+  to_overhead_pct : float;
+}
+
+let measure_trace_overhead () =
+  (* Fixed size, independent of --scale: the gate compares the trace
+     mechanics (microseconds) against a realistic request (hundreds of
+     microseconds), and shrinking the query with the scale would turn
+     the gate into a measurement of the mechanics alone. *)
+  let n = 200_000 in
+  let xs = Array.init n (fun i -> i land 1023) in
+  let q =
+    Query.sum_int
+      (Query.of_array Ty.Int xs |> Query.select (fun x -> I.(x * x)))
+  in
+  let off_eng =
+    Steno.Engine.(create { default_config with metrics = Metrics.create () })
+  in
+  let traced_eng =
+    Steno.Engine.create
+      Steno.Config.(
+        default |> with_metrics (Metrics.create ()) |> with_tracing ~sample:1.0)
+  in
+  let request eng ~traced =
+    let p = Steno.Engine.prepare_scalar ~backend:Steno.Fused eng q in
+    let tracer = Steno.Engine.tracer eng in
+    fun () ->
+      if traced then
+        Trace.with_trace tracer "request" (fun () ->
+            ignore (Steno.Prepared_scalar.run p))
+      else ignore (Steno.Prepared_scalar.run p)
+  in
+  let run_off = request off_eng ~traced:false in
+  let run_traced = request traced_eng ~traced:true in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    1000.0 *. (Unix.gettimeofday () -. t0)
+  in
+  (* Interleave the samples: machine-state drift (GC, frequency, noisy
+     neighbours) then lands on both sides equally instead of biasing
+     whichever engine was measured second. *)
+  run_off ();
+  run_traced ();
+  let off_samples = ref [] and traced_samples = ref [] in
+  for _ = 1 to 21 do
+    off_samples := time run_off :: !off_samples;
+    traced_samples := time run_traced :: !traced_samples
+  done;
+  let median samples = List.nth (List.sort compare samples) 10 in
+  let off = median !off_samples in
+  let traced = median !traced_samples in
+  {
+    to_run_off_ms = off;
+    to_run_traced_ms = traced;
+    to_overhead_pct = (if off > 0.0 then 100.0 *. (traced -. off) /. off
+                       else Float.nan);
+  }
+
+let json_trace_report file =
+  header (Printf.sprintf "tracing-overhead JSON report -> %s" file);
+  let sample = !serve_trace_sample in
+  let m_off = measure_serve () in
+  let m_on = measure_serve ~tracing:sample () in
+  let hot = measure_trace_overhead () in
+  let fnum v = if Float.is_nan v then "null" else Printf.sprintf "%.3f" v in
+  let oc =
+    try open_out file
+    with Sys_error msg ->
+      Printf.eprintf "cannot write %s: %s\n" file msg;
+      exit 2
+  in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "trace",
+  "scale": %.3f,
+  "native_available": %b,
+  "trace_sample": %.3f,
+  "clients": %d,
+  "requests_per_client": %d,
+  "serve_off": {"throughput_rps": %s, "p50_ms": %s, "p99_ms": %s},
+  "serve_traced": {"throughput_rps": %s, "p50_ms": %s, "p99_ms": %s,
+                   "traces": %d, "trace_dropped": %d},
+  "serve_throughput_delta_pct": %s,
+  "hot_run_off_ms": %s,
+  "hot_run_traced_ms": %s,
+  "hot_overhead_pct": %s
+}
+|}
+    !scale native sample m_off.sv_clients m_off.sv_requests
+    (fnum m_off.sv_throughput) (fnum m_off.sv_p50) (fnum m_off.sv_p99)
+    (fnum m_on.sv_throughput) (fnum m_on.sv_p50) (fnum m_on.sv_p99)
+    m_on.sv_traces m_on.sv_trace_dropped
+    (fnum
+       (if m_off.sv_throughput > 0.0 then
+          100.0
+          *. (m_off.sv_throughput -. m_on.sv_throughput)
+          /. m_off.sv_throughput
+        else Float.nan))
+    (fnum hot.to_run_off_ms) (fnum hot.to_run_traced_ms)
+    (fnum hot.to_overhead_pct);
+  close_out oc;
+  row "serve: %.0f req/s untraced vs %.0f req/s traced (sample %.2f, %d \
+       traces)\n"
+    m_off.sv_throughput m_on.sv_throughput sample m_on.sv_traces;
+  row "hot path: %.3f ms -> %.3f ms (%.1f%% overhead)\n" hot.to_run_off_ms
+    hot.to_run_traced_ms hot.to_overhead_pct
+
+let trace_bench () =
+  header "PR 8: request-tracing overhead";
+  let hot = measure_trace_overhead () in
+  row "hot path: %.3f ms untraced, %.3f ms traced (%.1f%% overhead)\n"
+    hot.to_run_off_ms hot.to_run_traced_ms hot.to_overhead_pct
+
 let experiments =
   [
     "fig1", fig1;
@@ -1325,6 +1467,7 @@ let experiments =
     "profiling", profiling;
     "serve", serve;
     "tier", tier;
+    "trace", trace_bench;
     "bechamel", bechamel;
   ]
 
@@ -1335,6 +1478,7 @@ let () =
   let json_par_file = ref None in
   let json_serve_file = ref None in
   let json_tier_file = ref None in
+  let json_trace_file = ref None in
   let rec parse = function
     | [] -> []
     | "--scale" :: v :: rest ->
@@ -1345,6 +1489,9 @@ let () =
       parse rest
     | "--requests" :: v :: rest ->
       serve_requests := int_of_string v;
+      parse rest
+    | "--trace-sample" :: v :: rest ->
+      serve_trace_sample := float_of_string v;
       parse rest
     | "--json" :: file :: rest ->
       json_file := Some file;
@@ -1361,9 +1508,13 @@ let () =
     | "--json-tier" :: file :: rest ->
       json_tier_file := Some file;
       parse rest
+    | "--json-trace" :: file :: rest ->
+      json_trace_file := Some file;
+      parse rest
     | [
-        ( "--scale" | "--clients" | "--requests" | "--json" | "--json-profile"
-        | "--json-par" | "--json-serve" | "--json-tier" ) as flag;
+        ( "--scale" | "--clients" | "--requests" | "--trace-sample" | "--json"
+        | "--json-profile" | "--json-par" | "--json-serve" | "--json-tier"
+        | "--json-trace" ) as flag;
       ] ->
       Printf.eprintf "%s requires a value\n" flag;
       exit 2
@@ -1373,7 +1524,7 @@ let () =
   let json_requested =
     [
       !json_file; !json_profile_file; !json_par_file; !json_serve_file;
-      !json_tier_file;
+      !json_tier_file; !json_trace_file;
     ]
     |> List.exists Option.is_some
   in
@@ -1398,4 +1549,5 @@ let () =
   Option.iter json_profile_report !json_profile_file;
   Option.iter json_par_report !json_par_file;
   Option.iter json_serve_report !json_serve_file;
-  Option.iter json_tier_report !json_tier_file
+  Option.iter json_tier_report !json_tier_file;
+  Option.iter json_trace_report !json_trace_file

@@ -486,11 +486,22 @@ let cmd_metrics n =
    Engine, then the metrics registry is dumped in OpenMetrics format —
    the per-tenant series ([client="tenant-N"]) and the server request /
    queue families are what an operator would scrape. *)
-let cmd_serve clients requests n =
+let cmd_serve clients requests n admin_port hold =
   let clients = max 1 clients in
   let requests = max 1 requests in
   let reg = Metrics.create () in
-  let eng = Steno.Engine.(create { default_config with metrics = reg }) in
+  let cfg = Steno.Config.(default |> with_metrics reg) in
+  (* The admin listener only makes sense with something to look at, so
+     [--admin-port] also turns tracing on (full sampling, 5 ms slow
+     threshold). *)
+  let cfg =
+    match admin_port with
+    | None -> cfg
+    | Some port ->
+      Steno.Config.(cfg |> with_tracing ~slow_ms:5.0 |> with_admin ~port)
+  in
+  let eng = Steno.Engine.create cfg in
+  let ops = Option.map (fun _ -> Ops.start eng) admin_port in
   let srv = Server.create eng in
   let xs = int_input n in
   let q =
@@ -520,7 +531,66 @@ let cmd_serve clients requests n =
     "# %d clients x %d requests: %d completed, %d rejected, %d failed\n"
     clients requests completed st.Server.rejected st.Server.failed;
   print_string (Metrics.render reg);
+  (match ops with
+  | None -> ()
+  | Some o ->
+    (* Announce the bound port (meaningful with --admin-port 0) and
+       keep the process — and the listener — alive for [hold] seconds,
+       so an external scraper can hit the endpoints. *)
+    Printf.printf "# admin listening on http://127.0.0.1:%d\n%!" (Ops.port o);
+    if hold > 0.0 then Unix.sleepf hold;
+    Ops.stop o);
   if st.Server.failed > 0 then 1 else 0
+
+(* A traced, tiered workload through the serving layer: the trace
+   source behind [trace export] and [trace slow].  Threshold 1 makes
+   the very first request trip a background promotion compile, whose
+   spans land in that request's trace via the domain pool's context
+   propagation — so the export demonstrates a cross-domain trace. *)
+let trace_workload n =
+  let reg = Metrics.create () in
+  let cfg =
+    Steno.Config.(
+      default |> with_metrics reg
+      |> with_tracing ~slow_ms:0.0
+      |> with_tiering ~threshold:1)
+  in
+  let eng = Steno.Engine.create cfg in
+  let srv = Server.create eng in
+  let xs = int_input n in
+  let q =
+    Query.of_array Ty.Int xs
+    |> Query.select (fun x -> I.(x * x))
+    |> Query.sum_int
+  in
+  for _ = 1 to 4 do
+    match
+      Server.submit srv ~client_id:"trace" (fun sess ->
+          Steno.Session.scalar sess q)
+    with
+    | Server.Failed e -> raise e
+    | Server.Done _ | Server.Rejected _ -> ()
+  done;
+  (* The promotion compile runs on a pool domain after the requests
+     return; wait (bounded) for its outcome so the exported trace
+     contains the compile spans. *)
+  let promo result =
+    Metrics.counter_value
+      (Metrics.counter reg "steno_tier_promotions" ~labels:[ "result", result ])
+  in
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while promo "ok" + promo "failed" = 0 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.01
+  done;
+  eng
+
+let cmd_trace_export n =
+  print_string (Trace.export_chrome (Steno.Engine.tracer (trace_workload n)));
+  0
+
+let cmd_trace_slow n =
+  print_string (Trace.slow_report (Steno.Engine.tracer (trace_workload n)));
+  0
 
 (* Operator maintenance of the persistent plugin store.  A handle's
    hit/miss counters are per-process, so [stats] reports only the disk
@@ -780,6 +850,25 @@ let requests_arg =
     value & opt int 4
     & info [ "requests" ] ~doc:"Requests submitted per client.")
 
+let admin_port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "admin-port" ]
+        ~doc:
+          "Start the HTTP admin listener on this loopback port (0 = an \
+           ephemeral port, announced on stdout) and enable request \
+           tracing.  Endpoints: /metrics, /healthz, /traces, /slow.")
+
+let hold_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "hold" ]
+        ~doc:
+          "With --admin-port: keep the process (and listener) alive this \
+           many seconds after the stress, so an external scraper can hit \
+           the endpoints.")
+
 let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
@@ -788,8 +877,31 @@ let serve_cmd =
           concurrently through one Server over one Engine, then the \
           metrics registry (per-tenant run counters and latency \
           histograms, server admission counters) is dumped in OpenMetrics \
-          text format.")
-    Term.(const cmd_serve $ clients_arg $ requests_arg $ size)
+          text format.  With --admin-port, also serves the ops plane over \
+          HTTP and records request traces.")
+    Term.(
+      const cmd_serve $ clients_arg $ requests_arg $ size $ admin_port_arg
+      $ hold_arg)
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:
+         "Request-scoped traces from a traced, tiered serving workload \
+          (every request traced, background tier promotion attributed to \
+          the triggering request).")
+    [
+      Cmd.v
+        (Cmd.info "export"
+           ~doc:
+             "Print the trace ring as Chrome trace_event JSON (load in \
+              chrome://tracing or Perfetto).")
+        Term.(const cmd_trace_export $ size);
+      Cmd.v
+        (Cmd.info "slow"
+           ~doc:"Print the slow-query ring as text, worst first.")
+        Term.(const cmd_trace_slow $ size);
+    ]
 
 let pcache_dir_arg =
   Arg.(
@@ -825,5 +937,5 @@ let () =
           [
             list_cmd; show_cmd; run_cmd; bench_cmd; stats_cmd; eval_cmd;
             explain_cmd; analyze_cmd; lint_cmd; metrics_cmd; serve_cmd;
-            pcache_cmd;
+            trace_cmd; pcache_cmd;
           ]))

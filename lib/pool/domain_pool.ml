@@ -200,18 +200,30 @@ let run_general ~workers ~tasks ~stop f =
   if workers = 1 || Domain.DLS.get in_worker then seq_run ~tasks ~stop f
   else par_run ~workers ~tasks ~stop f
 
-let run (type r) ~workers ~tasks (f : int -> r) : r array =
+(* Trace-context propagation: a worker domain has no request context of
+   its own, so tasks scheduled with [?ctx] are wrapped to re-root the
+   scheduling request's trace on whichever domain runs them.  The wrap
+   is also applied on the caller's own chunks — [with_ctx] is
+   reentrant, so that is just a cheap DLS save/restore. *)
+let with_task_ctx ctx f =
+  match ctx with
+  | None -> f
+  | Some _ -> fun i -> Trace.with_ctx ctx (fun () -> f i)
+
+let run (type r) ?ctx ~workers ~tasks (f : int -> r) : r array =
   if tasks = 0 then [||]
   else begin
+    let f = with_task_ctx ctx f in
     let results, failure = run_general ~workers ~tasks ~stop:None f in
     (match failure with Some e -> raise e | None -> ());
     Array.map (function Some r -> r | None -> assert false) results
   end
 
-let run_until (type r) ~workers ~tasks ~(stop : r -> bool) (f : int -> r) :
-    r option array =
+let run_until (type r) ?ctx ~workers ~tasks ~(stop : r -> bool) (f : int -> r)
+    : r option array =
   if tasks = 0 then [||]
   else begin
+    let f = with_task_ctx ctx f in
     let results, failure = run_general ~workers ~tasks ~stop:(Some stop) f in
     (match failure with Some e -> raise e | None -> ());
     results
@@ -226,7 +238,15 @@ let map_array ~workers f arr =
    points, a submission from inside a pool worker is still queued (not
    run inline): nobody waits on the result, so there is no deadlock to
    avoid, and the submitting worker must not pay the task's cost. *)
-let async f =
+let async ?ctx f =
+  (* Re-root the submitting request's trace on the worker, so e.g. a
+     tier-promotion compile is attributed to the request that triggered
+     it even though it runs later, on another domain. *)
+  let f =
+    match ctx with
+    | None -> f
+    | Some _ -> fun () -> Trace.with_ctx ctx f
+  in
   Atomic.incr submitted;
   ensure_workers 2;
   let taken = Atomic.make false in

@@ -14,13 +14,21 @@
 val recommended_workers : unit -> int
 (** [Domain.recommended_domain_count], capped to a sane bound. *)
 
-val run : workers:int -> tasks:int -> (int -> 'r) -> 'r array
+val run : ?ctx:Trace.ctx -> workers:int -> tasks:int -> (int -> 'r) -> 'r array
 (** [run ~workers ~tasks f] computes [f i] for every [0 <= i < tasks]
     using at most [workers - 1] pool domains (plus the caller, which also
-    works), and returns results in task order. *)
+    works), and returns results in task order.  [?ctx] re-roots the
+    given trace context on whichever domain runs each task (see
+    {!Trace.with_ctx}), so work fanned out on behalf of a traced request
+    keeps that request's identity. *)
 
 val run_until :
-  workers:int -> tasks:int -> stop:('r -> bool) -> (int -> 'r) -> 'r option array
+  ?ctx:Trace.ctx ->
+  workers:int ->
+  tasks:int ->
+  stop:('r -> bool) ->
+  (int -> 'r) ->
+  'r option array
 (** Like {!run}, but when any completed task's result satisfies [stop]
     the remaining unstarted tasks are abandoned: short-circuiting
     aggregation (e.g. [Contains]/[Any]/[For_all], section 6).  The
@@ -30,7 +38,7 @@ val run_until :
 
 val map_array : workers:int -> ('a -> 'b) -> 'a array -> 'b array
 
-val async : (unit -> unit) -> unit
+val async : ?ctx:Trace.ctx -> (unit -> unit) -> unit
 (** Submit a fire-and-forget task to the pool and return immediately:
     the task runs on whichever pool worker frees up first (at least two
     workers are ensured, so a task queued while one long job saturates a

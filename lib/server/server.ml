@@ -39,6 +39,17 @@ let create ?max_inflight ?(max_queue = 64) engine =
     | None -> max 1 (Domain.recommended_domain_count ())
   in
   if max_queue < 0 then invalid_arg "Server.create: max_queue < 0";
+  (* Register the server families eagerly, so a scrape shows them at
+     zero before the first request arrives.  The per-client counter
+     series appear as requests do; the zero-valued family pins the
+     HELP/TYPE headers. *)
+  let m = Steno.Engine.metrics engine in
+  ignore
+    (Metrics.counter m "steno_server_requests"
+       ~help:"Requests submitted to the query server, by final outcome");
+  ignore
+    (Metrics.histogram m "steno_server_queue_ms"
+       ~help:"Time admitted requests spent waiting for an execution slot");
   {
     srv_engine = engine;
     max_inflight;
@@ -138,12 +149,21 @@ let release t ~ok =
 
 let submit t ~client_id f =
   let sess = session t ~client_id in
+  (* The request root: one trace per submission (subject to the
+     tracer's sampling), covering admission wait, the request body, and
+     — via the context handed to the domain pool — any background
+     promotion compile this request triggers. *)
+  let tracer = Steno.Engine.tracer t.srv_engine in
+  Trace.with_trace tracer "request" ~attrs:[ "client", client_id ]
+  @@ fun () ->
   let t0 = Telemetry.now_ms () in
   let outcome =
     match admit t with
     | Error reason -> Rejected reason
     | Ok () ->
-      observe_queue_wait t (Telemetry.now_ms () -. t0);
+      let queue_ms = Telemetry.now_ms () -. t0 in
+      observe_queue_wait t queue_ms;
+      Trace.annotate tracer [ "queue_ms", Printf.sprintf "%.3f" queue_ms ];
       (match f sess with
       | v ->
         release t ~ok:true;
@@ -153,6 +173,7 @@ let submit t ~client_id f =
         Failed e)
   in
   count_request t ~client_id outcome;
+  Trace.annotate tracer [ "outcome", outcome_label outcome ];
   outcome
 
 type stats = {

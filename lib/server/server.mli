@@ -67,7 +67,14 @@ val session : t -> client_id:string -> Steno.Session.t
 val submit : t -> client_id:string -> (Steno.Session.t -> 'a) -> 'a outcome
 (** Run a request for [client_id] under admission control.  Blocks
     while a free execution slot exists or the wait queue has room;
-    returns [Rejected] without running the function otherwise. *)
+    returns [Rejected] without running the function otherwise.
+
+    On a tracing-enabled engine ({!Steno.Config.with_tracing}) each
+    submission is one trace root named ["request"], annotated with the
+    client, queue wait and outcome; everything the request does —
+    prepare/optimize/codegen spans, cache and dedup events, even the
+    background tier-promotion compile it may trigger on the domain pool
+    — is recorded under that trace's id. *)
 
 type stats = {
   accepted : int;  (** Requests admitted (completed + failed + running). *)

@@ -262,6 +262,8 @@ module Config = struct
 
   type disk_cache = { dir : string; max_bytes : int; max_entries : int }
 
+  type tracing = { sample : float; ring : int; slow_ms : float option }
+
   type t = {
     backend : backend;
     fallback : bool;
@@ -274,6 +276,8 @@ module Config = struct
     strict : bool;
     tiering : tiering option;
     disk_cache : disk_cache option;
+    tracing : tracing option;
+    admin_port : int option;
   }
 
   let default =
@@ -289,6 +293,8 @@ module Config = struct
       strict = false;
       tiering = None;
       disk_cache = None;
+      tracing = None;
+      admin_port = None;
     }
 
   let with_backend backend t = { t with backend }
@@ -308,6 +314,15 @@ module Config = struct
     { t with disk_cache = Some { dir; max_bytes; max_entries } }
 
   let without_disk_cache t = { t with disk_cache = None }
+
+  let with_tracing ?(sample = 1.0) ?(ring = 256) ?slow_ms t =
+    { t with tracing = Some { sample; ring; slow_ms } }
+
+  let without_tracing t = { t with tracing = None }
+
+  let with_admin ~port t = { t with admin_port = Some port }
+
+  let without_admin t = { t with admin_port = None }
 end
 
 module Engine = struct
@@ -326,10 +341,17 @@ module Engine = struct
     strict : bool;
     tiering : Config.tiering option;
     disk_cache : Config.disk_cache option;
+    tracing : Config.tracing option;
+    admin_port : int option;
   }
 
   type t = {
     cfg : config;
+    tracer : Trace.t;
+        (* Request-scoped tracing (see [Trace]); [Trace.disabled] unless
+           the configuration asked for it.  The engine's telemetry sink
+           is teed into the tracer at creation, so existing pipeline
+           spans and counters flow into the active trace. *)
     cache : (string, Dynload.compiled) Steno_lru.t;
     flight :
       (string, (bool * Dynload.compiled, fallback_reason) result)
@@ -371,6 +393,23 @@ module Engine = struct
       ~labels:[ "result", result ]
 
   let create cfg =
+    let tracer =
+      match cfg.tracing with
+      | None -> Trace.disabled
+      | Some { Config.sample; ring; slow_ms } ->
+        Trace.create ~sample ~ring ?slow_ms ~metrics:cfg.metrics ()
+    in
+    (* Forward pipeline telemetry into active traces: every stage span
+       and counter the engine already reports lands in the trace of the
+       request it served, with no second instrumentation point. *)
+    let cfg =
+      if Trace.enabled tracer then
+        {
+          cfg with
+          telemetry = Telemetry.tee cfg.telemetry (Trace.telemetry_sink tracer);
+        }
+      else cfg
+    in
     (* Dynlink cannot unload plugin code, so a released handle is only
        dropped — but the release is now observable rather than silent. *)
     let on_evict _key (_ : Dynload.compiled) =
@@ -391,6 +430,7 @@ module Engine = struct
     let eng =
       {
         cfg;
+        tracer;
         cache =
           Steno_lru.create ~on_evict ~shards ~capacity:cfg.cache_capacity ();
         flight = Steno_flight.create ();
@@ -412,6 +452,8 @@ module Engine = struct
   let pcache_dir e = Option.map Pcache.dir e.pcache
 
   let config e = e.cfg
+
+  let tracer e = e.tracer
 
   let telemetry e = e.cfg.telemetry
 
@@ -578,8 +620,12 @@ module Engine = struct
       ^ (if eng.cfg.optimize then "O1:" else "O0:")
       ^ out.Codegen.source
     in
-    let led, looked_up =
-      Steno_flight.run eng.flight cache_key @@ fun () ->
+    (* The leader registers its trace id as the flight note, so a
+       follower from another request can record which trace actually
+       paid for the compile it joined. *)
+    let note = Option.map Trace.ctx_id (Trace.current ()) in
+    let led, leader_note, looked_up =
+      Steno_flight.run ?note eng.flight cache_key @@ fun () ->
       match Steno_lru.find eng.cache cache_key with
       | Some p ->
         Telemetry.count sink "cache.hit" 1;
@@ -596,6 +642,7 @@ module Engine = struct
           match eng.pcache with
           | None -> None
           | Some pc -> (
+            Trace.with_span eng.tracer "pcache.lookup" @@ fun () ->
             match Pcache.find pc ~key:cache_key with
             | None ->
               Metrics.inc (pcache_misses_c eng);
@@ -680,6 +727,13 @@ module Engine = struct
     if not led then begin
       (* This prepare joined another domain's in-flight compile. *)
       Telemetry.count sink "flight.join" 1;
+      (* Link this trace to the one that ran the compile. *)
+      Trace.instant eng.tracer "flight.follow"
+        ~attrs:
+          (match leader_note with
+          | Some leader_trace -> [ "leader_trace", leader_trace ]
+          | None -> [])
+        ();
       Metrics.inc
         (Metrics.counter eng.cfg.metrics "steno_prepare_dedup"
            ~help:
@@ -693,6 +747,11 @@ module Engine = struct
          is a cache hit as far as this preparation's cost accounting is
          concerned. *)
       let cache_hit = leader_hit || not led in
+      Trace.annotate eng.tracer
+        [
+          "cache", (if cache_hit then "hit" else "miss");
+          "dedup", (if led then "leader" else "follower");
+        ];
       let t2 = now_ms () in
       let env =
         Telemetry.with_span sink "env-bind" (fun () ->
@@ -816,6 +875,7 @@ module Engine = struct
            promotions of the same query (even from different prepared
            handles) cost one compile — and a pcache hit makes promotion
            nearly free. *)
+        Trace.with_span eng.tracer "tier.promote" @@ fun () ->
         match compile_native eng plan ~t0:(now_ms ()) with
         | Ok (run, _info, _prof) ->
           Atomic.set cell (traced_run sink Native run);
@@ -828,7 +888,12 @@ module Engine = struct
       let run_fn () =
         let n = 1 + Atomic.fetch_and_add runs 1 in
         if n >= threshold && Atomic.compare_and_set started false true then
-          Domain_pool.async promote;
+          (* The promotion compile runs later on a pool domain; handing
+             it the current context attributes its spans to the request
+             that tripped the threshold. *)
+          Domain_pool.async ?ctx:(Trace.current ()) promote;
+        Trace.annotate eng.tracer
+          [ "tier", backend_name (Atomic.get base.p_tier) ];
         (* In-flight runs that loaded the cell before the swap finish on
            the old tier; the publication itself is a single atomic. *)
         (Atomic.get cell) ()
@@ -1005,6 +1070,18 @@ module Engine = struct
       ^ String.concat "; " (List.map Check.to_string errs)
     | Compile_failure reason -> fallback_reason_message reason
 
+  (* Attach the optimized plan's QUIL rendering to the active trace, so
+     the slow-query log can show {e what} ran, not just how long.  Costs
+     a canonicalization, so only under an active trace; queries outside
+     the QUIL fragment simply have no plan attribute. *)
+  let annotate_plan eng canon_of x =
+    if Trace.enabled eng.tracer && Trace.current () <> None then
+      match canon_of x with
+      | exception _ -> ()
+      | c ->
+        let c = if eng.cfg.optimize then fst (Opt.chain c) else c in
+        Trace.annotate eng.tracer [ "plan", Quil.symbol_string c ]
+
   let try_prepare ?backend eng q =
     match
       run_checks_result eng (fun () ->
@@ -1013,6 +1090,7 @@ module Engine = struct
     | Error errs -> Error (Check_error errs)
     | Ok diags -> (
       let q, ast_rules = optimize_ast eng Opt.query q in
+      annotate_plan eng Canon.of_query q;
       let plan, chain_rules = with_chain_pass eng (query_plan q) in
       match prepare_plan_result eng ?backend (with_verified_chain plan) with
       | Error reason -> Error (Compile_failure reason)
@@ -1032,6 +1110,7 @@ module Engine = struct
     | Error errs -> Error (Check_error errs)
     | Ok diags -> (
       let sq, ast_rules = optimize_ast eng Opt.scalar sq in
+      annotate_plan eng Canon.of_scalar sq;
       let plan, chain_rules = with_chain_pass eng (scalar_plan sq) in
       match prepare_plan_result eng ?backend (with_verified_chain plan) with
       | Error reason -> Error (Compile_failure reason)
@@ -1311,21 +1390,30 @@ module Session = struct
     in
     { p with run_fn }
 
+  (* Stamp the active trace (if any) with this session's identity, so a
+     trace started outside [Server.submit] still records who asked. *)
+  let annotate_trace s =
+    Trace.annotate (Engine.tracer s.s_engine) [ "client", s.s_client ]
+
   let try_prepare ?backend s q =
     Atomic.incr s.s_prepares;
+    annotate_trace s;
     Result.map (instrument s) (Engine.try_prepare ?backend s.s_engine q)
 
   let try_prepare_scalar ?backend s sq =
     Atomic.incr s.s_prepares;
+    annotate_trace s;
     Result.map (instrument s)
       (Engine.try_prepare_scalar ?backend s.s_engine sq)
 
   let prepare ?backend s q =
     Atomic.incr s.s_prepares;
+    annotate_trace s;
     instrument s (Engine.prepare ?backend s.s_engine q)
 
   let prepare_scalar ?backend s sq =
     Atomic.incr s.s_prepares;
+    annotate_trace s;
     instrument s (Engine.prepare_scalar ?backend s.s_engine sq)
 
   let to_array ?backend s q = (prepare ?backend s q).run_fn ()

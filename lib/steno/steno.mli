@@ -151,6 +151,10 @@ module Config : sig
       {!Engine.config.disk_cache}. *)
   type disk_cache = { dir : string; max_bytes : int; max_entries : int }
 
+  (** Request-scoped tracing configuration.  See
+      {!Engine.config.tracing}. *)
+  type tracing = { sample : float; ring : int; slow_ms : float option }
+
   (** The full engine configuration.  The fields are documented on the
       (equal) {!Engine.config} re-export; prefer building values with
       {!default} and the combinators below, which stay source-compatible
@@ -167,6 +171,8 @@ module Config : sig
     strict : bool;
     tiering : tiering option;
     disk_cache : disk_cache option;
+    tracing : tracing option;
+    admin_port : int option;
   }
 
   val default : t
@@ -197,6 +203,23 @@ module Config : sig
       [Pcache.default_dir ()]).  Defaults: 256 MiB, 512 entries. *)
 
   val without_disk_cache : t -> t
+
+  val with_tracing : ?sample:float -> ?ring:int -> ?slow_ms:float -> t -> t
+  (** Enable request-scoped tracing: [sample] is the traced fraction of
+      root requests (default [1.0], realised deterministically as
+      1-in-k), [ring] the completed-trace ring capacity (default 256),
+      [slow_ms] a latency threshold enabling the slow-query ring.  See
+      {!Engine.config.tracing}. *)
+
+  val without_tracing : t -> t
+
+  val with_admin : port:int -> t -> t
+  (** Ask for the HTTP admin/ops listener on [port] ([0] = an ephemeral
+      port).  The engine itself never opens sockets: the host (e.g.
+      [stenoc serve], or any caller of [Ops.start]) reads this field and
+      starts the listener. *)
+
+  val without_admin : t -> t
 end
 
 (** {1 Engines}
@@ -292,6 +315,26 @@ module Engine : sig
             corrupt or incompatible entries are dropped and recompiled,
             never surfaced as errors.  [None] (the default) keeps
             compiled code in-process only. *)
+    tracing : Config.tracing option;
+        (** When set, the engine carries an enabled {!Trace.t} (see
+            {!tracer}) and tees its telemetry into it, so every pipeline
+            span and counter recorded while a trace context is installed
+            (e.g. under [Server.submit]) lands in that request's trace —
+            including spans from other domains: background tier
+            promotions and single-flight leaders re-root the context via
+            [Domain_pool]'s [?ctx].  Completed traces land in a bounded
+            ring ([ring] entries, head-drop counted in
+            [steno_trace_dropped_total]); requests at or over [slow_ms]
+            (when set) also land in the slow-query ring with the
+            optimized plan, tier and cache outcomes attached.  [sample]
+            traces 1-in-k requests, deterministically.  [None] (the
+            default) records nothing and costs one branch per
+            instrumentation point. *)
+    admin_port : int option;
+        (** Port the host should serve the ops plane on ([/metrics],
+            [/healthz], [/traces], [/slow] — see [Ops]); [0] requests an
+            ephemeral port.  Stored configuration only: [Engine.create]
+            opens no sockets. *)
   }
 
   val default_config : config
@@ -303,6 +346,12 @@ module Engine : sig
       {!default_config}). *)
 
   val config : t -> config
+
+  val tracer : t -> Trace.t
+  (** The engine's request tracer: enabled iff the configuration set
+      {!Config.with_tracing}, {!Trace.disabled} otherwise.  Wrap work in
+      [Trace.with_trace (Engine.tracer e) "request" f] to trace it;
+      [Server.submit] does this per request. *)
 
   val telemetry : t -> Telemetry.sink
 

@@ -7,6 +7,7 @@ type 'v outcome = ('v, exn) result
 type 'v call = {
   c_mu : Mutex.t;
   c_cv : Condition.t;
+  c_note : string option;  (* leader-provided, e.g. its trace id *)
   mutable c_done : 'v outcome option;  (* None while in flight *)
 }
 
@@ -30,14 +31,19 @@ let await (c : _ call) =
   in
   go ()
 
-let run t k f =
+let run ?note t k f =
   let role =
     Mutex.protect t.mu @@ fun () ->
     match Hashtbl.find_opt t.calls k with
     | Some c -> `Follow c
     | None ->
       let c =
-        { c_mu = Mutex.create (); c_cv = Condition.create (); c_done = None }
+        {
+          c_mu = Mutex.create ();
+          c_cv = Condition.create ();
+          c_note = note;
+          c_done = None;
+        }
       in
       Hashtbl.replace t.calls k c;
       `Lead c
@@ -45,7 +51,7 @@ let run t k f =
   match role with
   | `Follow c -> (
     match await c with
-    | Ok v -> false, v
+    | Ok v -> false, c.c_note, v
     | Error e -> raise e)
   | `Lead c ->
     let outcome = try Ok (f ()) with e -> Error e in
@@ -58,5 +64,5 @@ let run t k f =
         c.c_done <- Some outcome;
         Condition.broadcast c.c_cv);
     (match outcome with
-    | Ok v -> true, v
+    | Ok v -> true, None, v
     | Error e -> raise e)

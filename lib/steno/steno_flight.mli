@@ -25,12 +25,16 @@ type ('k, 'v) t
 
 val create : unit -> ('k, 'v) t
 
-val run : ('k, 'v) t -> 'k -> (unit -> 'v) -> bool * 'v
-(** [run t k f] returns [(led, v)]: if no call for [k] is in flight,
-    runs [f ()] as the leader ([led = true]); otherwise blocks until the
-    in-flight leader for [k] finishes and returns its result
-    ([led = false]).  If the leader's [f] raises, the exception is
-    re-raised in the leader {e and} in every follower. *)
+val run : ?note:string -> ('k, 'v) t -> 'k -> (unit -> 'v) -> bool * string option * 'v
+(** [run t k f] returns [(led, leader_note, v)]: if no call for [k] is
+    in flight, runs [f ()] as the leader ([led = true],
+    [leader_note = None]); otherwise blocks until the in-flight leader
+    for [k] finishes and returns its result ([led = false],
+    [leader_note] = the [?note] the leader registered, if any).  The
+    note lets a follower link to the leader's identity — e.g. record the
+    trace id of the request whose compile it joined.  If the leader's
+    [f] raises, the exception is re-raised in the leader {e and} in
+    every follower. *)
 
 val in_flight : ('k, 'v) t -> int
 (** Number of keys currently being computed (for tests/diagnostics). *)

@@ -77,6 +77,12 @@ val emit :
 val count : sink -> string -> int -> unit
 (** Bump a named counter. *)
 
+val json_escape : string -> string
+(** JSON string-content escaping (quotes, backslashes, control
+    characters as [\uXXXX]): the helper behind the {!json} sink, shared
+    by every Steno JSON emitter so attr values — compile errors, plan
+    text — can never produce invalid JSON. *)
+
 val now_ms : unit -> float
 (** Milliseconds on a monotonic clock (CLOCK_MONOTONIC): a timestamp for
     measuring durations, not an epoch date.  Immune to wall-clock

@@ -142,4 +142,104 @@ sys.exit(0 if ok else 1)
 EOF
 fi
 
+echo "== tracing + ops-plane suite =="
+dune exec test/test_trace.exe
+
+echo "== admin endpoints (stenoc serve --admin-port) =="
+serve_log=$(mktemp)
+dune exec bin/stenoc.exe -- serve --clients 4 --requests 2 -n 2000 \
+  --admin-port 0 --hold 30 > "$serve_log" 2>&1 &
+serve_pid=$!
+admin_url=""
+for _ in $(seq 1 100); do
+  admin_url=$(sed -n 's/^# admin listening on //p' "$serve_log")
+  [ -n "$admin_url" ] && break
+  sleep 0.2
+done
+if [ -z "$admin_url" ]; then
+  echo "stenoc serve never announced the admin listener" >&2
+  cat "$serve_log" >&2
+  exit 1
+fi
+if [ "$(curl -fsS "$admin_url/healthz")" != "ok" ]; then
+  echo "admin /healthz did not answer ok" >&2
+  exit 1
+fi
+admin_metrics=$(curl -fsS "$admin_url/metrics")
+for family in \
+    'TYPE steno_server_requests counter' \
+    'TYPE steno_server_queue_ms histogram' \
+    'TYPE steno_trace_dropped counter' \
+    'steno_trace_dropped_total' \
+    'steno_traces_total'
+do
+  if ! printf '%s\n' "$admin_metrics" | grep -qF "$family"; then
+    echo "missing from admin /metrics: $family" >&2
+    exit 1
+  fi
+done
+curl -fsS "$admin_url/traces" > /dev/null
+curl -fsS "$admin_url/slow" > /dev/null
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+rm -f "$serve_log"
+
+echo "== trace export (Chrome trace_event JSON) =="
+dune exec bin/stenoc.exe -- trace export -n 2000 > trace_export.json
+python3 - <<'EOF'
+import json, sys
+r = json.load(open("trace_export.json"))
+events = r["traceEvents"]
+ok = True
+def need(cond, msg):
+    global ok
+    if not cond:
+        print("trace export: " + msg, file=sys.stderr)
+        ok = False
+need(len(events) >= 1, "no events exported")
+# Group complete events by trace (= pid) and demand at least one trace
+# holding the request root, the run span, and the background promotion
+# span — the cross-domain attribution the trace layer exists for.
+by_pid = {}
+for e in events:
+    if e.get("ph") in ("X", "i"):
+        by_pid.setdefault(e["pid"], set()).add(e["name"])
+need(any({"request", "run", "tier.promote"} <= names
+         for names in by_pid.values()),
+     "no trace pairs request+run with its background tier.promote")
+need(any("trace_id" in e.get("args", {}) for e in events),
+     "no root span carries a trace_id")
+sys.exit(0 if ok else 1)
+EOF
+rm -f trace_export.json
+
+echo "== trace overhead (8 clients x 4 requests, sample 1.0) =="
+dune exec bench/main.exe -- serve --scale 0.01 --clients 8 --requests 4 \
+  --trace-sample 1.0 --json-trace BENCH_PR8.json
+python3 -m json.tool BENCH_PR8.json > /dev/null
+for key in trace_sample serve_off serve_traced traces trace_dropped \
+    serve_throughput_delta_pct hot_run_off_ms hot_run_traced_ms \
+    hot_overhead_pct
+do
+  if ! grep -qF "\"$key\"" BENCH_PR8.json; then
+    echo "missing from BENCH_PR8.json: $key" >&2
+    exit 1
+  fi
+done
+# The hot-path tax of full tracing must stay under 10% (negative values
+# are measurement noise and fine).
+python3 - <<'EOF'
+import json, sys
+r = json.load(open("BENCH_PR8.json"))
+pct = r["hot_overhead_pct"]
+if pct >= 10.0:
+    print("BENCH_PR8.json: hot-path tracing overhead %.1f%% >= 10%%" % pct,
+          file=sys.stderr)
+    sys.exit(1)
+if r["serve_traced"]["traces"] < 1:
+    print("BENCH_PR8.json: traced serve run recorded no traces",
+          file=sys.stderr)
+    sys.exit(1)
+EOF
+
 echo "== ok =="

@@ -145,6 +145,13 @@ let accept_loop t () =
   go ()
 
 let start ?port engine =
+  (* A peer that closes before the response is fully written turns the
+     next [Unix.write] into SIGPIPE, whose default disposition kills the
+     whole process.  Ignoring it surfaces the disconnect as
+     [Unix_error EPIPE], which the accept loop already swallows.
+     ([Invalid_argument]: platforms without SIGPIPE.) *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   let port =
     match port with
     | Some p -> p

@@ -121,7 +121,7 @@ let ring_dropped ring =
 
 type t = {
   t_enabled : bool;
-  t_every : int;  (* record 1 trace in [t_every] *)
+  t_every : int;  (* record 1 trace in [t_every]; 0 records none *)
   t_slow_ms : float option;
   t_max_spans : int;
   t_epoch : string;  (* pid + wall-clock second: ids survive restarts *)
@@ -166,7 +166,7 @@ let create ?(sample = 1.0) ?(ring = 256) ?slow_ms ?(max_spans = 4096) ?metrics
        decision is the root sequence counter, so it is deterministic and
        costs no RNG state. *)
     if sample >= 1.0 then 1
-    else if sample <= 0.0 then max_int
+    else if sample <= 0.0 then 0 (* disabled: not even the first request *)
     else max 1 (int_of_float (Float.round (1.0 /. sample)))
   in
   {
@@ -235,7 +235,24 @@ let annotate t attrs =
   if t.t_enabled && attrs <> [] then
     match current () with
     | None -> ()
-    | Some d -> Mutex.protect d.d_mu (fun () -> d.d_attrs <- attrs @ d.d_attrs)
+    | Some d ->
+      Mutex.protect d.d_mu (fun () ->
+          (* Re-annotation replaces, never accumulates: a hot loop that
+             annotates the same key every run (e.g. [tier]) must not grow
+             the trace unboundedly, so duplicates are dropped at
+             insertion — [d_attrs] stays bounded by the number of
+             distinct keys. *)
+          let changed =
+            List.filter
+              (fun (k, v) -> List.assoc_opt k d.d_attrs <> Some v)
+              attrs
+          in
+          if changed <> [] then
+            d.d_attrs <-
+              changed
+              @ List.filter
+                  (fun (k, _) -> not (List.mem_assoc k changed))
+                  d.d_attrs)
 
 let with_span t name ?(attrs = []) f =
   if not (active t) then f ()
@@ -262,7 +279,7 @@ let with_trace t name ?(attrs = []) f =
     with_span t name ~attrs f
   else begin
     let n = Atomic.fetch_and_add t.t_seq 1 in
-    if n mod t.t_every <> 0 then f ()
+    if t.t_every <= 0 || n mod t.t_every <> 0 then f ()
     else begin
       let d =
         {
@@ -294,11 +311,18 @@ let with_trace t name ?(attrs = []) f =
             sp_domain = (Domain.self () :> int);
             sp_attrs = [];
           };
-        ring_push t.t_ring ~seq:n ~on_drop:(fun () -> Metrics.inc t.t_dropped) d;
+        (* Shard by the sampled-trace index, not the raw sequence:
+           sampled seqs are exactly the multiples of [t_every], which
+           would alias onto a subset of the power-of-two shard count
+           (down to one shard at [t_every = 8]). *)
+        let shard_seq = n / t.t_every in
+        ring_push t.t_ring ~seq:shard_seq
+          ~on_drop:(fun () -> Metrics.inc t.t_dropped)
+          d;
         Metrics.inc t.t_completed;
         match t.t_slow_ms with
         | Some threshold when duration_ms >= threshold ->
-          ring_push t.t_slow ~seq:n
+          ring_push t.t_slow ~seq:shard_seq
             ~on_drop:(fun () -> Metrics.inc t.t_slow_dropped)
             d;
           Metrics.inc t.t_slow_captured

@@ -66,6 +66,46 @@ let test_sampling () =
   Alcotest.(check int) "every body ran" 10 !hits;
   Alcotest.(check int) "1-in-2 retained" 5 (List.length (Trace.traces t))
 
+(* [sample = 0.0] disables recording outright — including the very first
+   request, whose sequence number (0) is divisible by anything. *)
+let test_zero_sample () =
+  let t = Trace.create ~sample:0.0 ~ring:64 ~metrics:(Metrics.create ()) () in
+  for i = 1 to 3 do
+    Alcotest.(check int) "body still runs" i
+      (Trace.with_trace t "r" (fun () -> i))
+  done;
+  Alcotest.(check int) "nothing traced" 0 (List.length (Trace.traces t))
+
+(* Sampled traces must spread over all ring shards: at sample 0.5 the
+   retained sequence numbers are all even, which must not alias onto
+   half (or fewer) of the shards and shrink the effective capacity.  A
+   ring of 64 holds all 64 sampled traces out of 128 roots. *)
+let test_sampled_ring_capacity () =
+  let t = Trace.create ~sample:0.5 ~ring:64 ~metrics:(Metrics.create ()) () in
+  for _ = 1 to 128 do
+    Trace.with_trace t "r" (fun () -> ())
+  done;
+  Alcotest.(check int) "full capacity used" 64 (List.length (Trace.traces t));
+  Alcotest.(check int) "no aliasing drops" 0 (Trace.dropped t)
+
+(* Re-annotating a key replaces its value instead of accumulating: a
+   hot loop annotating [tier] every run keeps one entry, newest wins. *)
+let test_annotate_replaces () =
+  let t = Trace.create ~metrics:(Metrics.create ()) () in
+  Trace.with_trace t "r" (fun () ->
+      for i = 1 to 100 do
+        Trace.annotate t [ ("tier", if i < 100 then "fused" else "native") ]
+      done;
+      Trace.annotate t [ ("plan", "scan") ]);
+  match Trace.traces t with
+  | [ tr ] ->
+    let attrs = Trace.attrs tr in
+    Alcotest.(check int) "one entry per key" 2 (List.length attrs);
+    Alcotest.(check (option string))
+      "newest value wins" (Some "native")
+      (List.assoc_opt "tier" attrs)
+  | l -> Alcotest.failf "expected one trace, got %d" (List.length l)
+
 (* {2 JSON escaping (shared helper)} *)
 
 let nasty = "q\"uo\\te\nline\ttab\rcr\x01ctl"
@@ -370,6 +410,35 @@ let test_ops_endpoints () =
   let status, _ = http_get port "/nope" in
   Alcotest.(check bool) "unknown path 404" true (contains status "404")
 
+(* A client that disconnects before reading its response must not kill
+   the process: [start] ignores SIGPIPE so the doomed write surfaces as
+   [EPIPE] inside the accept loop, and the next request is served. *)
+let test_ops_client_abort () =
+  let eng =
+    Steno.Engine.create
+      Steno.Config.(
+        default |> with_backend Fused |> with_metrics (Metrics.create ()))
+  in
+  let o = Ops.start ~port:0 eng in
+  Fun.protect ~finally:(fun () -> Ops.stop o) @@ fun () ->
+  let old = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  Alcotest.(check bool)
+    "sigpipe ignored after start" true
+    (old = Sys.Signal_ignore);
+  let port = Ops.port o in
+  for _ = 1 to 3 do
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    let req = "GET /metrics HTTP/1.0\r\n\r\n" in
+    ignore (Unix.write_substring fd req 0 (String.length req));
+    (* Abort without reading the response; RST any buffered bytes. *)
+    Unix.setsockopt_optint fd Unix.SO_LINGER (Some 0);
+    Unix.close fd
+  done;
+  let status, body = http_get port "/healthz" in
+  Alcotest.(check bool) "still serving" true (contains status "200");
+  Alcotest.(check string) "healthz body" "ok\n" body
+
 (* Stopping is idempotent and releases the port for immediate rebinding. *)
 let test_ops_stop () =
   let eng =
@@ -392,6 +461,10 @@ let () =
         [
           Alcotest.test_case "head drop accounting" `Quick test_ring_head_drop;
           Alcotest.test_case "deterministic sampling" `Quick test_sampling;
+          Alcotest.test_case "zero sample disabled" `Quick test_zero_sample;
+          Alcotest.test_case "sampled shard spread" `Quick
+            test_sampled_ring_capacity;
+          Alcotest.test_case "annotate replaces" `Quick test_annotate_replaces;
         ] );
       ( "export",
         [ Alcotest.test_case "json escaping" `Quick test_json_escape ] );
@@ -412,6 +485,8 @@ let () =
       ( "ops",
         [
           Alcotest.test_case "endpoints" `Quick test_ops_endpoints;
+          Alcotest.test_case "client abort survived" `Quick
+            test_ops_client_abort;
           Alcotest.test_case "stop idempotent" `Quick test_ops_stop;
         ] );
     ]

@@ -7,6 +7,7 @@
      stenoc bench <query> [-n SIZE]
      stenoc stats <query> [-b BACKEND] [-n SIZE] [--reps R]
      stenoc lint [<query> | --all]   static checks with rule codes
+     stenoc verify [<query> | --all] translation-validate the optimizer
 *)
 
 module I = Expr.Infix
@@ -733,6 +734,39 @@ let cmd_lint name_opt all n =
     prerr_endline "lint: name a demo query, or pass --all";
     2
 
+(* Translation validation on a demo: replay the optimizer and print one
+   line per proof obligation.  Exit 1 when any obligation is rejected. *)
+let verify_demo eng n demo =
+  let obligations =
+    match demo with
+    | Collection { build; _ } -> Steno.Engine.verify eng (build n)
+    | Scalar { build; _ } -> Steno.Engine.verify_scalar eng (build n)
+  in
+  (match obligations with
+  | [] -> Printf.printf "%s: no rewrites fired\n" (demo_name demo)
+  | obs ->
+    Printf.printf "%s:\n" (demo_name demo);
+    List.iter
+      (fun o -> Printf.printf "  %s\n" (Check.Equiv.obligation_string o))
+      obs);
+  not (Check.Equiv.accepted obligations)
+
+let cmd_verify name_opt all n =
+  let eng = Steno.default_engine () in
+  match name_opt, all with
+  | _, true ->
+    let any_rejected =
+      List.fold_left (fun acc d -> verify_demo eng n d || acc) false demos
+    in
+    if any_rejected then 1 else 0
+  | Some name, false -> (
+    match find name with
+    | Error _ -> unknown_demo name
+    | Ok demo -> if verify_demo eng n demo then 1 else 0)
+  | None, false ->
+    prerr_endline "verify: name a demo query, or pass --all";
+    2
+
 (* Command line. *)
 
 open Cmdliner
@@ -831,6 +865,20 @@ let lint_cmd =
           diagnostic with its rule code.  Exits 1 if any error-level \
           diagnostic fires, 2 for an unknown demo.")
     Term.(const cmd_lint $ lint_name_arg $ all_arg $ size)
+
+let verify_all_arg =
+  Arg.(value & flag & info [ "all" ] ~doc:"Verify every demo query.")
+
+let verify_cmd =
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Replay the optimizer on a demo query and discharge each rewrite \
+          against the translation validator's law table, printing one \
+          line per proof obligation (rule, verdict, law or rejection \
+          reason).  Exits 1 if any obligation is rejected, 2 for an \
+          unknown demo.")
+    Term.(const cmd_verify $ lint_name_arg $ verify_all_arg $ size)
 
 let metrics_cmd =
   Cmd.v
@@ -936,6 +984,7 @@ let () =
        (Cmd.group (Cmd.info "stenoc" ~doc ~version:"1.0.0")
           [
             list_cmd; show_cmd; run_cmd; bench_cmd; stats_cmd; eval_cmd;
-            explain_cmd; analyze_cmd; lint_cmd; metrics_cmd; serve_cmd;
+            explain_cmd; analyze_cmd; lint_cmd; verify_cmd; metrics_cmd;
+            serve_cmd;
             trace_cmd; pcache_cmd;
           ]))

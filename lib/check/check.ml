@@ -1,6 +1,8 @@
 module Pda = Check_pda
 module Purity = Check_purity
 module Homo = Check_homo
+module Flow = Check_flow
+module Equiv = Check_equiv
 
 type severity =
   | Error
@@ -92,6 +94,48 @@ let rules =
         "an aggregate that requires a non-empty input over a statically \
          empty source";
     };
+    {
+      r_code = "SC008";
+      r_name = "redundant-distinct";
+      r_severity = Hint;
+      r_doc =
+        "Distinct over an input the flow analysis proves duplicate-free; \
+         the operator is a no-op";
+    };
+    {
+      r_code = "SC009";
+      r_name = "sort-discarded-by-resort";
+      r_severity = Warning;
+      r_doc =
+        "OrderBy directly over OrderBy: the earlier sort survives only as \
+         a stable-sort tie-break — a frequent multi-key-ordering intent \
+         bug";
+    };
+    {
+      r_code = "SC010";
+      r_name = "statically-empty-plan";
+      r_severity = Warning;
+      r_doc =
+        "the cardinality analysis bounds the plan's output at zero \
+         elements: every run produces nothing";
+    };
+    {
+      r_code = "SC011";
+      r_name = "impure-lambda-in-splittable-prefix";
+      r_severity = Hint;
+      r_doc =
+        "an opaque lambda sits inside the homomorphic prefix: partitioned \
+         execution would reorder or parallelize its host-function calls";
+    };
+    {
+      r_code = "SC012";
+      r_name = "rejected-rewrite";
+      r_severity = Error;
+      r_doc =
+        "the translation validator could not discharge a proof obligation \
+         for an optimizer rewrite; the optimized plan was rejected \
+         (internal invariant; an optimizer bug)";
+    };
   ]
 
 let rule_of_code code = List.find (fun r -> r.r_code = code) rules
@@ -169,6 +213,24 @@ let sc006_msg n =
 let sc007_msg =
   "this aggregate requires a non-empty input, but its source is \
    statically empty: every run raises"
+
+let sc008_msg =
+  "Distinct over an input that is provably duplicate-free: the operator \
+   pays a hash table per run and removes nothing (the optimizer drops \
+   it)"
+
+let sc009_msg =
+  "OrderBy directly over OrderBy: the earlier sort survives only as a \
+   stable-sort tie-break; sort once by a composite key if multi-key \
+   ordering is intended"
+
+let sc010_msg =
+  "the plan is statically empty (cardinality upper bound is zero \
+   elements): every run produces nothing"
+
+let sc011_msg =
+  "an opaque lambda inside the splittable prefix: partitioned execution \
+   would reorder or parallelize its host-function calls"
 
 (* A source that can be proven to yield no elements, transitively (all
    operators preserve emptiness; [Take] of a non-positive count creates
@@ -329,8 +391,15 @@ let rec collect_q : type a. (diagnostic -> unit) -> a Query.t -> int =
   | Query.Order_by (q0, k, _) ->
     let i = collect_q emit q0 in
     check_lam emit i "order-by" k;
+    (match q0 with
+    | Query.Order_by _ -> emit (diag "SC009" i "order-by" sc009_msg)
+    | _ -> ());
     i + 1
-  | Query.Distinct q0 -> collect_q emit q0 + 1
+  | Query.Distinct q0 ->
+    let i = collect_q emit q0 in
+    if (Check_flow.props q0).Check_flow.distinct = Check_flow.Yes then
+      emit (diag "SC008" i "distinct" sc008_msg);
+    i + 1
   | Query.Rev q0 ->
     let i = collect_q emit q0 in
     (match q0 with
@@ -436,15 +505,39 @@ let sc002_of (report : Check_homo.report) =
            reason);
     ]
 
+(* SC011 piggybacks on the SC001 walk: an opaque lambda is a parallelism
+   hazard exactly when its operator sits inside the homomorphic prefix
+   partitioned execution would split. *)
+let sc011_of (report : Check_homo.report) ds =
+  List.filter_map
+    (fun d ->
+      if d.d_code = "SC001" && d.d_index < report.Check_homo.r_prefix then
+        Some (diag "SC011" d.d_index d.d_op sc011_msg)
+      else None)
+    ds
+
 let query q =
   let acc = ref [] in
   ignore (collect_q (fun d -> acc := d :: !acc) q);
-  sort_diagnostics (sc002_of (Check_homo.classify q) @ !acc)
+  let report = Check_homo.classify q in
+  let whole_plan =
+    if Check_flow.statically_empty q then
+      let label =
+        match Check_flow.annotate q with
+        | (l, _) :: _ -> l
+        | [] -> "source"
+      in
+      [ diag "SC010" 0 label sc010_msg ]
+    else []
+  in
+  sort_diagnostics
+    (sc002_of report @ sc011_of report !acc @ whole_plan @ !acc)
 
 let scalar sq =
   let acc = ref [] in
   ignore (collect_sq (fun d -> acc := d :: !acc) sq);
-  sort_diagnostics (sc002_of (Check_homo.classify_scalar sq) @ !acc)
+  let report = Check_homo.classify_scalar sq in
+  sort_diagnostics (sc002_of report @ sc011_of report !acc @ !acc)
 
 (* {2 Chain well-formedness} *)
 
@@ -463,3 +556,8 @@ let assert_well_formed chain =
 let malformed msg =
   diag "SC000" (-1) "chain"
     (Printf.sprintf "the lowered QUIL chain is malformed: %s" msg)
+
+let rejected_rewrite detail =
+  diag "SC012" (-1) "plan"
+    (Printf.sprintf
+       "translation validation rejected the optimized plan: %s" detail)

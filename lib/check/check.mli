@@ -9,6 +9,8 @@
 module Pda = Check_pda
 module Purity = Check_purity
 module Homo = Check_homo
+module Flow = Check_flow
+module Equiv = Check_equiv
 
 (** {1 Diagnostics} *)
 
@@ -43,7 +45,12 @@ val rules : rule list
     opaque-lambda, SC002 unsplittable-suffix, SC003
     redundant-sort-reverse, SC004 where-after-take-semantics, SC005
     groupby-without-agg-specialization, SC006 const-division-by-zero,
-    SC007 aggregate-on-empty. *)
+    SC007 aggregate-on-empty, SC008 redundant-distinct, SC009
+    sort-discarded-by-resort, SC010 statically-empty-plan, SC011
+    impure-lambda-in-splittable-prefix, SC012 rejected-rewrite.
+    SC008-SC011 are derived from the {!Check_flow} property analysis
+    and the {!Check_homo} classification; SC012 is emitted by the
+    engine when {!Check_equiv} rejects an optimized plan. *)
 
 val errors : diagnostic list -> diagnostic list
 (** Just the [Error]-severity diagnostics. *)
@@ -80,3 +87,7 @@ val assert_well_formed : Quil.chain -> unit
 
 val malformed : string -> diagnostic
 (** An [SC000] whole-plan diagnostic from a PDA rejection reason. *)
+
+val rejected_rewrite : string -> diagnostic
+(** An [SC012] whole-plan diagnostic carrying the failed proof
+    obligations of a rejected optimizer rewrite. *)

@@ -1,0 +1,87 @@
+(** Per-operator plan properties by forward abstract interpretation.
+
+    A single bottom-up walk over the query AST computes, for every
+    operator of the top-level spine, a record of static facts about the
+    sequence that operator produces:
+
+    - [card] — an interval enclosing the number of elements, seeded from
+      [Range]/[Repeat]/captured-array literals and the {!Check_purity}
+      interval analysis of [Take]/[Skip] counts;
+    - [distinct] — three-valued: provably duplicate-free, provably
+      containing a duplicate, or unknown;
+    - [sorted_by] — the key and direction the sequence is provably
+      ordered by, when any ([Range] is ascending by identity, [Order_by]
+      establishes its own key, subsequence operators preserve it, [Rev]
+      flips the direction);
+    - [nonempty] — three-valued emptiness, derived from [card];
+    - [pure_prefix] — no lambda anywhere in the plan applies a captured
+      host function, so rewrites may delete or reorder operators without
+      losing effects.
+
+    The properties license the property-driven optimizer rules
+    (redundant-[Distinct]/[Order_by] elimination), are re-derived by the
+    translation validator {!Check_equiv} to discharge rewrite
+    obligations, drive the SC008-SC011 lint rules, and annotate
+    [Engine.explain] output.
+
+    Like [Opt]'s empty-source collapse, the analysis reads captured
+    array lengths as static facts: properties (and the rewrites they
+    justify) specialize the plan to its captured values. *)
+
+type tri =
+  | Yes
+  | No
+  | Maybe
+
+val tri_string : tri -> string
+(** ["yes"], ["no"] or ["maybe"]. *)
+
+type skey = Skey : ('a, 'k) Expr.lam * Query.order -> skey
+(** A sortedness witness: key selector and direction.  Keys compare up
+    to alpha-equivalence ({!Expr.alpha_equal_lam}). *)
+
+type props = {
+  card : Check_purity.itv;  (** element-count enclosure, [lo >= 0] *)
+  distinct : tri;
+  sorted_by : skey option;
+  nonempty : tri;
+  pure_prefix : bool;
+}
+
+val props : 'a Query.t -> props
+(** Properties of the query's final output. *)
+
+val scalar_props : 's Query.sq -> props
+(** For a scalar query: [card] is exactly one and [pure_prefix] also
+    covers the aggregate's own lambdas. *)
+
+val annotate : 'a Query.t -> (string * props) list
+(** Per-operator properties along the top-level spine, source first,
+    with the linter's operator labels.  Nested sub-queries contribute
+    only their summary to the embedding operator. *)
+
+val annotate_scalar : 's Query.sq -> (string * props) list
+
+val statically_empty : 'a Query.t -> bool
+(** The cardinality upper bound is zero: the plan can never produce an
+    element. *)
+
+val sorted_matching : 'a Query.t -> ('a, 'k) Expr.lam -> Query.order -> bool
+(** [sorted_matching q key dir] — [q]'s output is provably already
+    sorted by an alpha-equivalent key in the same direction. *)
+
+val applies : 'a Query.t -> int
+(** Total host-function application sites over every expression in the
+    plan — the effectful-lambda census the validator's no-duplication
+    invariant compares across a rewrite. *)
+
+val applies_sq : 's Query.sq -> int
+
+(** {1 Rendering} *)
+
+val card_string : Check_purity.itv -> string
+(** ["5"] for an exact count, ["[0,*]"] style otherwise. *)
+
+val props_string : props -> string
+(** One-line rendering, e.g.
+    ["card=[0,10] distinct=yes sorted=asc nonempty=maybe pure=yes"]. *)

@@ -20,6 +20,11 @@ let positional = "consumes the element's global position, which restarts at 0 in
 let prefix_cut = "keeps a prefix or suffix of the whole sequence, not of each partition"
 let stateful_cut = "its cut point depends on all preceding elements of the whole sequence"
 let groups = "combines elements from the whole input into per-key groups"
+
+let group_aggs =
+  "folds per-key partials of the whole input; not naively splittable, \
+   but the parallel layer's dedicated group-aggregate path merges \
+   per-partition partial maps instead"
 let sorts = "a global sort interleaves elements from every partition"
 let dedups = "duplicates may span partition boundaries"
 let reverses = "reverses the global order, not each partition's"
@@ -52,7 +57,7 @@ let rec ops_of : type a. a Query.t -> (string * verdict) list = function
   | Query.Group_by_elem (q, _, _) ->
     ops_of q @ [ "group-by", Blocking groups ]
   | Query.Group_by_agg (q, _, _, _) ->
-    ops_of q @ [ "group-by-agg", Blocking groups ]
+    ops_of q @ [ "group-by-agg", Blocking group_aggs ]
   | Query.Order_by (q, _, _) -> ops_of q @ [ "order-by", Blocking sorts ]
   | Query.Distinct q -> ops_of q @ [ "distinct", Blocking dedups ]
   | Query.Rev q -> ops_of q @ [ "rev", Blocking reverses ]

@@ -1,9 +1,16 @@
 (* Algebraic rewrites over the query AST and the canonicalized QUIL
    chain.  See opt.mli for the rule table.
 
-   Every rule strictly decreases the operator count, so the per-node rule
-   loop and the fixpoint driver both terminate; the fuel bound is a
-   belt-and-braces guard, not a load-bearing one. *)
+   Every rewrite is logged as a [Check_equiv.event]: the rule name plus
+   the sub-terms whose static facts justified it, captured before they
+   are rewritten away.  The engine hands the event log to the
+   translation validator after the fixpoint — the optimizer claims, the
+   validator re-proves.
+
+   Every rule strictly decreases the operator count (the one scalar
+   rule replaces a plan with a two-operator constant), so the per-node
+   rule loop and the fixpoint driver both terminate; the fuel bound is
+   a belt-and-braces guard, not a load-bearing one. *)
 
 let default_fuel = 32
 
@@ -23,10 +30,21 @@ let rule_names =
     "take-while-const";
     "skip-while-const";
     "distinct-distinct";
+    "distinct-on-distinct-free";
+    "orderby-on-sorted";
+    "rev-rev";
+    "nonempty-any-true";
     "empty-collapse";
     "quil-rev-rev";
     "quil-drop-to-array";
   ]
+
+type event = Check_equiv.event = {
+  ev_rule : string;
+  ev_facts : Check_equiv.fact list;
+}
+
+let ev rule facts = { ev_rule = rule; ev_facts = facts }
 
 (* The canonical empty source for an element type.  Empty arrays share
    one runtime representation, so repeated collapses also share a capture
@@ -72,93 +90,179 @@ let collapsible : type a. a Query.t -> bool = function
   | Query.Group_by_elem (q, _, _) -> is_empty q
   | Query.Group_by_agg (q, _, _, _) -> is_empty q
 
+let pure e = Check_purity.purity e = Check_purity.Pure
+
+(* Test-only rewrite injection: a hook tried before every real rule, so
+   the test suite can exercise the translation validator with an
+   unsound rewrite that no shipped rule performs. *)
+type hook = { h : 'a. 'a Query.t -> ('a Query.t * event) option }
+
+let test_hook : hook option ref = ref None
+let set_test_hook h = test_hook := h
+
 (* One rule application at the root of [q], or [None] when no rule
    matches.  Children are assumed already rewritten (the pass below is
    bottom-up). *)
-let rewrite_top : type a. a Query.t -> (a Query.t * string) option =
+let rewrite_top : type a. a Query.t -> (a Query.t * event) option =
  fun q ->
-  if collapsible q then Some (empty_like q, "empty-collapse")
-  else
-    match q with
-    | Query.Where (q0, p) -> (
-      match Expr.simplify p.Expr.body with
-      | Expr.Const_bool true -> Some (q0, "where-const-true")
-      | Expr.Const_bool false ->
-        Some (empty (Query.elem_ty q0), "where-const-false")
-      | simplified -> (
-      (* The interval analysis decides predicates [simplify] cannot
-         normalize syntactically, e.g. [x mod 10 < 10]. *)
-      match Check_purity.truth simplified with
-      | Check_purity.True -> Some (q0, "where-interval-true")
-      | Check_purity.False ->
-        Some (empty (Query.elem_ty q0), "where-interval-false")
-      | Check_purity.Unknown -> (
-        match q0 with
-        | Query.Where (q1, p1) ->
-          (* Test p1 then p2 on the same element; [If] keeps the second
-             predicate unevaluated when the first already rejected. *)
-          let p2_body =
-            Expr.subst p.Expr.param (Expr.Var p1.Expr.param) p.Expr.body
-          in
-          let fused =
-            {
-              p1 with
-              Expr.body = Expr.If (p1.Expr.body, p2_body, Expr.Const_bool false);
-            }
-          in
-          Some (Query.Where (q1, fused), "where-fuse")
-        | _ -> None)))
-    | Query.Select (Query.Select (q0, f), g) ->
-      (* Bind the intermediate element once, so a selector using its
-         parameter twice does not duplicate the upstream computation. *)
-      let composed =
-        {
-          Expr.param = f.Expr.param;
-          body = Expr.Let (g.Expr.param, f.Expr.body, g.Expr.body);
-        }
-      in
-      Some (Query.Select (q0, composed), "select-fuse")
-    | Query.Take (q0, Expr.Const_int n) when n <= 0 ->
-      Some (empty (Query.elem_ty q0), "take-zero")
-    | Query.Take (q0, n) when Check_purity.always_nonpositive n ->
-      Some (empty (Query.elem_ty q0), "take-interval-nonpos")
-    | Query.Take (Query.Take (q0, n), m) ->
-      let count =
-        match n, m with
-        | Expr.Const_int a, Expr.Const_int b -> Expr.Const_int (min a b)
-        | n, m -> Expr.Prim2 (Prim.Min_int, n, m)
-      in
-      Some (Query.Take (q0, count), "take-take")
-    | Query.Skip (q0, Expr.Const_int n) when n <= 0 ->
-      Some (q0, "skip-zero")
-    | Query.Skip (Query.Skip (q0, Expr.Const_int a), Expr.Const_int b) ->
-      Some (Query.Skip (q0, Expr.Const_int (max 0 a + max 0 b)), "skip-skip")
-    | Query.Take_while (q0, p) -> (
-      match Expr.simplify p.Expr.body with
-      | Expr.Const_bool true -> Some (q0, "take-while-const")
-      | Expr.Const_bool false ->
-        Some (empty (Query.elem_ty q0), "take-while-const")
+  match
+    match !test_hook with
+    | Some { h } -> h q
+    | None -> None
+  with
+  | Some _ as injected -> injected
+  | None ->
+    if collapsible q then
+      Some (empty_like q, ev "empty-collapse" [ Check_equiv.Input_empty q ])
+    else (
+      match q with
+      | Query.Where (q0, p) -> (
+        match Expr.simplify p.Expr.body with
+        | Expr.Const_bool true when pure p.Expr.body ->
+          Some (q0, ev "where-const-true" [ Check_equiv.Pred_true p.Expr.body ])
+        | Expr.Const_bool false when pure p.Expr.body ->
+          Some
+            ( empty (Query.elem_ty q0),
+              ev "where-const-false" [ Check_equiv.Pred_false p.Expr.body ] )
+        | simplified -> (
+        (* The interval analysis decides predicates [simplify] cannot
+           normalize syntactically, e.g. [x mod 10 < 10].  Deleting a
+           filter also deletes its per-element evaluation, so the
+           predicate must be pure. *)
+        match
+          if pure p.Expr.body then Check_purity.truth simplified
+          else Check_purity.Unknown
+        with
+        | Check_purity.True ->
+          Some
+            (q0, ev "where-interval-true" [ Check_equiv.Pred_true p.Expr.body ])
+        | Check_purity.False ->
+          Some
+            ( empty (Query.elem_ty q0),
+              ev "where-interval-false" [ Check_equiv.Pred_false p.Expr.body ]
+            )
+        | Check_purity.Unknown -> (
+          match q0 with
+          | Query.Where (q1, p1) ->
+            (* Test p1 then p2 on the same element; [If] keeps the second
+               predicate unevaluated when the first already rejected. *)
+            let p2_body =
+              Expr.subst p.Expr.param (Expr.Var p1.Expr.param) p.Expr.body
+            in
+            let fused =
+              {
+                p1 with
+                Expr.body =
+                  Expr.If (p1.Expr.body, p2_body, Expr.Const_bool false);
+              }
+            in
+            Some (Query.Where (q1, fused), ev "where-fuse" [])
+          | _ -> None)))
+      | Query.Select (Query.Select (q0, f), g) ->
+        (* Bind the intermediate element once, so a selector using its
+           parameter twice does not duplicate the upstream computation. *)
+        let composed =
+          {
+            Expr.param = f.Expr.param;
+            body = Expr.Let (g.Expr.param, f.Expr.body, g.Expr.body);
+          }
+        in
+        Some (Query.Select (q0, composed), ev "select-fuse" [])
+      | Query.Take (q0, Expr.Const_int n) when n <= 0 ->
+        Some
+          ( empty (Query.elem_ty q0),
+            ev "take-zero" [ Check_equiv.Count_nonpos (Expr.Const_int n) ] )
+      | Query.Take (q0, n) when Check_purity.always_nonpositive n ->
+        Some
+          ( empty (Query.elem_ty q0),
+            ev "take-interval-nonpos" [ Check_equiv.Count_nonpos n ] )
+      | Query.Take (Query.Take (q0, n), m) ->
+        let count =
+          match n, m with
+          | Expr.Const_int a, Expr.Const_int b -> Expr.Const_int (min a b)
+          | n, m -> Expr.Prim2 (Prim.Min_int, n, m)
+        in
+        Some (Query.Take (q0, count), ev "take-take" [])
+      | Query.Skip (q0, Expr.Const_int n) when n <= 0 ->
+        Some
+          (q0, ev "skip-zero" [ Check_equiv.Count_nonpos (Expr.Const_int n) ])
+      | Query.Skip (Query.Skip (q0, Expr.Const_int a), Expr.Const_int b) ->
+        Some
+          ( Query.Skip (q0, Expr.Const_int (max 0 a + max 0 b)),
+            ev "skip-skip" [] )
+      | Query.Take_while (q0, p) when pure p.Expr.body -> (
+        match Expr.simplify p.Expr.body with
+        | Expr.Const_bool true ->
+          Some (q0, ev "take-while-const" [ Check_equiv.Pred_true p.Expr.body ])
+        | Expr.Const_bool false ->
+          Some
+            ( empty (Query.elem_ty q0),
+              ev "take-while-const" [ Check_equiv.Pred_false p.Expr.body ] )
+        | _ -> None)
+      | Query.Skip_while (q0, p) when pure p.Expr.body -> (
+        match Expr.simplify p.Expr.body with
+        | Expr.Const_bool false ->
+          Some (q0, ev "skip-while-const" [ Check_equiv.Pred_false p.Expr.body ])
+        | Expr.Const_bool true ->
+          Some
+            ( empty (Query.elem_ty q0),
+              ev "skip-while-const" [ Check_equiv.Pred_true p.Expr.body ] )
+        | _ -> None)
+      | Query.Distinct (Query.Distinct q0) ->
+        Some (Query.Distinct q0, ev "distinct-distinct" [])
+      | Query.Distinct q0
+        when (Check_flow.props q0).Check_flow.distinct = Check_flow.Yes ->
+        Some
+          ( q0,
+            ev "distinct-on-distinct-free" [ Check_equiv.Input_distinct q0 ] )
+      | Query.Rev (Query.Rev q0) -> Some (q0, ev "rev-rev" [])
+      | Query.Order_by (q0, k, dir) when Check_flow.sorted_matching q0 k dir ->
+        (* Sound because every backend sorts stably: a stable sort of an
+           input already ordered by the same key is the identity. *)
+        Some
+          (q0, ev "orderby-on-sorted" [ Check_equiv.Input_sorted (q0, k, dir) ])
       | _ -> None)
-    | Query.Skip_while (q0, p) -> (
-      match Expr.simplify p.Expr.body with
-      | Expr.Const_bool false -> Some (q0, "skip-while-const")
-      | Expr.Const_bool true ->
-        Some (empty (Query.elem_ty q0), "skip-while-const")
-      | _ -> None)
-    | Query.Distinct (Query.Distinct q0) ->
-      Some (Query.Distinct q0, "distinct-distinct")
-    | _ -> None
+
+(* The one scalar-level rule: [Any] over a provably non-empty, pure
+   pipeline is the constant [true] (realized as an aggregate over the
+   empty source, since scalar queries have no literal constructor). *)
+let rewrite_top_sq : type s. s Query.sq -> (s Query.sq * event) option =
+ fun sq ->
+  match sq with
+  | Query.Any q ->
+    let p = Check_flow.props q in
+    if p.Check_flow.nonempty = Check_flow.Yes && p.Check_flow.pure_prefix then
+      let ty = Query.elem_ty q in
+      let const_true =
+        Query.Aggregate
+          ( empty ty,
+            Expr.Const_bool true,
+            Expr.lam2 "s" Ty.Bool "x" ty (fun s _ -> s) )
+      in
+      Some
+        ( const_true,
+          ev "nonempty-any-true" [ Check_equiv.Input_nonempty_pure q ] )
+    else None
+  | _ -> None
 
 (* Apply rules at this node until none fires.  Terminates: every rule
-   strictly decreases the operator count. *)
-let rec apply_rules :
-    type a. a Query.t -> string list -> a Query.t * string list =
+   strictly decreases the operator count (or, for the scalar rule,
+   rewrites to a normal form no rule matches). *)
+let rec apply_rules : type a. a Query.t -> event list -> a Query.t * event list
+    =
  fun q log ->
   match rewrite_top q with
-  | Some (q', r) -> apply_rules q' (log @ [ r ])
+  | Some (q', e) -> apply_rules q' (log @ [ e ])
   | None -> q, log
 
-let rec pass : type a. a Query.t -> a Query.t * string list =
+let rec apply_rules_sq :
+    type s. s Query.sq -> event list -> s Query.sq * event list =
+ fun sq log ->
+  match rewrite_top_sq sq with
+  | Some (sq', e) -> apply_rules_sq sq' (log @ [ e ])
+  | None -> sq, log
+
+let rec pass : type a. a Query.t -> a Query.t * event list =
  fun q ->
   let q, log =
     match q with
@@ -233,64 +337,69 @@ let rec pass : type a. a Query.t -> a Query.t * string list =
   in
   apply_rules q log
 
-and pass_sq : type s. s Query.sq -> s Query.sq * string list = function
-  | Query.Aggregate (q, seed, step) ->
-    let q, l = pass q in
-    Query.Aggregate (q, seed, step), l
-  | Query.Aggregate_full (q, seed, step, res) ->
-    let q, l = pass q in
-    Query.Aggregate_full (q, seed, step, res), l
-  | Query.Aggregate_combinable (q, seed, step, combine) ->
-    let q, l = pass q in
-    Query.Aggregate_combinable (q, seed, step, combine), l
-  | Query.Sum_int q ->
-    let q, l = pass q in
-    Query.Sum_int q, l
-  | Query.Sum_float q ->
-    let q, l = pass q in
-    Query.Sum_float q, l
-  | Query.Count q ->
-    let q, l = pass q in
-    Query.Count q, l
-  | Query.Average q ->
-    let q, l = pass q in
-    Query.Average q, l
-  | Query.Min q ->
-    let q, l = pass q in
-    Query.Min q, l
-  | Query.Max q ->
-    let q, l = pass q in
-    Query.Max q, l
-  | Query.Min_by (q, k) ->
-    let q, l = pass q in
-    Query.Min_by (q, k), l
-  | Query.Max_by (q, k) ->
-    let q, l = pass q in
-    Query.Max_by (q, k), l
-  | Query.First q ->
-    let q, l = pass q in
-    Query.First q, l
-  | Query.Last q ->
-    let q, l = pass q in
-    Query.Last q, l
-  | Query.Element_at (q, n) ->
-    let q, l = pass q in
-    Query.Element_at (q, n), l
-  | Query.Any q ->
-    let q, l = pass q in
-    Query.Any q, l
-  | Query.Exists (q, p) ->
-    let q, l = pass q in
-    Query.Exists (q, p), l
-  | Query.For_all (q, p) ->
-    let q, l = pass q in
-    Query.For_all (q, p), l
-  | Query.Contains (q, v) ->
-    let q, l = pass q in
-    Query.Contains (q, v), l
-  | Query.Map_scalar (sq, f) ->
-    let sq, l = pass_sq sq in
-    Query.Map_scalar (sq, f), l
+and pass_sq : type s. s Query.sq -> s Query.sq * event list =
+ fun sq ->
+  let sq, log =
+    match sq with
+    | Query.Aggregate (q, seed, step) ->
+      let q, l = pass q in
+      Query.Aggregate (q, seed, step), l
+    | Query.Aggregate_full (q, seed, step, res) ->
+      let q, l = pass q in
+      Query.Aggregate_full (q, seed, step, res), l
+    | Query.Aggregate_combinable (q, seed, step, combine) ->
+      let q, l = pass q in
+      Query.Aggregate_combinable (q, seed, step, combine), l
+    | Query.Sum_int q ->
+      let q, l = pass q in
+      Query.Sum_int q, l
+    | Query.Sum_float q ->
+      let q, l = pass q in
+      Query.Sum_float q, l
+    | Query.Count q ->
+      let q, l = pass q in
+      Query.Count q, l
+    | Query.Average q ->
+      let q, l = pass q in
+      Query.Average q, l
+    | Query.Min q ->
+      let q, l = pass q in
+      Query.Min q, l
+    | Query.Max q ->
+      let q, l = pass q in
+      Query.Max q, l
+    | Query.Min_by (q, k) ->
+      let q, l = pass q in
+      Query.Min_by (q, k), l
+    | Query.Max_by (q, k) ->
+      let q, l = pass q in
+      Query.Max_by (q, k), l
+    | Query.First q ->
+      let q, l = pass q in
+      Query.First q, l
+    | Query.Last q ->
+      let q, l = pass q in
+      Query.Last q, l
+    | Query.Element_at (q, n) ->
+      let q, l = pass q in
+      Query.Element_at (q, n), l
+    | Query.Any q ->
+      let q, l = pass q in
+      Query.Any q, l
+    | Query.Exists (q, p) ->
+      let q, l = pass q in
+      Query.Exists (q, p), l
+    | Query.For_all (q, p) ->
+      let q, l = pass q in
+      Query.For_all (q, p), l
+    | Query.Contains (q, v) ->
+      let q, l = pass q in
+      Query.Contains (q, v), l
+    | Query.Map_scalar (sq, f) ->
+      let sq, l = pass_sq sq in
+      Query.Map_scalar (sq, f), l
+  in
+  apply_rules_sq sq log
 
 let run_fix ~fuel step x =
   let rec loop n x acc =
@@ -301,16 +410,25 @@ let run_fix ~fuel step x =
   in
   loop fuel x []
 
-let query ?(fuel = default_fuel) q = run_fix ~fuel pass q
+let query_ev ?(fuel = default_fuel) q = run_fix ~fuel pass q
+let scalar_ev ?(fuel = default_fuel) sq = run_fix ~fuel pass_sq sq
 
-let scalar ?(fuel = default_fuel) sq = run_fix ~fuel pass_sq sq
+let names evs = List.map (fun e -> e.ev_rule) evs
+
+let query ?fuel q =
+  let q, evs = query_ev ?fuel q in
+  q, names evs
+
+let scalar ?fuel sq =
+  let sq, evs = scalar_ev ?fuel sq in
+  sq, names evs
 
 (* ------------------------------------------------------------------ *)
 (* The string-level pass over the canonicalized QUIL chain. *)
 
-let chain ?(fuel = default_fuel) (c : Quil.chain) =
+let chain_ev ?(fuel = default_fuel) (c : Quil.chain) =
   let log = ref [] in
-  let fire r = log := !log @ [ r ] in
+  let fire r = log := !log @ [ ev r [] ] in
   let rec once c =
     let ops = List.map (Quil.map_nested once) c.Quil.ops in
     let rec squash = function
@@ -337,3 +455,7 @@ let chain ?(fuel = default_fuel) (c : Quil.chain) =
   in
   let c' = loop fuel c in
   c', !log
+
+let chain ?fuel c =
+  let c, evs = chain_ev ?fuel c in
+  c, names evs

@@ -13,10 +13,16 @@
     Every rule is semantics-preserving for the pure expression language of
     {!Expr} (predicate fusion short-circuits via [If], transformation
     fusion binds the intermediate value with [Let], so evaluation count
-    and order are preserved even for captured host functions).  Rules that
-    eliminate a sub-query ([where-const-false], [take-zero],
-    [empty-collapse]) assume predicates and selectors are effect-free, the
-    standing assumption of the whole pipeline.
+    and order are preserved even for captured host functions).  Rules
+    that delete a per-element evaluation ([where-const-true],
+    [take-while-const], [nonempty-any-true]) additionally require the
+    deleted lambda to be pure.
+
+    The optimizer is {e checked}, not trusted: every firing is logged as
+    a {!Check_equiv.event} carrying the sub-terms that justified it, and
+    the engine discharges the log against {!Check_equiv.laws} after the
+    fixpoint.  {!query}/{!scalar}/{!chain} keep the plain rule-name log
+    for display; the [_ev] variants expose the full events.
 
     {b AST rules} (applied by {!query} / {!scalar}):
     - [where-fuse]: [Where p ∘ Where q] → one [Where] testing [p] then [q]
@@ -29,17 +35,25 @@
       clamped at zero);
     - [skip-zero]: [Skip 0] dropped;
     - [take-zero]: [Take n], [n <= 0] → the empty source;
-    - [where-const-true] / [where-const-false]: a predicate that constant
-      folds to [true] is dropped; [false] short-circuits to the empty
-      source;
-    - [where-interval-true] / [where-interval-false]: a predicate decided
-      by {!Check_purity.truth}'s interval analysis (e.g. [x mod 10 < 10])
-      is dropped / short-circuits to the empty source;
+    - [where-const-true] / [where-const-false]: a pure predicate that
+      constant folds to [true] is dropped; [false] short-circuits to the
+      empty source;
+    - [where-interval-true] / [where-interval-false]: a pure predicate
+      decided by {!Check_purity.truth}'s interval analysis (e.g.
+      [x mod 10 < 10]) is dropped / short-circuits to the empty source;
     - [take-interval-nonpos]: [Take n] where the interval analysis proves
       [n <= 0] becomes the empty source;
     - [take-while-const] / [skip-while-const]: likewise for the stateful
-      predicates;
+      predicates (pure only);
     - [distinct-distinct]: adjacent [Distinct]s collapse;
+    - [distinct-on-distinct-free]: [Distinct] over an input
+      {!Check_flow} proves duplicate-free is the identity;
+    - [orderby-on-sorted]: [Order_by] over an input already sorted by an
+      alpha-equivalent key in the same direction is the identity (sound
+      because every backend sorts stably);
+    - [rev-rev]: [Rev ∘ Rev] cancels at the AST level;
+    - [nonempty-any-true]: [Any] over a provably non-empty pure pipeline
+      is the constant [true];
     - [empty-collapse]: dead-operator elimination — any operator whose
       source is statically empty (after a collapsing rewrite) becomes the
       empty source of its element type.
@@ -54,6 +68,11 @@ val default_fuel : int
 (** Bound on fixpoint passes (each pass may fire many rules); rewriting
     stops early as soon as a pass fires nothing. *)
 
+type event = Check_equiv.event = {
+  ev_rule : string;
+  ev_facts : Check_equiv.fact list;
+}
+
 val query : ?fuel:int -> 'a Query.t -> 'a Query.t * string list
 (** [query q] is the rewritten query together with the names of the rules
     applied, in application order (one entry per firing, so a rule fusing
@@ -65,6 +84,24 @@ val chain : ?fuel:int -> Quil.chain -> Quil.chain * string list
 (** The string-level pass over the canonicalized QUIL chain, recursing
     into nested sub-chains. *)
 
+val query_ev : ?fuel:int -> 'a Query.t -> 'a Query.t * event list
+(** As {!query}, with the rewrite events the translation validator
+    consumes. *)
+
+val scalar_ev : ?fuel:int -> 's Query.sq -> 's Query.sq * event list
+val chain_ev : ?fuel:int -> Quil.chain -> Quil.chain * event list
+
 val rule_names : string list
 (** Every rule this engine can fire, AST rules first — the documentation
-    table and the differential test enumerate it. *)
+    table, the law table and the rule-coverage test enumerate it. *)
+
+(** {1 Test hook}
+
+    A rewrite tried before every real rule.  It exists solely so the
+    test suite can inject an {e unsound} rewrite (with a forged
+    justification) and observe the translation validator reject it;
+    production code never sets it. *)
+
+type hook = { h : 'a. 'a Query.t -> ('a Query.t * event) option }
+
+val set_test_hook : hook option -> unit

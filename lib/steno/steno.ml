@@ -924,40 +924,101 @@ module Engine = struct
              ~fallback:(Some reason) plan.stage_fused)
       | Error reason -> Error reason)
 
-  (* AST-level rewriting, as its own telemetry span.  [opt] is
-     [Opt.query] or [Opt.scalar], kept abstract so collection and scalar
-     preparation share this. *)
-  let optimize_ast eng opt q =
-    if not eng.cfg.optimize then q, []
+  (* One tick of the translation-validation outcome counter.  Counted
+     once per validated plan (not per obligation), and only when the
+     optimizer actually fired something. *)
+  let count_verify eng result =
+    Metrics.inc
+      (Metrics.counter eng.cfg.metrics "steno_verify"
+         ~help:"Translation-validation outcomes for optimizer rewrites"
+         ~labels:[ "result", result ])
+
+  let event_names events =
+    List.map (fun (e : Opt.event) -> e.Opt.ev_rule) events
+
+  (* AST-level rewriting, as its own telemetry span, followed by
+     translation validation of the rewrite log.  [opt] is [Opt.query_ev]
+     or [Opt.scalar_ev] and [validate] the matching [Check.Equiv]
+     entry point, kept abstract so collection and scalar preparation
+     share this.
+
+     The optimizer is not trusted: every firing carries the facts that
+     justified it, and the validator re-derives them on the captured
+     terms.  An undischarged obligation rejects the optimized plan — the
+     engine falls back to the plan as written (surfacing an [SC012]
+     diagnostic) or, when [strict], refuses the preparation outright. *)
+  let optimize_verified eng opt validate q =
+    if not eng.cfg.optimize then Ok (q, [], [])
     else begin
       let sink = eng.cfg.telemetry in
-      let q', rules =
+      let q', events =
         Telemetry.with_span sink "optimize"
           ~attrs:[ "level", "ast" ]
           (fun () -> opt q)
       in
-      Telemetry.count sink "optimize.rules_applied" (List.length rules);
-      q', rules
+      Telemetry.count sink "optimize.rules_applied" (List.length events);
+      if events = [] then Ok (q', [], [])
+      else begin
+        let obligations =
+          Telemetry.with_span sink "verify"
+            ~attrs:[ "level", "ast" ]
+            (fun () -> validate q q' events)
+        in
+        if Check.Equiv.accepted obligations then begin
+          count_verify eng "accepted";
+          Ok (q', event_names events, [])
+        end
+        else begin
+          count_verify eng "rejected";
+          let detail =
+            String.concat "; " (Check.Equiv.failures obligations)
+          in
+          let d = Check.rejected_rewrite detail in
+          if eng.cfg.strict then Error [ d ] else Ok (q, [], [ d ])
+        end
+      end
     end
 
   (* Hook the QUIL chain pass into a plan.  The chain is only built on
      the Native path, and synchronously within [prepare_plan], so the
      returned ref holds the fired chain rules by the time the
-     preparation exists. *)
+     preparation exists.  The chain rewrite log is validated the same
+     way as the AST one; a rejection falls back to the un-rewritten
+     chain (strict raises {!Check_failed} out of the preparation). *)
   let with_chain_pass eng plan =
     if not eng.cfg.optimize then plan, ref []
     else begin
       let fired = ref [] in
       let chain sink =
         let c = plan.chain sink in
-        let c, rules =
+        let c', events =
           Telemetry.with_span sink "optimize"
             ~attrs:[ "level", "quil" ]
-            (fun () -> Opt.chain c)
+            (fun () -> Opt.chain_ev c)
         in
-        Telemetry.count sink "optimize.rules_applied" (List.length rules);
-        fired := rules;
-        c
+        Telemetry.count sink "optimize.rules_applied" (List.length events);
+        if events = [] then c
+        else begin
+          let obligations =
+            Telemetry.with_span sink "verify"
+              ~attrs:[ "level", "quil" ]
+              (fun () -> Check.Equiv.validate_chain ~before:c ~after:c' events)
+          in
+          if Check.Equiv.accepted obligations then begin
+            count_verify eng "accepted";
+            fired := event_names events;
+            c'
+          end
+          else begin
+            count_verify eng "rejected";
+            let detail =
+              String.concat "; " (Check.Equiv.failures obligations)
+            in
+            if eng.cfg.strict then
+              raise (Check_failed [ Check.rejected_rewrite detail ])
+            else c
+          end
+        end
       in
       { plan with chain }, fired
     end
@@ -1039,6 +1100,28 @@ module Engine = struct
           c);
     }
 
+  (* Satellite to [with_verified_chain]: that assertion only fires when
+     the Native path actually builds the chain, so on the interpreted
+     backends a malformed post-optimization chain would go unnoticed.
+     On a [strict] engine, run the PDA acceptance eagerly on every
+     prepare — on the chain as it will be after the QUIL rewrite pass,
+     whatever backend executes.  Queries outside the QUIL fragment have
+     no chain to check. *)
+  let strict_pda eng canon_of x =
+    if not eng.cfg.strict then Ok ()
+    else
+      match canon_of x with
+      | exception Canon.Unsupported _ -> Ok ()
+      | c -> (
+        let c = if eng.cfg.optimize then fst (Opt.chain c) else c in
+        Metrics.inc
+          (Metrics.counter eng.cfg.metrics "steno_pda_checks"
+             ~help:"Strict-mode PDA acceptance checks at prepare time"
+             ~labels:[]);
+        match Check.verify c with
+        | Ok () -> Ok ()
+        | Error msg -> Error [ Check.malformed msg ])
+
   (* An [SC000] diagnostic when the lowered chain fails the PDA.  Queries
      outside the QUIL fragment have no chain to verify. *)
   let chain_diags of_canon x =
@@ -1089,18 +1172,31 @@ module Engine = struct
     with
     | Error errs -> Error (Check_error errs)
     | Ok diags -> (
-      let q, ast_rules = optimize_ast eng Opt.query q in
-      annotate_plan eng Canon.of_query q;
-      let plan, chain_rules = with_chain_pass eng (query_plan q) in
-      match prepare_plan_result eng ?backend (with_verified_chain plan) with
-      | Error reason -> Error (Compile_failure reason)
-      | Ok p ->
-        Ok
-          {
-            p with
-            p_rules = dedup_consecutive (ast_rules @ !chain_rules);
-            p_diags = diags;
-          })
+      match
+        optimize_verified eng Opt.query_ev
+          (fun before after evs ->
+            Check.Equiv.validate_query ~before ~after evs)
+          q
+      with
+      | Error errs -> Error (Check_error errs)
+      | Ok (q, ast_rules, verify_diags) -> (
+        record_diagnostics eng verify_diags;
+        match strict_pda eng Canon.of_query q with
+        | Error errs -> Error (Check_error errs)
+        | Ok () -> (
+          annotate_plan eng Canon.of_query q;
+          let plan, chain_rules = with_chain_pass eng (query_plan q) in
+          match
+            prepare_plan_result eng ?backend (with_verified_chain plan)
+          with
+          | Error reason -> Error (Compile_failure reason)
+          | Ok p ->
+            Ok
+              {
+                p with
+                p_rules = dedup_consecutive (ast_rules @ !chain_rules);
+                p_diags = verify_diags @ diags;
+              })))
 
   let try_prepare_scalar ?backend eng sq =
     match
@@ -1109,18 +1205,31 @@ module Engine = struct
     with
     | Error errs -> Error (Check_error errs)
     | Ok diags -> (
-      let sq, ast_rules = optimize_ast eng Opt.scalar sq in
-      annotate_plan eng Canon.of_scalar sq;
-      let plan, chain_rules = with_chain_pass eng (scalar_plan sq) in
-      match prepare_plan_result eng ?backend (with_verified_chain plan) with
-      | Error reason -> Error (Compile_failure reason)
-      | Ok p ->
-        Ok
-          {
-            p with
-            p_rules = dedup_consecutive (ast_rules @ !chain_rules);
-            p_diags = diags;
-          })
+      match
+        optimize_verified eng Opt.scalar_ev
+          (fun before after evs ->
+            Check.Equiv.validate_scalar ~before ~after evs)
+          sq
+      with
+      | Error errs -> Error (Check_error errs)
+      | Ok (sq, ast_rules, verify_diags) -> (
+        record_diagnostics eng verify_diags;
+        match strict_pda eng Canon.of_scalar sq with
+        | Error errs -> Error (Check_error errs)
+        | Ok () -> (
+          annotate_plan eng Canon.of_scalar sq;
+          let plan, chain_rules = with_chain_pass eng (scalar_plan sq) in
+          match
+            prepare_plan_result eng ?backend (with_verified_chain plan)
+          with
+          | Error reason -> Error (Compile_failure reason)
+          | Ok p ->
+            Ok
+              {
+                p with
+                p_rules = dedup_consecutive (ast_rules @ !chain_rules);
+                p_diags = verify_diags @ diags;
+              })))
 
   let raise_error = function
     | Check_error errs -> raise (Check_failed errs)
@@ -1151,10 +1260,17 @@ module Engine = struct
     operators_before : int;
     operators_after : int;
     rules : string list;
+    properties : (string * string) list;
     diagnostics : Check.diagnostic list;
   }
 
-  let explain_chains eng ~before ~after_canon ~ast_rules ~diagnostics =
+  let rendered_props anns =
+    List.map
+      (fun (label, p) -> label, Check_flow.props_string p)
+      anns
+
+  let explain_chains eng ~before ~after_canon ~ast_rules ~properties
+      ~diagnostics =
     let after, chain_rules =
       if eng.cfg.optimize then Opt.chain after_canon else after_canon, []
     in
@@ -1164,29 +1280,32 @@ module Engine = struct
       operators_before = Quil.operator_count before;
       operators_after = Quil.operator_count after;
       rules = dedup_consecutive (ast_rules @ chain_rules);
+      properties;
       diagnostics;
     }
 
   let explain eng q =
     let before = Canon.of_query q in
-    let after_canon, ast_rules =
-      if eng.cfg.optimize then
-        let q', rules = Opt.query q in
-        Canon.of_query q', rules
-      else before, []
+    let q', ast_rules =
+      if eng.cfg.optimize then Opt.query q else q, []
+    in
+    let after_canon =
+      if eng.cfg.optimize then Canon.of_query q' else before
     in
     explain_chains eng ~before ~after_canon ~ast_rules
+      ~properties:(rendered_props (Check_flow.annotate q'))
       ~diagnostics:(Check.query q)
 
   let explain_scalar eng sq =
     let before = Canon.of_scalar sq in
-    let after_canon, ast_rules =
-      if eng.cfg.optimize then
-        let sq', rules = Opt.scalar sq in
-        Canon.of_scalar sq', rules
-      else before, []
+    let sq', ast_rules =
+      if eng.cfg.optimize then Opt.scalar sq else sq, []
+    in
+    let after_canon =
+      if eng.cfg.optimize then Canon.of_scalar sq' else before
     in
     explain_chains eng ~before ~after_canon ~ast_rules
+      ~properties:(rendered_props (Check_flow.annotate_scalar sq'))
       ~diagnostics:(Check.scalar sq)
 
   let explain_to_string ex =
@@ -1200,12 +1319,53 @@ module Engine = struct
     | rules ->
       Buffer.add_string b "rules applied:\n";
       List.iter (fun r -> Printf.bprintf b "  - %s\n" r) rules);
+    (match ex.properties with
+    | [] -> ()
+    | ps ->
+      Buffer.add_string b "properties:\n";
+      List.iteri
+        (fun i (label, s) ->
+          Printf.bprintf b "  %d:%-12s %s\n" i label s)
+        ps);
     (match ex.diagnostics with
     | [] -> ()
     | ds ->
       Buffer.add_string b "diagnostics:\n";
       List.iter (fun d -> Printf.bprintf b "  %s\n" (Check.to_string d)) ds);
     Buffer.contents b
+
+  (* {2 Verify} *)
+
+  (* Replay the whole optimization pipeline on [q] and return every
+     proof obligation the translation validator discharges for it: the
+     AST rewrite log first, then (when the optimized plan lowers into
+     the QUIL fragment) the chain rewrite log.  An engine with
+     [optimize = false] fires no rewrites and so owes no obligations. *)
+  let verify_obligations of_canon eng opt validate x =
+    if not eng.cfg.optimize then []
+    else begin
+      let x', events = opt x in
+      let ast = validate x x' events in
+      let chain_obs =
+        match of_canon x' with
+        | exception Canon.Unsupported _ -> []
+        | c ->
+          let c', cev = Opt.chain_ev c in
+          Check.Equiv.validate_chain ~before:c ~after:c' cev
+      in
+      ast @ chain_obs
+    end
+
+  let verify eng q =
+    verify_obligations Canon.of_query eng Opt.query_ev
+      (fun before after evs -> Check.Equiv.validate_query ~before ~after evs)
+      q
+
+  let verify_scalar eng sq =
+    verify_obligations Canon.of_scalar eng Opt.scalar_ev
+      (fun before after evs ->
+        Check.Equiv.validate_scalar ~before ~after evs)
+      sq
 
   (* {2 Explain analyze} *)
 

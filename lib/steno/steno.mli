@@ -452,6 +452,11 @@ module Engine : sig
         (** Rules applied in order: AST rules, then chain rules.
             Consecutive firings of the same rule are compressed into one
             ["name (xN)"] entry. *)
+    properties : (string * string) list;
+        (** Per-operator static properties of the {e optimized} plan,
+            source first: operator label paired with the rendered
+            {!Check.Flow} record (cardinality interval, distinctness,
+            sortedness, emptiness, purity). *)
     diagnostics : Check.diagnostic list;
         (** Static-check findings for the query as written. *)
   }
@@ -460,8 +465,26 @@ module Engine : sig
   val explain_scalar : t -> 's Query.sq -> explanation
 
   val explain_to_string : explanation -> string
-  (** Multi-line rendering: plan before/after, operator counts, and the
-      applied-rule list — what [stenoc explain] prints. *)
+  (** Multi-line rendering: plan before/after, operator counts, the
+      applied-rule list and the per-operator property annotations — what
+      [stenoc explain] prints. *)
+
+  (** {2 Verify}
+
+      The translation validator's view of a query under this engine's
+      configuration: replay the optimization pipeline and return every
+      proof obligation it discharges — one per rewrite event (AST pass
+      first, then the QUIL chain pass when the optimized plan lowers
+      into the fragment) plus the whole-plan invariants.  [prepare]
+      discharges the same obligations internally on every optimized
+      preparation, counting outcomes into [steno_verify_total]; a
+      rejected obligation there makes the engine fall back to the
+      unoptimized plan (strict engines refuse instead, raising
+      {!Check_failed} with an [SC012] diagnostic).  With
+      [optimize = false] there are no rewrites and the list is empty. *)
+
+  val verify : t -> 'a Query.t -> Check.Equiv.obligation list
+  val verify_scalar : t -> 's Query.sq -> Check.Equiv.obligation list
 
   (** {2 Explain analyze}
 

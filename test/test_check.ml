@@ -244,7 +244,7 @@ let test_lint_codes () =
   let ds =
     Check.query (ints data |> Query.select (fun x -> Expr.Apply (host_succ, x)))
   in
-  Alcotest.(check (list string)) "SC001" [ "SC001" ] (codes ds);
+  Alcotest.(check (list string)) "SC001" [ "SC001"; "SC011" ] (codes ds);
   (* SC003 rev after order-by, plus the SC002 blocker at the sort *)
   let ds =
     Check.query (ints data |> Query.order_by (fun x -> x) |> Query.rev)
@@ -297,6 +297,109 @@ let test_lint_codes () =
     (codes (Check.query (ints data |> Query.where even |> Query.select (fun x -> I.(x * x)))));
   Alcotest.(check (list string)) "clean scalar" []
     (codes (Check.scalar (ints data |> Query.sum_int)))
+
+(* SC008-SC011: the flow-analysis lints added with the translation
+   validator. *)
+let test_lint_flow_codes () =
+  (* SC008 redundant Distinct: Range is duplicate-free. *)
+  let ds = Check.query (Query.range ~start:0 ~count:5 |> Query.distinct) in
+  Alcotest.(check (list string)) "SC008" [ "SC002"; "SC008" ] (codes ds);
+  Alcotest.(check string) "SC008 golden"
+    "SC008 hint [1:distinct] Distinct over an input that is provably \
+     duplicate-free: the operator pays a hash table per run and removes \
+     nothing (the optimizer drops it)"
+    (Check.to_string (List.nth ds 1));
+  (* ...but Distinct over possible duplicates is not flagged. *)
+  let ds = Check.query (ints data |> Query.distinct) in
+  Alcotest.(check (list string)) "no SC008" [ "SC002" ] (codes ds);
+  (* SC009 sort discarded by re-sort. *)
+  let ds =
+    Check.query
+      (ints data
+      |> Query.order_by (fun x -> x)
+      |> Query.order_by (fun x -> I.(x mod Expr.int 5)))
+  in
+  Alcotest.(check (list string)) "SC009" [ "SC002"; "SC009" ] (codes ds);
+  Alcotest.(check string) "SC009 golden"
+    "SC009 warning [2:order-by] OrderBy directly over OrderBy: the \
+     earlier sort survives only as a stable-sort tie-break; sort once by \
+     a composite key if multi-key ordering is intended"
+    (Check.to_string (List.nth ds 1));
+  (* SC010 statically empty plan, attached to the source. *)
+  let ds = Check.query (ints [||] |> Query.select (fun x -> I.(x * x))) in
+  Alcotest.(check (list string)) "SC010" [ "SC010" ] (codes ds);
+  Alcotest.(check string) "SC010 golden"
+    "SC010 warning [0:of-array] the plan is statically empty \
+     (cardinality upper bound is zero elements): every run produces \
+     nothing"
+    (Check.to_string (List.hd ds));
+  (* Take 0 also empties the plan, transitively. *)
+  let ds = Check.query (ints data |> Query.take 0 |> Query.rev) in
+  Alcotest.(check bool) "SC010 via take 0" true
+    (List.mem "SC010" (codes ds));
+  (* SC011 opaque lambda inside the splittable prefix... *)
+  let ds =
+    Check.query
+      (ints data
+      |> Query.select (fun x -> Expr.Apply (host_succ, x))
+      |> Query.order_by (fun x -> x))
+  in
+  Alcotest.(check (list string)) "SC011" [ "SC001"; "SC011"; "SC002" ]
+    (codes ds);
+  Alcotest.(check string) "SC011 golden"
+    "SC011 hint [1:select] an opaque lambda inside the splittable \
+     prefix: partitioned execution would reorder or parallelize its \
+     host-function calls"
+    (Check.to_string (List.nth ds 1));
+  (* ...but not after the homomorphic prefix ends. *)
+  let ds =
+    Check.query
+      (ints data
+      |> Query.order_by (fun x -> x)
+      |> Query.select (fun x -> Expr.Apply (host_succ, x)))
+  in
+  Alcotest.(check (list string)) "no SC011 past the blocker"
+    [ "SC002"; "SC001" ] (codes ds)
+
+(* Every rule code in the registry fires somewhere in this battery, so a
+   code can neither be retired silently nor added without a test. *)
+let test_lint_code_coverage () =
+  let seen = Hashtbl.create 16 in
+  let note ds =
+    List.iter (fun d -> Hashtbl.replace seen d.Check.d_code ()) ds
+  in
+  note
+    (Check.query
+       (ints data
+       |> Query.select (fun x -> Expr.Apply (host_succ, x))
+       |> Query.order_by (fun x -> x)));
+  note (Check.query (ints data |> Query.order_by (fun x -> x) |> Query.rev));
+  note (Check.query (ints data |> Query.take 5 |> Query.where even));
+  note (Check.query (ints data |> Query.group_by (fun x -> x)));
+  note
+    (Check.query
+       (ints data
+       |> Query.where (fun x ->
+              I.(x / (Expr.int 5 - Expr.int 5) > Expr.int 0))));
+  note (Check.scalar (ints [||] |> Query.min_elt));
+  note (Check.query (Query.range ~start:0 ~count:5 |> Query.distinct));
+  note
+    (Check.query
+       (ints data
+       |> Query.order_by (fun x -> x)
+       |> Query.order_by (fun x -> I.(x mod Expr.int 5))));
+  note (Check.query (ints [||] |> Query.rev));
+  (* SC000 and SC012 are engine-emitted (PDA rejection, rejected
+     rewrite); their constructors produce the registry diagnostics. *)
+  note [ Check.malformed "probe" ];
+  note [ Check.rejected_rewrite "probe" ];
+  let missing =
+    List.filter
+      (fun (r : Check.rule) -> not (Hashtbl.mem seen r.Check.r_code))
+      Check.rules
+  in
+  Alcotest.(check (list string)) "every registry code exercised" []
+    (List.map (fun (r : Check.rule) -> r.Check.r_code) missing)
 
 let test_lint_nested () =
   let ds =
@@ -390,6 +493,76 @@ let test_homo_classifier () =
   | Check.Homo.Combinable _ -> ()
   | Check.Homo.Not_combinable r -> Alcotest.failf "sum not combinable: %s" r
 
+(* Explicit per-operator classifications: the verdict for each operator
+   class is part of the module's contract (reason strings are not). *)
+let test_homo_operator_verdicts () =
+  let verdict_at label (report : Check.Homo.report) =
+    match
+      List.find_opt
+        (fun o -> o.Check.Homo.o_label = label)
+        report.Check.Homo.r_ops
+    with
+    | Some o -> o.Check.Homo.o_verdict
+    | None -> Alcotest.failf "no %S operator in the report" label
+  in
+  let is_splittable = function
+    | Check.Homo.Splittable -> true
+    | Check.Homo.Blocking _ -> false
+  in
+  (* Join: only the outer side is walked (the inner side re-evaluates
+     per outer element), so the operator itself splits. *)
+  let join_q =
+    ints data
+    |> Query.join ~inner:(ints data)
+         ~outer_key:(fun x -> x)
+         ~inner_key:(fun x -> x)
+         ~result:(fun a b -> I.(a + b))
+  in
+  Alcotest.(check bool) "join splits" true
+    (is_splittable (verdict_at "join" (Check.Homo.classify join_q)));
+  Alcotest.(check bool) "join pipeline homomorphic" true
+    (Check.Homo.is_homomorphic join_q);
+  (* Group_by_elem materializes per-key bags of the whole input. *)
+  let gbe =
+    ints data
+    |> Query.group_by_elem
+         ~key:(fun x -> I.(x mod Expr.int 4))
+         ~elem:(fun x -> I.(x * x))
+  in
+  Alcotest.(check bool) "group-by-elem blocks" false
+    (is_splittable (verdict_at "group-by" (Check.Homo.classify gbe)));
+  (* Group_by_agg blocks the naive split too (the parallel layer's
+     dedicated group-aggregate path is a different mechanism). *)
+  let gba =
+    ints data
+    |> Query.group_by_agg
+         ~key:(fun x -> I.(x mod Expr.int 4))
+         ~seed:(Expr.int 0)
+         ~step:(fun acc _ -> I.(acc + Expr.int 1))
+  in
+  Alcotest.(check bool) "group-by-agg blocks" false
+    (is_splittable (verdict_at "group-by-agg" (Check.Homo.classify gba)));
+  (* Order_by: a global sort. *)
+  let sorted = ints data |> Query.order_by (fun x -> x) in
+  Alcotest.(check bool) "order-by blocks" false
+    (is_splittable (verdict_at "order-by" (Check.Homo.classify sorted)));
+  (* Rev: reverses the global order. *)
+  let rev = ints data |> Query.rev in
+  Alcotest.(check bool) "rev blocks" false
+    (is_splittable (verdict_at "rev" (Check.Homo.classify rev)));
+  (* Each blocker caps the prefix at its own position. *)
+  List.iter
+    (fun (name, report, prefix) ->
+      Alcotest.(check int) (name ^ " prefix") prefix
+        report.Check.Homo.r_prefix)
+    [
+      "join", Check.Homo.classify join_q, 2;
+      "group-by-elem", Check.Homo.classify gbe, 1;
+      "group-by-agg", Check.Homo.classify gba, 1;
+      "order-by", Check.Homo.classify sorted, 1;
+      "rev", Check.Homo.classify rev, 1;
+    ]
+
 (* {2 Engine integration} *)
 
 let div_zero_query =
@@ -464,6 +637,40 @@ let test_strict_mode () =
   in
   Alcotest.(check bool) "warnings pass" true
     (Steno.Prepared.diagnostics p <> [])
+
+(* Regression for the strict-mode gap: [Check.assert_well_formed] only
+   ran inside the Native path's chain thunk, so a Fused or Linq prepare
+   never exercised the PDA on the post-optimization chain.  A strict
+   engine now runs the acceptance check eagerly on every prepare,
+   whatever the backend — observable through the [steno_pda_checks]
+   counter. *)
+let test_strict_pda_every_backend () =
+  let pda_checks reg =
+    Metrics.counter_value (Metrics.counter reg "steno_pda_checks")
+  in
+  let reg = Metrics.create () in
+  let eng =
+    Steno.Engine.(
+      create
+        { default_config with backend = Fused; strict = true; metrics = reg })
+  in
+  Alcotest.(check int) "no checks yet" 0 (pda_checks reg);
+  ignore (Steno.Engine.prepare eng (ints data |> Query.where even));
+  Alcotest.(check int) "fused prepare runs the PDA" 1 (pda_checks reg);
+  ignore (Steno.Engine.prepare_scalar eng (ints data |> Query.sum_int));
+  Alcotest.(check int) "scalar prepare too" 2 (pda_checks reg);
+  ignore
+    (Steno.Engine.prepare ~backend:Steno.Linq eng
+       (ints data |> Query.where even |> Query.where even));
+  Alcotest.(check int) "linq prepare too" 3 (pda_checks reg);
+  (* A non-strict engine keeps the old lazy behaviour: no eager check. *)
+  let reg0 = Metrics.create () in
+  let eng0 =
+    Steno.Engine.(
+      create { default_config with backend = Fused; metrics = reg0 })
+  in
+  ignore (Steno.Engine.prepare eng0 (ints data |> Query.where even));
+  Alcotest.(check int) "non-strict stays lazy" 0 (pda_checks reg0)
 
 (* Non-strict engines must treat diagnostics as pure observation: any
    lint-carrying query still computes exactly what an unoptimized Linq
@@ -588,17 +795,25 @@ let () =
       ( "lint",
         [
           Alcotest.test_case "rule codes" `Quick test_lint_codes;
+          Alcotest.test_case "flow codes" `Quick test_lint_flow_codes;
+          Alcotest.test_case "code coverage" `Quick test_lint_code_coverage;
           Alcotest.test_case "nested sub-queries" `Quick test_lint_nested;
           Alcotest.test_case "deterministic" `Quick test_lint_deterministic;
         ] );
       ( "homo",
-        [ Alcotest.test_case "classifier" `Quick test_homo_classifier ] );
+        [
+          Alcotest.test_case "classifier" `Quick test_homo_classifier;
+          Alcotest.test_case "operator verdicts" `Quick
+            test_homo_operator_verdicts;
+        ] );
       ( "engine",
         [
           Alcotest.test_case "diagnostics" `Quick test_engine_diagnostics;
           Alcotest.test_case "metrics family" `Quick
             test_engine_metrics_family;
           Alcotest.test_case "strict mode" `Quick test_strict_mode;
+          Alcotest.test_case "strict PDA all backends" `Quick
+            test_strict_pda_every_backend;
           Alcotest.test_case "observation only" `Quick
             test_diagnostics_never_change_results;
           Alcotest.test_case "interval rewrites" `Quick

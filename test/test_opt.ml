@@ -119,6 +119,128 @@ let test_distinct_distinct () =
     (ints data |> Query.distinct |> Query.distinct)
     [ "distinct-distinct" ]
 
+(* Property-driven rules: justified by the Check_flow analysis rather
+   than by local shape, and each validated against its law by the
+   engine's translation validator on every optimized prepare. *)
+
+let test_distinct_on_distinct_free () =
+  (* Range yields each value once, so Distinct over it is the identity. *)
+  check_rule "distinct over range"
+    (Query.range ~start:3 ~count:9 |> Query.distinct)
+    [ "distinct-on-distinct-free" ];
+  (* Distinctness survives a filter (subsequence), so the rule still
+     fires through an interposed Where. *)
+  check_rule "distinct over filtered range"
+    (Query.range ~start:0 ~count:20 |> Query.where even |> Query.distinct)
+    [ "distinct-on-distinct-free" ];
+  (* A Select can introduce duplicates: no rewrite. *)
+  check_rule "distinct after select kept"
+    (Query.range ~start:0 ~count:9
+    |> Query.select (fun x -> I.(x mod Expr.int 3))
+    |> Query.distinct)
+    []
+
+let test_orderby_on_sorted () =
+  (* Range is ascending by identity. *)
+  check_rule "order-by over sorted range"
+    (Query.range ~start:0 ~count:10 |> Query.order_by (fun x -> x))
+    [ "orderby-on-sorted" ];
+  (* Re-sorting by an alpha-equivalent key in the same direction. *)
+  check_rule "re-sort same key"
+    (ints data
+    |> Query.order_by (fun x -> I.(x mod Expr.int 5))
+    |> Query.order_by (fun y -> I.(y mod Expr.int 5)))
+    [ "orderby-on-sorted" ];
+  (* Opposite direction, different key: both kept. *)
+  check_rule "descending over ascending kept"
+    (Query.range ~start:0 ~count:10
+    |> Query.order_by ~order:Query.Descending (fun x -> x))
+    [];
+  check_rule "different key kept"
+    (ints data
+    |> Query.order_by (fun x -> x)
+    |> Query.order_by (fun x -> I.(x mod Expr.int 5)))
+    []
+
+let test_ast_rev_rev () =
+  check_rule "rev rev at the AST level"
+    (ints data |> Query.rev |> Query.rev)
+    [ "rev-rev" ];
+  check_rule "single rev kept" (ints data |> Query.rev) []
+
+let test_nonempty_any_true () =
+  let sq = Query.range ~start:0 ~count:5 |> Query.any in
+  let sq', log = Opt.scalar sq in
+  Alcotest.(check (list string)) "log" [ "nonempty-any-true" ] log;
+  Alcotest.(check bool) "rewrite preserves the answer"
+    (Reference.scalar sq) (Reference.scalar sq');
+  List.iter
+    (fun b ->
+      List.iter
+        (fun optimize ->
+          Alcotest.(check bool)
+            (Printf.sprintf "any on %s" (Steno.backend_name b))
+            true
+            (Steno.Engine.scalar (engine ~optimize b) sq))
+        [ true; false ])
+    backends;
+  (* Unprovably non-empty input: left alone. *)
+  let _, log2 = Opt.scalar (ints data |> Query.where even |> Query.any) in
+  Alcotest.(check (list string)) "unprovable left alone" [] log2;
+  (* Non-empty but impure prefix: the deleted pipeline would also delete
+     its host-function calls, so the rule must not fire. *)
+  let host_id = Expr.capture (Ty.Func (Ty.Int, Ty.Int)) (fun x -> x) in
+  let _, log3 =
+    Opt.scalar
+      (Query.range ~start:0 ~count:5
+      |> Query.select (fun x -> Expr.Apply (host_id, x))
+      |> Query.any)
+  in
+  Alcotest.(check (list string)) "impure prefix left alone" [] log3
+
+(* Every rule the optimizer can fire is exercised by some plan in this
+   battery — a new rule without a trigger here fails the test, keeping
+   [Opt.rule_names], the law table and the suite in sync. *)
+let test_rule_coverage () =
+  let fired = Hashtbl.create 32 in
+  let note names = List.iter (fun r -> Hashtbl.replace fired r ()) names in
+  let runq q = note (snd (Opt.query q)) in
+  let runsq sq = note (snd (Opt.scalar sq)) in
+  let runc q = note (snd (Opt.chain (Canon.of_query q))) in
+  runq (ints data |> Query.where even |> Query.where even);
+  runq
+    (ints data
+    |> Query.select (fun x -> I.(x * x))
+    |> Query.select (fun x -> I.(x + Expr.int 1)));
+  runq (ints data |> Query.take 7 |> Query.take 4);
+  runq (ints data |> Query.skip 2 |> Query.skip 3);
+  runq (ints data |> Query.skip 0);
+  runq (ints data |> Query.take 0);
+  runq (ints data |> Query.where (fun _ -> Expr.bool true));
+  runq (ints data |> Query.where (fun _ -> Expr.bool false));
+  runq
+    (ints data |> Query.where (fun x -> I.(x mod Expr.int 10 < Expr.int 10)));
+  runq
+    (ints data |> Query.where (fun x -> I.(x mod Expr.int 10 > Expr.int 20)));
+  runq
+    (Query.Take
+       ( ints data,
+         Expr.Prim2 (Prim.Min_int, Expr.capture Ty.Int 7, Expr.int 0) ));
+  runq (ints data |> Query.take_while (fun _ -> Expr.bool true));
+  runq (ints data |> Query.skip_while (fun _ -> Expr.bool false));
+  runq (ints data |> Query.distinct |> Query.distinct);
+  runq (Query.range ~start:0 ~count:9 |> Query.distinct);
+  runq (Query.range ~start:0 ~count:9 |> Query.order_by (fun x -> x));
+  runq (ints data |> Query.rev |> Query.rev);
+  runq (ints [||] |> Query.select (fun x -> I.(x * x)));
+  runsq (Query.range ~start:0 ~count:5 |> Query.any);
+  runc (ints data |> Query.rev |> Query.materialize |> Query.rev);
+  let missing =
+    List.filter (fun r -> not (Hashtbl.mem fired r)) Opt.rule_names
+  in
+  Alcotest.(check (list string)) "every optimizer rule is exercised" []
+    missing
+
 let test_empty_collapse () =
   check_rule "operators over empty source"
     (ints [||] |> Query.select (fun x -> I.(x * x)) |> Query.rev)
@@ -219,10 +341,16 @@ let test_prepared_rewrite_log () =
 let test_native_rewrite_log_has_chain_rules () =
   if not (Steno.native_available ()) then ()
   else begin
-    let q = ints data |> Query.where even |> Query.rev |> Query.rev in
+    (* The Rev pair now cancels at the AST level ([rev-rev]), so reach
+       the chain pass with a shape only canonicalization exposes: a
+       Materialize whose ToArray sink is redundant before a sort. *)
+    let q =
+      ints data |> Query.where even |> Query.materialize
+      |> Query.order_by (fun x -> x)
+    in
     let p = Steno.Engine.prepare (engine ~optimize:true Steno.Native) q in
     Alcotest.(check (list string))
-      "ast + chain rules" [ "quil-rev-rev" ]
+      "ast + chain rules" [ "quil-drop-to-array" ]
       (Steno.Prepared.rewrite_log p)
   end
 
@@ -374,8 +502,14 @@ let () =
           Alcotest.test_case "where-const" `Quick test_where_const;
           Alcotest.test_case "while-const" `Quick test_while_const;
           Alcotest.test_case "distinct-distinct" `Quick test_distinct_distinct;
+          Alcotest.test_case "distinct-on-distinct-free" `Quick
+            test_distinct_on_distinct_free;
+          Alcotest.test_case "orderby-on-sorted" `Quick test_orderby_on_sorted;
+          Alcotest.test_case "rev-rev" `Quick test_ast_rev_rev;
+          Alcotest.test_case "nonempty-any-true" `Quick test_nonempty_any_true;
           Alcotest.test_case "empty-collapse" `Quick test_empty_collapse;
           Alcotest.test_case "scalar" `Quick test_scalar_rewrites;
+          Alcotest.test_case "rule coverage" `Quick test_rule_coverage;
         ] );
       ( "chain",
         [

@@ -28,10 +28,18 @@ dune exec bin/stenoc.exe -- analyze redundant -n 2000 > /dev/null
 echo "== stenoc lint (static checks over the demo gallery) =="
 dune exec bin/stenoc.exe -- lint --all -n 2000
 
+echo "== stenoc verify (translation validation over the demo gallery) =="
+dune exec bin/stenoc.exe -- verify --all -n 2000
+
+echo "== translation-validator suite =="
+dune exec test/test_verify.exe
+
 echo "== stenoc metrics (OpenMetrics dump) =="
 metrics_dump=$(dune exec bin/stenoc.exe -- metrics -n 2000)
 for family in \
     'TYPE steno_run_ms histogram' \
+    'TYPE steno_verify counter' \
+    'steno_verify_total{result="accepted"}' \
     'TYPE steno_runs counter' \
     'TYPE steno_operator_rows counter' \
     'TYPE steno_operator_calls counter' \

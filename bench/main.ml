@@ -6,10 +6,10 @@
      dune exec bench/main.exe -- fig1         -- one experiment
      dune exec bench/main.exe -- fig13 --scale 0.1
    Experiments: fig1 fig13 breakeven fig14 ablation-gba ablation-chain
-                ablation-backend par par-agg serve tier bechamel
+                ablation-backend par par-agg serve tier adaptive bechamel
    JSON output: --json FILE / --json-profile FILE / --json-par FILE /
                 --json-serve FILE (with --clients N --requests R) /
-                --json-tier FILE
+                --json-tier FILE / --json-adaptive FILE
 
    Absolute numbers differ from the paper (different machine, language and
    runtime); the claims under test are the *shapes*: who wins, by roughly
@@ -1449,6 +1449,115 @@ let trace_bench () =
   row "hot path: %.3f ms untraced, %.3f ms traced (%.1f%% overhead)\n"
     hot.to_run_off_ms hot.to_run_traced_ms hot.to_overhead_pct
 
+(* PR 10: the adversarial case for static filter ordering — an
+   expensive, almost-always-true predicate written before a cheap,
+   highly selective one.  The syntactic optimizer cannot reorder them
+   (it has no cost model), so the static plan evaluates the expensive
+   predicate on every row.  The adaptive pass measures both
+   selectivities during profiled runs and the second preparation puts
+   the cheap filter first. *)
+
+let adaptive_input n = Array.init n (fun i -> (i * 37) mod 1009)
+
+(* Expensive and opaque to the interval analysis (a provably-true
+   predicate would be deleted, not reordered): an iterated hash
+   compared one below the top of its range. *)
+let adaptive_expensive x =
+  let h = ref I.(x * Expr.int 131 + Expr.int 7) in
+  for _ = 1 to 6 do
+    h := I.(((!h mod Expr.int 1000003) * Expr.int 131) + Expr.int 7)
+  done;
+  I.(!h mod Expr.int 1000003 < Expr.int 1000002)
+
+let adaptive_cheap x = I.(x mod Expr.int 997 = Expr.int 0)
+
+type adaptive_measure = {
+  ad_rows : int;
+  ad_static_ms : float;
+  ad_adaptive_ms : float;
+  ad_reordered : bool;
+  ad_decisions : string list;
+}
+
+let measure_adaptive () =
+  let n = scaled 200_000 in
+  let xs = adaptive_input n in
+  let q =
+    Query.of_array Ty.Int xs
+    |> Query.where adaptive_expensive
+    |> Query.where adaptive_cheap
+  in
+  let eng =
+    Steno.Engine.create
+      Steno.Config.(
+        default |> with_backend Steno.Fused |> with_profile true
+        |> with_adaptive)
+  in
+  (* Both preparations run on the same profiled engine, so the probe
+     overhead cancels: the first sees no statistics and keeps the
+     written (pessimal) order, the second consumes the selectivities
+     the first's runs recorded. *)
+  let p1 = Steno.Engine.prepare eng q in
+  let static_ms = time_ms ~runs:5 (fun () -> Steno.Prepared.run p1) in
+  let p2 = Steno.Engine.prepare eng q in
+  let adaptive_ms = time_ms ~runs:5 (fun () -> Steno.Prepared.run p2) in
+  {
+    ad_rows = n;
+    ad_static_ms = static_ms;
+    ad_adaptive_ms = adaptive_ms;
+    ad_reordered =
+      (* The log may annotate a repeated firing ("... (x2)"), so match
+         the rule name as a prefix. *)
+      (let rule = "stats-where-reorder" in
+       List.exists
+         (fun r ->
+           String.length r >= String.length rule
+           && String.sub r 0 (String.length rule) = rule)
+         (Steno.Prepared.rewrite_log p2));
+    ad_decisions = Steno.Prepared.decisions p2;
+  }
+
+let adaptive_bench () =
+  header "PR 10: cost-based adaptive reorder (statically pessimal filters)";
+  let m = measure_adaptive () in
+  row "static order:   %.3f ms (%d rows)\n" m.ad_static_ms m.ad_rows;
+  row "adaptive order: %.3f ms (reordered: %b, %.2fx)\n" m.ad_adaptive_ms
+    m.ad_reordered
+    (if m.ad_adaptive_ms > 0.0 then m.ad_static_ms /. m.ad_adaptive_ms
+     else Float.nan);
+  List.iter (fun d -> row "  %s\n" d) m.ad_decisions
+
+let json_adaptive_report file =
+  header (Printf.sprintf "adaptive JSON report -> %s" file);
+  let m = measure_adaptive () in
+  let oc =
+    try open_out file
+    with Sys_error msg ->
+      Printf.eprintf "cannot write %s: %s\n" file msg;
+      exit 2
+  in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "adaptive",
+  "scale": %.3f,
+  "native_available": %b,
+  "rows": %d,
+  "static_order_ms": %.3f,
+  "adaptive_order_ms": %.3f,
+  "speedup": %.3f,
+  "reordered": %b,
+  "decisions": [%s]
+}
+|}
+    !scale native m.ad_rows m.ad_static_ms m.ad_adaptive_ms
+    (if m.ad_adaptive_ms > 0.0 then m.ad_static_ms /. m.ad_adaptive_ms
+     else 0.0)
+    m.ad_reordered
+    (String.concat ", " (List.map (Printf.sprintf "%S") m.ad_decisions));
+  close_out oc;
+  row "static %.3f ms -> adaptive %.3f ms (reordered: %b)\n" m.ad_static_ms
+    m.ad_adaptive_ms m.ad_reordered
+
 let experiments =
   [
     "fig1", fig1;
@@ -1468,6 +1577,7 @@ let experiments =
     "serve", serve;
     "tier", tier;
     "trace", trace_bench;
+    "adaptive", adaptive_bench;
     "bechamel", bechamel;
   ]
 
@@ -1479,6 +1589,7 @@ let () =
   let json_serve_file = ref None in
   let json_tier_file = ref None in
   let json_trace_file = ref None in
+  let json_adaptive_file = ref None in
   let rec parse = function
     | [] -> []
     | "--scale" :: v :: rest ->
@@ -1511,10 +1622,13 @@ let () =
     | "--json-trace" :: file :: rest ->
       json_trace_file := Some file;
       parse rest
+    | "--json-adaptive" :: file :: rest ->
+      json_adaptive_file := Some file;
+      parse rest
     | [
         ( "--scale" | "--clients" | "--requests" | "--trace-sample" | "--json"
         | "--json-profile" | "--json-par" | "--json-serve" | "--json-tier"
-        | "--json-trace" ) as flag;
+        | "--json-trace" | "--json-adaptive" ) as flag;
       ] ->
       Printf.eprintf "%s requires a value\n" flag;
       exit 2
@@ -1524,7 +1638,7 @@ let () =
   let json_requested =
     [
       !json_file; !json_profile_file; !json_par_file; !json_serve_file;
-      !json_tier_file; !json_trace_file;
+      !json_tier_file; !json_trace_file; !json_adaptive_file;
     ]
     |> List.exists Option.is_some
   in
@@ -1550,4 +1664,5 @@ let () =
   Option.iter json_par_report !json_par_file;
   Option.iter json_serve_report !json_serve_file;
   Option.iter json_tier_report !json_tier_file;
-  Option.iter json_trace_report !json_trace_file
+  Option.iter json_trace_report !json_trace_file;
+  Option.iter json_adaptive_report !json_adaptive_file

@@ -8,6 +8,8 @@
      stenoc stats <query> [-b BACKEND] [-n SIZE] [--reps R]
      stenoc lint [<query> | --all]   static checks with rule codes
      stenoc verify [<query> | --all] translation-validate the optimizer
+     stenoc cost <query> [-n SIZE] [--reps R]   profile, then re-prepare
+                                     and print the cost-based decisions
 *)
 
 module I = Expr.Infix
@@ -31,6 +33,18 @@ type demo =
 let float_input n = Array.init n (fun i -> float_of_int (i mod 1000) /. 997.0)
 
 let int_input n = Array.init n (fun i -> (i * 37) mod 1009)
+
+(* Expensive and almost always true, yet opaque to the interval
+   analysis (a provable predicate would be deleted, not reordered): an
+   iterated hash compared one below the modulus range's top. *)
+let needle_expensive x =
+  let h = ref I.(x * Expr.int 131 + Expr.int 7) in
+  for _ = 1 to 6 do
+    h := I.((!h * Expr.int 131 + Expr.int 7) mod Expr.int 1000003)
+  done;
+  I.(!h < Expr.int 1000002)
+
+let needle_cheap x = I.(x mod Expr.int 997 = Expr.int 0)
 
 let demos =
   [
@@ -141,6 +155,19 @@ let demos =
             |> Query.skip 2 |> Query.skip 3
             |> Query.take 100 |> Query.take 50
             |> Query.rev |> Query.rev);
+      };
+    Collection
+      {
+        name = "needle";
+        descr =
+          "expensive always-true filter before a cheap selective one: \
+           statically pessimal, fixed by the adaptive reorder";
+        elem = Ty.Int;
+        build =
+          (fun n ->
+            Query.of_array Ty.Int (int_input n)
+            |> Query.where needle_expensive
+            |> Query.where needle_cheap);
       };
     Scalar
       {
@@ -370,6 +397,87 @@ let cmd_analyze name n =
       backends;
     0
 
+(* Close the profiler→optimizer loop on one demo: profiled runs feed
+   the engine's statistics store, and a second preparation of the same
+   plan consumes them — reordering filters, choosing a backend — with
+   every decision printed. *)
+let cmd_cost name n reps =
+  match find name with
+  | Error _ -> unknown_demo name
+  | Ok demo ->
+    let eng =
+      Steno.Engine.create
+        Steno.Config.(
+          default |> with_backend Steno.Fused |> with_profile true
+          |> with_adaptive)
+    in
+    let describe_prep label rules decisions =
+      Printf.printf "%s:\n" label;
+      (match rules with
+      | [] -> print_endline "  rewrites: (none)"
+      | rs -> Printf.printf "  rewrites: %s\n" (String.concat ", " rs));
+      List.iter (fun d -> Printf.printf "  %s\n" d) decisions
+    in
+    let describe_store key =
+      let store = Steno.Engine.cost_store eng in
+      match Steno.Cost.snapshot store ~key with
+      | None -> print_endline "statistics: (none recorded)"
+      | Some s ->
+        Printf.printf "statistics: epoch %d, %d runs, %d source rows\n"
+          s.Steno.Cost.sn_epoch s.Steno.Cost.sn_runs s.Steno.Cost.sn_source_rows;
+        List.iter
+          (fun p ->
+            let sel =
+              if p.Steno.Cost.sn_tested = 0 then "n/a"
+              else
+                Printf.sprintf "%.4f"
+                  (float_of_int p.Steno.Cost.sn_passed
+                  /. float_of_int p.Steno.Cost.sn_tested)
+            in
+            let d = p.Steno.Cost.sn_digest in
+            let d =
+              if String.length d <= 48 then d
+              else String.sub d 0 45 ^ "..."
+            in
+            Printf.printf "  pred %-48s  tested %d  passed %d  selectivity %s\n"
+              d p.Steno.Cost.sn_tested p.Steno.Cost.sn_passed sel)
+          s.Steno.Cost.sn_preds
+    in
+    let timed_runs run =
+      let _, ms = time (fun () -> for _ = 1 to reps do ignore (run ()) done) in
+      Printf.printf "%d runs: %.2f ms\n" reps ms
+    in
+    (match demo with
+    | Collection { build; _ } ->
+      let q = build n in
+      let key = Steno.Cost.plan_key ~optimize:true (fst (Opt.query_ev q)) in
+      let p1 = Steno.Engine.prepare eng q in
+      describe_prep "first prepare (static priors)"
+        (Steno.Prepared.rewrite_log p1)
+        (Steno.Prepared.decisions p1);
+      timed_runs (fun () -> Steno.Prepared.run p1);
+      describe_store key;
+      let p2 = Steno.Engine.prepare eng q in
+      describe_prep "second prepare (observed statistics)"
+        (Steno.Prepared.rewrite_log p2)
+        (Steno.Prepared.decisions p2);
+      timed_runs (fun () -> Steno.Prepared.run p2)
+    | Scalar { build; _ } ->
+      let sq = build n in
+      let key = Steno.Cost.scalar_key ~optimize:true (fst (Opt.scalar_ev sq)) in
+      let p1 = Steno.Engine.prepare_scalar eng sq in
+      describe_prep "first prepare (static priors)"
+        (Steno.Prepared_scalar.rewrite_log p1)
+        (Steno.Prepared_scalar.decisions p1);
+      timed_runs (fun () -> Steno.Prepared_scalar.run p1);
+      describe_store key;
+      let p2 = Steno.Engine.prepare_scalar eng sq in
+      describe_prep "second prepare (observed statistics)"
+        (Steno.Prepared_scalar.rewrite_log p2)
+        (Steno.Prepared_scalar.decisions p2);
+      timed_runs (fun () -> Steno.Prepared_scalar.run p2));
+    0
+
 (* Exercise a profiling engine across the demo gallery and dump the
    resulting registry in OpenMetrics text format. *)
 let cmd_metrics n =
@@ -382,6 +490,7 @@ let cmd_metrics n =
           profile = true;
           metrics = reg;
           telemetry = Telemetry.metrics reg;
+          adaptive = Some { Steno.Config.drift = 0.3; fused_below = 64 };
         })
   in
   let backends =
@@ -400,6 +509,16 @@ let cmd_metrics n =
             ignore (Steno.Engine.scalar ~backend:b eng (build n)))
         backends)
     demos;
+  (* Run the statically-pessimal needle demo twice on one backend: the
+     second preparation consumes the first run's selectivities, so the
+     steno_adaptive_total{decision="reorder"} family carries a real
+     count in the dump. *)
+  (match find "needle" with
+  | Ok (Collection { build; _ }) ->
+    let q = build n in
+    ignore (Steno.Engine.to_array ~backend:Steno.Fused eng q);
+    ignore (Steno.Engine.to_array ~backend:Steno.Fused eng q)
+  | _ -> ());
   (* A parallel run so the per-partition families appear too. *)
   let xs = int_input n in
   ignore
@@ -880,6 +999,17 @@ let verify_cmd =
           unknown demo.")
     Term.(const cmd_verify $ lint_name_arg $ verify_all_arg $ size)
 
+let cost_cmd =
+  Cmd.v
+    (Cmd.info "cost"
+       ~doc:
+         "Close the profiler-to-optimizer loop on a demo query: prepare \
+          it on a profiling adaptive engine, run it to gather per-filter \
+          selectivities, dump the statistics store, then prepare it again \
+          and print the cost-based decisions (filter reorders, backend \
+          choice) the second plan made.  Exits 2 for an unknown demo.")
+    Term.(const cmd_cost $ query_arg $ size $ reps_arg)
+
 let metrics_cmd =
   Cmd.v
     (Cmd.info "metrics"
@@ -984,7 +1114,8 @@ let () =
        (Cmd.group (Cmd.info "stenoc" ~doc ~version:"1.0.0")
           [
             list_cmd; show_cmd; run_cmd; bench_cmd; stats_cmd; eval_cmd;
-            explain_cmd; analyze_cmd; lint_cmd; verify_cmd; metrics_cmd;
+            explain_cmd; analyze_cmd; lint_cmd; verify_cmd; cost_cmd;
+            metrics_cmd;
             serve_cmd;
             trace_cmd; pcache_cmd;
           ]))

@@ -27,6 +27,11 @@ type fact =
       (* claim: the input is already sorted by this key and direction *)
   | Input_nonempty_pure : 'a Query.t -> fact
       (* claim: the input provably yields an element, via pure operators *)
+  | Stats_selectivity :
+      ('a, bool) Expr.lam * ('b, bool) Expr.lam * float * float -> fact
+      (* claim: both predicates are pure (hence commute), and the first
+         (hoisted before the second by the adaptive phase) has observed
+         selectivity fst <= snd *)
 
 type event = {
   ev_rule : string;
@@ -163,6 +168,45 @@ let check_input_nonempty_pure facts =
       Error "input has impure lambdas; skipping them loses effects"
     else ok
 
+let check_stats_reorder facts =
+  (* The statistics themselves cannot make an unsound rewrite sound:
+     what licenses swapping two filters is purity alone, which we
+     re-derive here on both captured predicates.  The selectivity pair
+     is checked for plausibility (probabilities, hoisted no less
+     selective) so a buggy cost model cannot log nonsense either. *)
+  let found =
+    List.find_map
+      (function
+        | Stats_selectivity (hoisted, demoted, s_h, s_d) ->
+          Some
+            (if Check_purity.purity hoisted.Expr.body <> Check_purity.Pure
+             then
+               Error
+                 "hoisted predicate applies a host function; reordering \
+                  changes effect order"
+             else if
+               Check_purity.purity demoted.Expr.body <> Check_purity.Pure
+             then
+               Error
+                 "demoted predicate applies a host function; reordering \
+                  changes effect order"
+             else if
+               not
+                 (s_h >= 0. && s_h <= 1. && s_d >= 0. && s_d <= 1.
+                 && s_h = s_h && s_d = s_d)
+             then Error "recorded selectivities are not probabilities"
+             else if s_h > s_d then
+               Error
+                 "hoisted predicate is less selective than the one it \
+                  displaced"
+             else ok)
+        | _ -> None)
+      facts
+  in
+  match found with
+  | None -> Error "no selectivity fact recorded"
+  | Some r -> r
+
 (* ------------------------------------------------------------------ *)
 (* The law table: one entry per optimizer rule. *)
 
@@ -216,6 +260,9 @@ let laws =
     law "nonempty-any-true"
       "Any over a provably non-empty pure input is the constant true"
       check_input_nonempty_pure;
+    law "stats-where-reorder"
+      "pure filters commute: filter(p); filter(q) = filter(q); filter(p)"
+      check_stats_reorder;
     law "quil-rev-rev" "adjacent Reverse sinks cancel" structural;
     law "quil-drop-to-array"
       "a ToArray feeding a rebuffering sink or an aggregate is dead"

@@ -27,6 +27,12 @@ type fact =
   | Input_distinct : 'a Query.t -> fact
   | Input_sorted : 'a Query.t * ('a, 'k) Expr.lam * Query.order -> fact
   | Input_nonempty_pure : 'a Query.t -> fact
+  | Stats_selectivity :
+      ('a, bool) Expr.lam * ('b, bool) Expr.lam * float * float -> fact
+      (** the adaptive phase hoisted the first predicate above the
+          second: both must re-derive as pure, and the recorded
+          selectivities (hoisted, demoted) must be probabilities with
+          hoisted <= demoted *)
 
 type event = {
   ev_rule : string;  (** optimizer rule name, as in [Opt.rule_names] *)

@@ -35,6 +35,7 @@ let rule_names =
     "rev-rev";
     "nonempty-any-true";
     "empty-collapse";
+    "stats-where-reorder";
     "quil-rev-rev";
     "quil-drop-to-array";
   ]
@@ -422,6 +423,247 @@ let query ?fuel q =
 let scalar ?fuel sq =
   let sq, evs = scalar_ev ?fuel sq in
   sq, names evs
+
+(* ------------------------------------------------------------------ *)
+(* The adaptive (statistics-driven) pass.
+
+   Runs once, after the syntactic fixpoint, and only when the engine
+   asks for it ([Config.with_adaptive]).  [where-fuse] has already
+   collapsed adjacent filters into one [Where] whose body is a
+   short-circuit conjunct chain [If (c1, If (c2, ..., false), false)];
+   this pass decomposes the chain, asks the engine-supplied estimator
+   for each conjunct's selectivity, and stably re-sorts the conjuncts
+   most-selective-first.  Only provably pure conjuncts move — an impure
+   chain is left exactly as written.  Every inverted pair is logged as a
+   "stats-where-reorder" event carrying a [Stats_selectivity] fact, so
+   the translation validator re-derives purity on both predicates and
+   sanity-checks the claimed selectivities; statistics influence *which*
+   sound plan we pick, never whether a plan is sound.
+
+   With [~split:true] (profiled engines) the conjuncts are rebuilt as a
+   stack of single-predicate [Where]s instead of one fused body: each
+   gets its own probe point, which is the only way per-conjunct
+   selectivities ever become observable.  The split itself changes no
+   ordering or short-circuit behavior (it is [where-fuse] read right to
+   left) and so carries no event; the whole-plan validator invariants
+   still apply. *)
+
+type estimator = { est : 'a. ('a, bool) Expr.lam -> float }
+
+let conjuncts (body : bool Expr.t) : bool Expr.t list =
+  let rec go acc = function
+    | Expr.If (a, rest, Expr.Const_bool false) -> go (a :: acc) rest
+    | last -> List.rev (last :: acc)
+  in
+  go [] body
+
+let fuse_conjuncts (cs : bool Expr.t list) : bool Expr.t =
+  match List.rev cs with
+  | [] -> Expr.Const_bool true
+  | last :: front ->
+    List.fold_left
+      (fun acc c -> Expr.If (c, acc, Expr.Const_bool false))
+      last front
+
+let reorder_where :
+    type a.
+    estimator ->
+    split:bool ->
+    a Query.t ->
+    (a, bool) Expr.lam ->
+    a Query.t * event list =
+ fun e ~split q0 p ->
+  let keep = Query.Where (q0, p), [] in
+  let cs = conjuncts p.Expr.body in
+  if List.length cs < 2 then keep
+  else if not (List.for_all pure cs) then keep
+  else
+    let scored =
+      List.mapi (fun i c -> i, c, e.est { p with Expr.body = c }) cs
+    in
+    let sorted =
+      List.stable_sort (fun (_, _, a) (_, _, b) -> Float.compare a b) scored
+    in
+    let events =
+      (* One event per inverted pair: conjunct [u] now runs before a
+         conjunct [v] it used to follow. *)
+      let arr = Array.of_list sorted in
+      let acc = ref [] in
+      Array.iteri
+        (fun u (iu, cu, su) ->
+          Array.iteri
+            (fun v (iv, cv, sv) ->
+              if u < v && iu > iv then
+                acc :=
+                  ev "stats-where-reorder"
+                    [
+                      Check_equiv.Stats_selectivity
+                        ( { p with Expr.body = cu },
+                          { p with Expr.body = cv },
+                          su,
+                          sv );
+                    ]
+                  :: !acc)
+            arr)
+        arr;
+      List.rev !acc
+    in
+    if events = [] && not split then keep
+    else
+      let ordered = List.map (fun (_, c, _) -> c) sorted in
+      if split then
+        let ty = Query.elem_ty q0 in
+        let name = p.Expr.param.Expr.name in
+        ( List.fold_left
+            (fun q c ->
+              Query.Where
+                (q, Expr.lam name ty (fun x -> Expr.subst p.Expr.param x c)))
+            q0 ordered,
+          events )
+      else
+        Query.Where (q0, { p with Expr.body = fuse_conjuncts ordered }), events
+
+let rec adapt : type a. estimator -> split:bool -> a Query.t -> a Query.t * event list =
+ fun e ~split q ->
+  let adapt q = adapt e ~split q in
+  let adapt_sq sq = adapt_sq e ~split sq in
+  match q with
+  | Query.Of_array _ as q -> q, []
+  | Query.Range _ as q -> q, []
+  | Query.Repeat _ as q -> q, []
+  | Query.Select (q0, f) ->
+    let q0, l = adapt q0 in
+    Query.Select (q0, f), l
+  | Query.Select_i (q0, f) ->
+    let q0, l = adapt q0 in
+    Query.Select_i (q0, f), l
+  | Query.Select_q (q0, v, sq) ->
+    let q0, l1 = adapt q0 in
+    let sq, l2 = adapt_sq sq in
+    Query.Select_q (q0, v, sq), l1 @ l2
+  | Query.Where (q0, p) ->
+    let q0, l1 = adapt q0 in
+    let q', l2 = reorder_where e ~split q0 p in
+    q', l1 @ l2
+  | Query.Where_i (q0, p) ->
+    let q0, l = adapt q0 in
+    Query.Where_i (q0, p), l
+  | Query.Where_q (q0, v, sq) ->
+    let q0, l1 = adapt q0 in
+    let sq, l2 = adapt_sq sq in
+    Query.Where_q (q0, v, sq), l1 @ l2
+  | Query.Take (q0, n) ->
+    let q0, l = adapt q0 in
+    Query.Take (q0, n), l
+  | Query.Skip (q0, n) ->
+    let q0, l = adapt q0 in
+    Query.Skip (q0, n), l
+  | Query.Take_while (q0, p) ->
+    let q0, l = adapt q0 in
+    Query.Take_while (q0, p), l
+  | Query.Skip_while (q0, p) ->
+    let q0, l = adapt q0 in
+    Query.Skip_while (q0, p), l
+  | Query.Select_many (q0, v, inner) ->
+    let q0, l1 = adapt q0 in
+    let inner, l2 = adapt inner in
+    Query.Select_many (q0, v, inner), l1 @ l2
+  | Query.Select_many_result (q0, v, inner, r) ->
+    let q0, l1 = adapt q0 in
+    let inner, l2 = adapt inner in
+    Query.Select_many_result (q0, v, inner, r), l1 @ l2
+  | Query.Join (outer, inner, ok, ik, res) ->
+    let outer, l1 = adapt outer in
+    let inner, l2 = adapt inner in
+    Query.Join (outer, inner, ok, ik, res), l1 @ l2
+  | Query.Group_by (q0, k) ->
+    let q0, l = adapt q0 in
+    Query.Group_by (q0, k), l
+  | Query.Group_by_elem (q0, k, el) ->
+    let q0, l = adapt q0 in
+    Query.Group_by_elem (q0, k, el), l
+  | Query.Group_by_agg (q0, k, seed, step) ->
+    let q0, l = adapt q0 in
+    Query.Group_by_agg (q0, k, seed, step), l
+  | Query.Order_by (q0, k, dir) ->
+    let q0, l = adapt q0 in
+    Query.Order_by (q0, k, dir), l
+  | Query.Distinct q0 ->
+    let q0, l = adapt q0 in
+    Query.Distinct q0, l
+  | Query.Rev q0 ->
+    let q0, l = adapt q0 in
+    Query.Rev q0, l
+  | Query.Materialize q0 ->
+    let q0, l = adapt q0 in
+    Query.Materialize q0, l
+
+and adapt_sq :
+    type s. estimator -> split:bool -> s Query.sq -> s Query.sq * event list =
+ fun e ~split sq ->
+  let adapt q = adapt e ~split q in
+  let adapt_sq sq = adapt_sq e ~split sq in
+  match sq with
+  | Query.Aggregate (q, seed, step) ->
+    let q, l = adapt q in
+    Query.Aggregate (q, seed, step), l
+  | Query.Aggregate_full (q, seed, step, res) ->
+    let q, l = adapt q in
+    Query.Aggregate_full (q, seed, step, res), l
+  | Query.Aggregate_combinable (q, seed, step, combine) ->
+    let q, l = adapt q in
+    Query.Aggregate_combinable (q, seed, step, combine), l
+  | Query.Sum_int q ->
+    let q, l = adapt q in
+    Query.Sum_int q, l
+  | Query.Sum_float q ->
+    let q, l = adapt q in
+    Query.Sum_float q, l
+  | Query.Count q ->
+    let q, l = adapt q in
+    Query.Count q, l
+  | Query.Average q ->
+    let q, l = adapt q in
+    Query.Average q, l
+  | Query.Min q ->
+    let q, l = adapt q in
+    Query.Min q, l
+  | Query.Max q ->
+    let q, l = adapt q in
+    Query.Max q, l
+  | Query.Min_by (q, k) ->
+    let q, l = adapt q in
+    Query.Min_by (q, k), l
+  | Query.Max_by (q, k) ->
+    let q, l = adapt q in
+    Query.Max_by (q, k), l
+  | Query.First q ->
+    let q, l = adapt q in
+    Query.First q, l
+  | Query.Last q ->
+    let q, l = adapt q in
+    Query.Last q, l
+  | Query.Element_at (q, n) ->
+    let q, l = adapt q in
+    Query.Element_at (q, n), l
+  | Query.Any q ->
+    let q, l = adapt q in
+    Query.Any q, l
+  | Query.Exists (q, p) ->
+    let q, l = adapt q in
+    Query.Exists (q, p), l
+  | Query.For_all (q, p) ->
+    let q, l = adapt q in
+    Query.For_all (q, p), l
+  | Query.Contains (q, v) ->
+    let q, l = adapt q in
+    Query.Contains (q, v), l
+  | Query.Map_scalar (sq, f) ->
+    let sq, l = adapt_sq sq in
+    Query.Map_scalar (sq, f), l
+
+let adaptive_query_ev e ~split q = adapt e ~split q
+let adaptive_scalar_ev e ~split sq = adapt_sq e ~split sq
 
 (* ------------------------------------------------------------------ *)
 (* The string-level pass over the canonicalized QUIL chain. *)

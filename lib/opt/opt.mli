@@ -56,7 +56,10 @@
       is the constant [true];
     - [empty-collapse]: dead-operator elimination — any operator whose
       source is statically empty (after a collapsing rewrite) becomes the
-      empty source of its element type.
+      empty source of its element type;
+    - [stats-where-reorder]: (adaptive pass only, see
+      {!adaptive_query_ev}) pure conjuncts of a fused filter are re-sorted
+      most-selective-first by measured selectivity.
 
     {b QUIL chain rules} (applied by {!chain} to the canonicalized form):
     - [quil-rev-rev]: adjacent [Sink:Reverse] pairs cancel;
@@ -94,6 +97,32 @@ val chain_ev : ?fuel:int -> Quil.chain -> Quil.chain * event list
 val rule_names : string list
 (** Every rule this engine can fire, AST rules first — the documentation
     table, the law table and the rule-coverage test enumerate it. *)
+
+(** {1 Adaptive pass}
+
+    A second, statistics-driven pass the engine runs after the syntactic
+    fixpoint when [Config.with_adaptive] is set.  It never fires from
+    {!query}/{!scalar}: the estimator is engine state (the [Steno.Cost]
+    store plus static priors), so the pass is a separate entry point. *)
+
+type estimator = { est : 'a. ('a, bool) Expr.lam -> float }
+(** Selectivity oracle: expected pass fraction of a predicate, in
+    [[0, 1]].  Supplied by the engine — observed statistics when the
+    plan has run under profiling, static priors otherwise. *)
+
+val adaptive_query_ev :
+  estimator -> split:bool -> 'a Query.t -> 'a Query.t * event list
+(** Reorder the pure conjuncts of every fused [Where] in the plan,
+    cheapest (most selective) first, per the estimator.  Impure
+    conjunct chains never move.  Each inverted pair is logged as a
+    ["stats-where-reorder"] event with a [Stats_selectivity] fact for
+    the validator.  [~split:true] additionally rebuilds multi-conjunct
+    pure filters as stacked single-predicate [Where]s so a profiled run
+    observes each conjunct's selectivity separately (semantically the
+    inverse of [where-fuse]; no event is logged for the split itself). *)
+
+val adaptive_scalar_ev :
+  estimator -> split:bool -> 's Query.sq -> 's Query.sq * event list
 
 (** {1 Test hook}
 

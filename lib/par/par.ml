@@ -447,6 +447,20 @@ let split_scalar (type s) (sq : s Query.sq) : s split option =
   | Query.First _ | Query.Last _ | Query.Element_at _ | Query.Map_scalar _ ->
     None
 
+(* Partition count for the auto helpers.  The historical default is one
+   chunk per worker; an engine with adaptive optimization enabled sizes
+   chunks from the input length instead ([Cost.partitions_for_rows]), so
+   a small input is not shredded into chunks whose per-task dispatch
+   costs more than the work they carry.  An explicit [?parts] always
+   wins. *)
+let auto_parts ~eng ~workers ~parts n =
+  match parts with
+  | Some p -> max 1 p
+  | None ->
+    if Steno.Engine.adaptive_config eng <> None then
+      Steno.Cost.partitions_for_rows ~workers n
+    else max 1 workers
+
 let scalar_auto ?engine ?backend ?workers ?parts sq =
   let eng = engine_of engine in
   match decompose sq with
@@ -455,7 +469,7 @@ let scalar_auto ?engine ?backend ?workers ?parts sq =
     let workers =
       Option.value workers ~default:(Domain_pool.recommended_workers ())
     in
-    let parts = max 1 (Option.value parts ~default:workers) in
+    let parts = auto_parts ~eng ~workers ~parts (Array.length source) in
     if Array.length source = 0 then Steno.Engine.scalar ?backend eng sq
     else
       run_decomposed ~engine:eng ?backend ~workers decomp
@@ -468,7 +482,7 @@ let to_array_auto ?engine ?backend ?workers ?parts (q : 'a Query.t) : 'a array =
     let workers =
       Option.value workers ~default:(Domain_pool.recommended_workers ())
     in
-    let parts = max 1 (Option.value parts ~default:workers) in
+    let parts = auto_parts ~eng ~workers ~parts (Array.length r.arr) in
     if Array.length r.arr = 0 then Steno.Engine.to_array ?backend eng q
     else
       let partitions = partition ~parts r.arr in
@@ -497,7 +511,7 @@ let group_aggregate (type k s) ?engine ?backend ?workers ?parts
         let workers =
           Option.value workers ~default:(Domain_pool.recommended_workers ())
         in
-        let nparts = max 1 (Option.value parts ~default:workers) in
+        let nparts = auto_parts ~eng ~workers ~parts (Array.length rt.arr) in
         let partitions = partition ~parts:nparts rt.arr in
         let build part =
           Query.Group_by_agg (rt.rebuild part, key, seed, step)

@@ -132,7 +132,12 @@ val scalar_auto :
   's Query.sq ->
   's
 (** Run a scalar query in parallel when {!decompose} finds a plan, and
-    sequentially otherwise. *)
+    sequentially otherwise.  [?parts] defaults to one chunk per worker —
+    unless the engine has adaptive optimization enabled
+    ([Steno.Config.with_adaptive]), in which case the partition count is
+    derived from the input length ([Steno.Cost.partitions_for_rows]), so
+    tiny inputs run in one chunk.  The same default applies to
+    {!to_array_auto} and {!group_aggregate}. *)
 
 val to_array_auto :
   ?engine:Steno.Engine.t ->

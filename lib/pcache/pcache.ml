@@ -160,8 +160,17 @@ let list_entries t =
     with _ -> []
 
 let evict t =
+  (* mtime is the LRU clock, but its granularity is a whole second on
+     some filesystems: entries published within the same second would
+     otherwise evict in readdir order, which differs across runs and
+     hosts.  The hash tie-break makes the victim deterministic. *)
   let entries =
-    List.sort (fun a b -> compare a.e_mtime b.e_mtime) (list_entries t)
+    List.sort
+      (fun a b ->
+        match compare a.e_mtime b.e_mtime with
+        | 0 -> compare a.e_hash b.e_hash
+        | c -> c)
+      (list_entries t)
   in
   let count = List.length entries in
   let bytes = List.fold_left (fun acc e -> acc + e.e_bytes) 0 entries in

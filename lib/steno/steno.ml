@@ -157,6 +157,10 @@ type 'r prep = {
          ordinary preparations; a tiered preparation starts at [Fused]
          and is atomically flipped to [Native] when the background
          promotion lands. *)
+  p_decisions : string list;
+      (* What the cost-based adaptive phase decided for this
+         preparation, as display lines ("reordered: ...", "backend:
+         fused (est. 40 rows)").  Empty without [Config.with_adaptive]. *)
 }
 
 exception Check_failed of Check.diagnostic list
@@ -260,6 +264,8 @@ let scalar_plan (sq : 's Query.sq) : 's plan =
 module Config = struct
   type tiering = { threshold : int }
 
+  type adaptive = { drift : float; fused_below : int }
+
   type disk_cache = { dir : string; max_bytes : int; max_entries : int }
 
   type tracing = { sample : float; ring : int; slow_ms : float option }
@@ -275,6 +281,7 @@ module Config = struct
     metrics : Metrics.t;
     strict : bool;
     tiering : tiering option;
+    adaptive : adaptive option;
     disk_cache : disk_cache option;
     tracing : tracing option;
     admin_port : int option;
@@ -292,6 +299,7 @@ module Config = struct
       metrics = Metrics.default ();
       strict = false;
       tiering = None;
+      adaptive = None;
       disk_cache = None;
       tracing = None;
       admin_port = None;
@@ -308,6 +316,11 @@ module Config = struct
   let with_strict strict t = { t with strict }
   let with_tiering ?(threshold = 8) t = { t with tiering = Some { threshold } }
   let without_tiering t = { t with tiering = None }
+
+  let with_adaptive ?(drift = 0.3) ?(fused_below = 64) t =
+    { t with adaptive = Some { drift; fused_below } }
+
+  let without_adaptive t = { t with adaptive = None }
 
   let with_disk_cache ~dir ?(max_bytes = 256 * 1024 * 1024)
       ?(max_entries = 512) t =
@@ -340,6 +353,7 @@ module Engine = struct
     metrics : Metrics.t;
     strict : bool;
     tiering : Config.tiering option;
+    adaptive : Config.adaptive option;
     disk_cache : Config.disk_cache option;
     tracing : Config.tracing option;
     admin_port : int option;
@@ -364,6 +378,12 @@ module Engine = struct
         (* The persistent on-disk plugin store, when the configuration
            asked for one.  Consulted between the in-process LRU and the
            compiler. *)
+    cost : Cost.t;
+        (* Per-plan runtime statistics feeding the adaptive phase.
+           Always allocated (it is a few words when unused) and shared
+           by every derived engine copy — sessions and [force_profile]
+           views feed the same store, which is exactly what lets a
+           profiled run teach an unprofiled prepare. *)
   }
 
   let default_config = Config.default
@@ -391,6 +411,12 @@ module Engine = struct
         "Background tier promotions of hot prepared queries (Fused -> \
          Native)"
       ~labels:[ "result", result ]
+
+  let adaptive_c eng decision =
+    Metrics.counter eng.cfg.metrics "steno_adaptive"
+      ~help:
+        "Decisions taken by the cost-based adaptive optimization phase"
+      ~labels:[ "decision", decision ]
 
   let create cfg =
     let tracer =
@@ -435,6 +461,7 @@ module Engine = struct
           Steno_lru.create ~on_evict ~shards ~capacity:cfg.cache_capacity ();
         flight = Steno_flight.create ();
         pcache;
+        cost = Cost.create ();
       }
     in
     (* Register the optional-feature families eagerly, so a scrape shows
@@ -445,6 +472,11 @@ module Engine = struct
       ignore (pcache_evictions_c eng)
     end;
     if cfg.tiering <> None then ignore (tier_promotions_c eng "ok");
+    if cfg.adaptive <> None then begin
+      ignore (adaptive_c eng "reorder");
+      ignore (adaptive_c eng "backend-fused");
+      ignore (adaptive_c eng "drift")
+    end;
     eng
 
   let pcache_stats e = Option.map Pcache.stats e.pcache
@@ -452,6 +484,10 @@ module Engine = struct
   let pcache_dir e = Option.map Pcache.dir e.pcache
 
   let config e = e.cfg
+
+  let adaptive_config e = e.cfg.adaptive
+
+  let cost_store e = e.cost
 
   let tracer e = e.tracer
 
@@ -831,6 +867,7 @@ module Engine = struct
       p_profile = prof;
       p_diags = [];
       p_tier = Atomic.make actual;
+      p_decisions = [];
     }
 
   let prepare_plan_result (eng : t) ?backend (plan : 'r plan) :
@@ -913,6 +950,7 @@ module Engine = struct
             p_profile = prof;
             p_diags = [];
             p_tier = Atomic.make Native;
+            p_decisions = [];
           }
       | Error reason when eng.cfg.fallback ->
         Telemetry.count sink "engine.fallback" 1;
@@ -1022,6 +1060,328 @@ module Engine = struct
       in
       { plan with chain }, fired
     end
+
+  (* {2 Adaptive (cost-based) optimization}
+
+     The phase that closes the profiler→optimizer loop, gated by
+     [Config.with_adaptive] and running after the syntactic fixpoint:
+
+     - an estimator answers "what fraction of rows passes this
+       predicate?" from the engine's [Cost] store when the plan has run
+       under profiling, falling back to a static prior
+       ([Check_purity.truth]: provably-true 1.0, provably-false 0.0,
+       otherwise 0.5);
+     - [Opt.adaptive_query_ev] reorders fused pure conjuncts by those
+       estimates, logging one "stats-where-reorder" event per inverted
+       pair — validated like any other rewrite (statistics pick among
+       sound plans; they cannot make an unsound one acceptable);
+     - the same estimates drive a backend decision (tiny inputs skip
+       Native dispatch) and, in [Par], the partition count;
+     - profiled runs feed per-operator row deltas back into the store,
+       and a run whose fresh observations drift beyond the configured
+       threshold from the selectivities this preparation assumed retires
+       the stale statistics and re-prepares in the background, hot-
+       swapping the run function atomically (the tiering pattern). *)
+
+  let static_selectivity (lam : (_, bool) Expr.lam) =
+    match Check_purity.truth (Expr.simplify lam.Expr.body) with
+    | Check_purity.True -> 1.0
+    | Check_purity.False -> 0.0
+    | Check_purity.Unknown -> 0.5
+
+  let estimator_for eng ~key =
+    {
+      Opt.est =
+        (fun lam ->
+          match
+            Cost.selectivity eng.cost ~key ~digest:(Cost.pred_digest lam)
+          with
+          | Some s -> s
+          | None -> static_selectivity lam);
+    }
+
+  (* The recording schema: the probed operator spine of the plan that
+     will actually execute, in probe-point order (source first), with
+     each [Where]'s digest and the measured selectivity this preparation
+     assumed for it — [None] when the assumption was only the static
+     prior, so drift detection never fires against a guess (a fresh
+     query whose true selectivity is far from 0.5 is the expected case,
+     not a stale plan).  Nested sub-plans (join inner sides, subqueries)
+     stage without probe points and are therefore not walked. *)
+  type rec_op = R_src | R_where of string * float option | R_other
+
+  (* Like [Opt.estimator] but honest about provenance: [None] when the
+     store holds no observation for the predicate. *)
+  type sel_oracle = { sel : 'a. ('a, bool) Expr.lam -> float option }
+
+  let oracle_for eng ~key =
+    {
+      sel =
+        (fun lam ->
+          Cost.selectivity eng.cost ~key ~digest:(Cost.pred_digest lam));
+    }
+
+  let rec query_schema : type a. sel_oracle -> a Query.t -> rec_op list =
+   fun est q ->
+    match q with
+    | Query.Of_array _ | Query.Range _ | Query.Repeat _ -> [ R_src ]
+    | Query.Where (q0, p) ->
+      query_schema est q0
+      @ [ R_where (Cost.pred_digest p, est.sel p) ]
+    | Query.Select (q0, _) -> query_schema est q0 @ [ R_other ]
+    | Query.Select_i (q0, _) -> query_schema est q0 @ [ R_other ]
+    | Query.Select_q (q0, _, _) -> query_schema est q0 @ [ R_other ]
+    | Query.Where_i (q0, _) -> query_schema est q0 @ [ R_other ]
+    | Query.Where_q (q0, _, _) -> query_schema est q0 @ [ R_other ]
+    | Query.Take (q0, _) -> query_schema est q0 @ [ R_other ]
+    | Query.Skip (q0, _) -> query_schema est q0 @ [ R_other ]
+    | Query.Take_while (q0, _) -> query_schema est q0 @ [ R_other ]
+    | Query.Skip_while (q0, _) -> query_schema est q0 @ [ R_other ]
+    | Query.Select_many (q0, _, _) -> query_schema est q0 @ [ R_other ]
+    | Query.Select_many_result (q0, _, _, _) ->
+      query_schema est q0 @ [ R_other ]
+    | Query.Join (outer, _, _, _, _) -> query_schema est outer @ [ R_other ]
+    | Query.Group_by (q0, _) -> query_schema est q0 @ [ R_other ]
+    | Query.Group_by_elem (q0, _, _) -> query_schema est q0 @ [ R_other ]
+    | Query.Group_by_agg (q0, _, _, _) -> query_schema est q0 @ [ R_other ]
+    | Query.Order_by (q0, _, _) -> query_schema est q0 @ [ R_other ]
+    | Query.Distinct q0 -> query_schema est q0 @ [ R_other ]
+    | Query.Rev q0 -> query_schema est q0 @ [ R_other ]
+    | Query.Materialize q0 -> query_schema est q0 @ [ R_other ]
+
+  (* A scalar query's probe points cover only its collection spine (the
+     aggregate itself gets no point), so its schema is the spine's. *)
+  let rec sq_schema : type s. sel_oracle -> s Query.sq -> rec_op list =
+   fun est sq ->
+    match sq with
+    | Query.Aggregate (q, _, _) -> query_schema est q
+    | Query.Aggregate_full (q, _, _, _) -> query_schema est q
+    | Query.Aggregate_combinable (q, _, _, _) -> query_schema est q
+    | Query.Sum_int q -> query_schema est q
+    | Query.Sum_float q -> query_schema est q
+    | Query.Count q -> query_schema est q
+    | Query.Average q -> query_schema est q
+    | Query.Min q -> query_schema est q
+    | Query.Max q -> query_schema est q
+    | Query.Min_by (q, _) -> query_schema est q
+    | Query.Max_by (q, _) -> query_schema est q
+    | Query.First q -> query_schema est q
+    | Query.Last q -> query_schema est q
+    | Query.Element_at (q, _) -> query_schema est q
+    | Query.Any q -> query_schema est q
+    | Query.Exists (q, _) -> query_schema est q
+    | Query.For_all (q, _) -> query_schema est q
+    | Query.Contains (q, _) -> query_schema est q
+    | Query.Map_scalar (sq, _) -> sq_schema est sq
+
+  (* Positional compatibility between the schema and the probe labels
+     the executing backend actually allocated.  The staged backends
+     label spine operators one-to-one; the native chain may append
+     sink points (e.g. the materialize), so the schema must be a label-
+     compatible prefix.  Any mismatch disables recording for the
+     preparation rather than feeding garbage into the store. *)
+  let rec_op_matches op label =
+    match op with
+    | R_src ->
+      List.mem label [ "of-array"; "range"; "repeat"; "Src" ]
+    | R_where _ -> label = "where" || label = "Pred"
+    | R_other -> true
+
+  let reorder_decisions events =
+    List.filter_map
+      (fun (e : Opt.event) ->
+        match e.Opt.ev_facts with
+        | [ Check.Equiv.Stats_selectivity (h, d, sh, sd) ] ->
+          Some
+            (Printf.sprintf
+               "reordered: %s before %s, selectivity %.2f vs %.2f"
+               (Cost.pred_label h) (Cost.pred_label d) sh sd)
+        | _ -> None)
+      events
+
+  (* Run the adaptive rewrite and validate its event log, mirroring
+     [optimize_verified]: accepted → the re-sorted plan plus display
+     decisions; rejected → fall back to the plan as given (SC012), or
+     refuse outright under [strict]. *)
+  let adaptive_rewrite eng ~est ~adapt ~validate q =
+    let sink = eng.cfg.telemetry in
+    let split = eng.cfg.profile in
+    let q', events =
+      Telemetry.with_span sink "optimize"
+        ~attrs:[ "level", "adaptive" ]
+        (fun () -> adapt est ~split q)
+    in
+    if events = [] then
+      (* Nothing moved.  [q'] may still differ from [q] under profiling
+         (pure conjuncts split into stacked filters so each gets its own
+         probe point) — an eventless structural identity. *)
+      Ok ((if split then q' else q), [], [], [])
+    else begin
+      let obligations =
+        Telemetry.with_span sink "verify"
+          ~attrs:[ "level", "adaptive" ]
+          (fun () -> validate q q' events)
+      in
+      if Check.Equiv.accepted obligations then begin
+        count_verify eng "accepted";
+        List.iter (fun _ -> Metrics.inc (adaptive_c eng "reorder")) events;
+        Ok (q', event_names events, [], reorder_decisions events)
+      end
+      else begin
+        count_verify eng "rejected";
+        Metrics.inc (adaptive_c eng "rejected");
+        let detail = String.concat "; " (Check.Equiv.failures obligations) in
+        let d = Check.rejected_rewrite detail in
+        if eng.cfg.strict then Error [ d ] else Ok (q, [], [ d ], [])
+      end
+    end
+
+  (* Cost-based backend choice: when the engine would dispatch to
+     Native, a plan whose estimated input is tiny stays on the staged
+     Fused tier — the compiled loop cannot amortize even a plugin-cache
+     hit over a handful of rows.  Only engine-level dispatch is
+     overridden (an explicit per-call [?backend] wins), and tiering
+     already solves this warm-up problem its own way. *)
+  let backend_choice eng ~key ~static_rows backend =
+    match eng.cfg.adaptive, backend with
+    | Some a, None
+      when eng.cfg.backend = Native && eng.cfg.tiering = None -> (
+      let est_rows =
+        match Cost.avg_source_rows eng.cost ~key with
+        | Some r -> Some (int_of_float (Float.round r))
+        | None -> static_rows ()
+      in
+      match est_rows with
+      | Some n when n <= a.Config.fused_below ->
+        Metrics.inc (adaptive_c eng "backend-fused");
+        ( Some Fused,
+          [ Printf.sprintf "backend: fused (est. %d rows)" n ] )
+      | _ -> backend, [])
+    | _ -> backend, []
+
+  (* Minimum per-run rows a predicate must have been tested on before a
+     drift verdict: a couple of elements can always contradict an
+     assumed fraction. *)
+  let drift_min_tested = 4
+
+  (* Wrap a profiled preparation's run function with observation
+     recording and drift detection.  After every run the per-operator
+     row deltas are folded into the cost store; the first run whose
+     observed selectivities diverge from this preparation's assumptions
+     by more than the configured threshold retires the stale statistics
+     (they must not be averaged into the new distribution), seeds the
+     fresh epoch with the post-drift run, and re-prepares in the
+     background through the ordinary prepare path (hence single-flight
+     and both plugin caches), hot-swapping the run function atomically
+     when it lands.  The replacement preparation carries its own
+     recording wrapper, so this one steps aside after the swap. *)
+  let wrap_adaptive eng (a : Config.adaptive) ~key ~schema
+      ~(rebuild : unit -> ('r prep, 'e) result) (p : 'r prep) : 'r prep =
+    match p.p_profile with
+    | None -> p
+    | Some prof ->
+      let pts = Array.of_list (Metrics.Probe.points prof.prof_probe) in
+      let schema = Array.of_list schema in
+      let n = Array.length schema in
+      let compatible =
+        n > 0
+        && Array.length pts >= n
+        && (let ok = ref true in
+            Array.iteri
+              (fun i op ->
+                if
+                  i < n
+                  && not (rec_op_matches op pts.(i).Metrics.Probe.pt_label)
+                then ok := false)
+              schema;
+            !ok)
+      in
+      if not compatible then p
+      else begin
+        let assumptions_live =
+          Array.exists
+            (function R_where (_, Some _) -> true | _ -> false)
+            schema
+        in
+        let last = Array.make n 0 in
+        let swapped : (unit -> 'r) option Atomic.t = Atomic.make None in
+        let reprep_started = Atomic.make false in
+        let base = p.run_fn in
+        let reprepare () =
+          Trace.with_span eng.tracer "adaptive.reprepare" @@ fun () ->
+          match rebuild () with
+          | Ok p' ->
+            Atomic.set swapped (Some p'.run_fn);
+            Atomic.set p.p_tier (Atomic.get p'.p_tier);
+            Metrics.inc (adaptive_c eng "reprepare-ok")
+          | Error _ -> Metrics.inc (adaptive_c eng "reprepare-failed")
+          | exception _ -> Metrics.inc (adaptive_c eng "reprepare-failed")
+        in
+        let observe () =
+          let deltas =
+            Array.init n (fun i ->
+                let d = pts.(i).Metrics.Probe.pt_rows - last.(i) in
+                last.(i) <- pts.(i).Metrics.Probe.pt_rows;
+                max 0 d)
+          in
+          let drifted = ref false in
+          if assumptions_live && not (Atomic.get reprep_started) then
+            Array.iteri
+              (fun i op ->
+                match op with
+                | R_where (_, Some assumed) when i > 0 ->
+                  let tested = deltas.(i - 1) in
+                  if tested >= drift_min_tested then begin
+                    let obs =
+                      float_of_int deltas.(i) /. float_of_int tested
+                    in
+                    if Float.abs (obs -. assumed) > a.Config.drift then
+                      drifted := true
+                  end
+                | _ -> ())
+              schema;
+          if
+            !drifted
+            && Atomic.compare_and_set reprep_started false true
+          then begin
+            Metrics.inc (adaptive_c eng "drift");
+            (* Retire before seeding: the flipped distribution must not
+               blend with the history that misled this preparation. *)
+            Cost.retire eng.cost ~key;
+            (* The re-prepare compiles later on a pool domain, through
+               the full prepare pipeline (checks, rewrite, validation,
+               caches). *)
+            Domain_pool.async ?ctx:(Trace.current ()) reprepare
+          end;
+          let pred_deltas =
+            let acc = ref [] in
+            Array.iteri
+              (fun i op ->
+                match op with
+                | R_where (digest, _) when i > 0 ->
+                  acc :=
+                    {
+                      Cost.pd_digest = digest;
+                      pd_tested = deltas.(i - 1);
+                      pd_passed = deltas.(i);
+                    }
+                    :: !acc
+                | _ -> ())
+              schema;
+            List.rev !acc
+          in
+          Cost.record eng.cost ~key ~source_rows:deltas.(0) pred_deltas
+        in
+        let run_fn () =
+          match Atomic.get swapped with
+          | Some f -> f ()
+          | None ->
+            let r = base () in
+            (try observe () with _ -> ());
+            r
+        in
+        { p with run_fn }
+      end
 
   (* {2 Static checks} *)
 
@@ -1165,7 +1525,15 @@ module Engine = struct
         let c = if eng.cfg.optimize then fst (Opt.chain c) else c in
         Trace.annotate eng.tracer [ "plan", Quil.symbol_string c ]
 
-  let try_prepare ?backend eng q =
+  (* [rec]: a drift re-preparation re-enters this function from a pool
+     domain with the original query (and requested backend), so the
+     replacement plan goes through the whole pipeline — checks, the
+     syntactic fixpoint, a fresh adaptive pass over the post-drift
+     statistics, validation, and both plugin caches. *)
+  let rec try_prepare : 'a. ?backend:backend -> t -> 'a Query.t ->
+      ('a array prep, error) result =
+   fun ?backend eng q_orig ->
+    let q = q_orig in
     match
       run_checks_result eng (fun () ->
           chain_diags Canon.of_query q @ Check.query q)
@@ -1181,24 +1549,75 @@ module Engine = struct
       | Error errs -> Error (Check_error errs)
       | Ok (q, ast_rules, verify_diags) -> (
         record_diagnostics eng verify_diags;
-        match strict_pda eng Canon.of_query q with
+        (* The plan key is taken after the syntactic fixpoint but before
+           the adaptive pass: the fixpoint is deterministic, so a drift
+           re-preparation lands on the same key, while the key never
+           depends on the statistics-driven ordering it feeds. *)
+        let actx =
+          match eng.cfg.adaptive with
+          | None -> None
+          | Some a ->
+            let key = Cost.plan_key ~optimize:eng.cfg.optimize q in
+            Some (a, key, estimator_for eng ~key)
+        in
+        let adaptive =
+          match actx with
+          | None -> Ok (q, [], [], [])
+          | Some (_, _, est) ->
+            adaptive_rewrite eng ~est
+              ~adapt:(fun e ~split q -> Opt.adaptive_query_ev e ~split q)
+              ~validate:(fun before after evs ->
+                Check.Equiv.validate_query ~before ~after evs)
+              q
+        in
+        match adaptive with
         | Error errs -> Error (Check_error errs)
-        | Ok () -> (
-          annotate_plan eng Canon.of_query q;
-          let plan, chain_rules = with_chain_pass eng (query_plan q) in
-          match
-            prepare_plan_result eng ?backend (with_verified_chain plan)
-          with
-          | Error reason -> Error (Compile_failure reason)
-          | Ok p ->
-            Ok
-              {
-                p with
-                p_rules = dedup_consecutive (ast_rules @ !chain_rules);
-                p_diags = verify_diags @ diags;
-              })))
+        | Ok (q, ad_rules, ad_diags, ad_decisions) -> (
+          record_diagnostics eng ad_diags;
+          match strict_pda eng Canon.of_query q with
+          | Error errs -> Error (Check_error errs)
+          | Ok () -> (
+            annotate_plan eng Canon.of_query q;
+            let plan, chain_rules = with_chain_pass eng (query_plan q) in
+            let backend', be_decisions =
+              match actx with
+              | Some (_, key, _) ->
+                backend_choice eng ~key
+                  ~static_rows:(fun () ->
+                    ((Check_flow.props q).Check_flow.card).Check_purity.hi)
+                  backend
+              | None -> backend, []
+            in
+            match
+              prepare_plan_result eng ?backend:backend'
+                (with_verified_chain plan)
+            with
+            | Error reason -> Error (Compile_failure reason)
+            | Ok p ->
+              let p =
+                {
+                  p with
+                  p_rules =
+                    dedup_consecutive (ast_rules @ ad_rules @ !chain_rules);
+                  p_diags = verify_diags @ ad_diags @ diags;
+                  p_decisions = ad_decisions @ be_decisions;
+                }
+              in
+              let p =
+                match actx with
+                | Some (a, key, _) when eng.cfg.profile ->
+                  wrap_adaptive eng a ~key
+                    ~schema:(query_schema (oracle_for eng ~key) q)
+                    ~rebuild:(fun () -> try_prepare ?backend eng q_orig)
+                    p
+                | _ -> p
+              in
+              Ok p))))
 
-  let try_prepare_scalar ?backend eng sq =
+  let rec try_prepare_scalar : 's. ?backend:backend -> t -> 's Query.sq ->
+      ('s prep, error) result =
+   fun ?backend eng sq_orig ->
+    let sq = sq_orig in
     match
       run_checks_result eng (fun () ->
           chain_diags Canon.of_scalar sq @ Check.scalar sq)
@@ -1214,22 +1633,66 @@ module Engine = struct
       | Error errs -> Error (Check_error errs)
       | Ok (sq, ast_rules, verify_diags) -> (
         record_diagnostics eng verify_diags;
-        match strict_pda eng Canon.of_scalar sq with
+        let actx =
+          match eng.cfg.adaptive with
+          | None -> None
+          | Some a ->
+            let key = Cost.scalar_key ~optimize:eng.cfg.optimize sq in
+            Some (a, key, estimator_for eng ~key)
+        in
+        let adaptive =
+          match actx with
+          | None -> Ok (sq, [], [], [])
+          | Some (_, _, est) ->
+            adaptive_rewrite eng ~est
+              ~adapt:(fun e ~split sq -> Opt.adaptive_scalar_ev e ~split sq)
+              ~validate:(fun before after evs ->
+                Check.Equiv.validate_scalar ~before ~after evs)
+              sq
+        in
+        match adaptive with
         | Error errs -> Error (Check_error errs)
-        | Ok () -> (
-          annotate_plan eng Canon.of_scalar sq;
-          let plan, chain_rules = with_chain_pass eng (scalar_plan sq) in
-          match
-            prepare_plan_result eng ?backend (with_verified_chain plan)
-          with
-          | Error reason -> Error (Compile_failure reason)
-          | Ok p ->
-            Ok
-              {
-                p with
-                p_rules = dedup_consecutive (ast_rules @ !chain_rules);
-                p_diags = verify_diags @ diags;
-              })))
+        | Ok (sq, ad_rules, ad_diags, ad_decisions) -> (
+          record_diagnostics eng ad_diags;
+          match strict_pda eng Canon.of_scalar sq with
+          | Error errs -> Error (Check_error errs)
+          | Ok () -> (
+            annotate_plan eng Canon.of_scalar sq;
+            let plan, chain_rules = with_chain_pass eng (scalar_plan sq) in
+            let backend', be_decisions =
+              match actx with
+              | Some (_, key, _) ->
+                (* No flow prior on the scalar side: the aggregate's own
+                   cardinality is one, so only observed source rows can
+                   justify skipping the native dispatch. *)
+                backend_choice eng ~key ~static_rows:(fun () -> None) backend
+              | None -> backend, []
+            in
+            match
+              prepare_plan_result eng ?backend:backend'
+                (with_verified_chain plan)
+            with
+            | Error reason -> Error (Compile_failure reason)
+            | Ok p ->
+              let p =
+                {
+                  p with
+                  p_rules =
+                    dedup_consecutive (ast_rules @ ad_rules @ !chain_rules);
+                  p_diags = verify_diags @ ad_diags @ diags;
+                  p_decisions = ad_decisions @ be_decisions;
+                }
+              in
+              let p =
+                match actx with
+                | Some (a, key, _) when eng.cfg.profile ->
+                  wrap_adaptive eng a ~key
+                    ~schema:(sq_schema (oracle_for eng ~key) sq)
+                    ~rebuild:(fun () -> try_prepare_scalar ?backend eng sq_orig)
+                    p
+                | _ -> p
+              in
+              Ok p))))
 
   let raise_error = function
     | Check_error errs -> raise (Check_failed errs)
@@ -1375,6 +1838,7 @@ module Engine = struct
     a_explanation : explanation;
     a_profile : profile_snapshot;
     a_result_rows : int option;
+    a_decisions : string list;
   }
 
   (* A view of [eng] with profiling forced on; shares the plugin cache
@@ -1402,6 +1866,7 @@ module Engine = struct
       a_explanation = explanation;
       a_profile = prof;
       a_result_rows = result_rows;
+      a_decisions = p.p_decisions;
     }
 
   let explain_analyze ?backend eng q =
@@ -1456,6 +1921,11 @@ module Engine = struct
           Printf.bprintf b "%-4d %-28s %12d %12d %10s\n" op.op_index
             op.op_label op.op_rows op.op_calls time_cell)
         ops);
+    (match a.a_decisions with
+    | [] -> ()
+    | ds ->
+      Buffer.add_string b "adaptive decisions:\n";
+      List.iter (fun d -> Printf.bprintf b "  %s\n" d) ds);
     Buffer.contents b
 end
 
@@ -1634,6 +2104,7 @@ module Prepared = struct
   let rewrite_log p = p.p_rules
   let diagnostics p = p.p_diags
   let profile p = Option.map profile_snapshot p.p_profile
+  let decisions p = p.p_decisions
 end
 
 module Prepared_scalar = struct
@@ -1645,6 +2116,7 @@ module Prepared_scalar = struct
   let rewrite_log p = p.p_rules
   let diagnostics p = p.p_diags
   let profile p = Option.map profile_snapshot p.p_profile
+  let decisions p = p.p_decisions
 end
 
 let to_array ?backend q = Prepared.run (prepare ?backend q)
@@ -1665,3 +2137,7 @@ let quil_scalar sq = Quil.symbol_string (Canon.of_scalar sq)
 let cache_size () = Engine.cache_size (default_engine ())
 
 let clear_cache () = Engine.clear_cache (default_engine ())
+
+(* Re-export so clients can speak to an engine's statistics store
+   ([Engine.cost_store]) without depending on the library directly. *)
+module Cost = Cost

@@ -147,6 +147,18 @@ module Config : sig
       {!Engine.config.tiering}. *)
   type tiering = { threshold : int }
 
+  (** Cost-based adaptive optimization policy.  See
+      {!Engine.config.adaptive}. *)
+  type adaptive = {
+    drift : float;
+        (** Absolute selectivity divergence (observed vs assumed at
+            prepare time) past which a profiled run retires the plan's
+            statistics and triggers a background re-preparation. *)
+    fused_below : int;
+        (** Estimated source rows at or below which an engine-level
+            [Native] dispatch is downgraded to [Fused]. *)
+  }
+
   (** Persistent on-disk plugin store configuration.  See
       {!Engine.config.disk_cache}. *)
   type disk_cache = { dir : string; max_bytes : int; max_entries : int }
@@ -170,6 +182,7 @@ module Config : sig
     metrics : Metrics.t;
     strict : bool;
     tiering : tiering option;
+    adaptive : adaptive option;
     disk_cache : disk_cache option;
     tracing : tracing option;
     admin_port : int option;
@@ -196,6 +209,13 @@ module Config : sig
       (default 8 runs; clamped to at least 1). *)
 
   val without_tiering : t -> t
+
+  val with_adaptive : ?drift:float -> ?fused_below:int -> t -> t
+  (** Enable cost-based adaptive optimization (defaults: [drift = 0.3],
+      [fused_below = 64]).  See {!Engine.config.adaptive}; observations
+      only flow when [profile] is also on. *)
+
+  val without_adaptive : t -> t
 
   val with_disk_cache :
     dir:string -> ?max_bytes:int -> ?max_entries:int -> t -> t
@@ -303,6 +323,33 @@ module Engine : sig
             permanently — tiering never raises at prepare or run time.
             [None] (the default) keeps [Native] preparation
             synchronous. *)
+    adaptive : Config.adaptive option;
+        (** When set, every preparation runs a cost-based phase after
+            the syntactic rewrite fixpoint, fed by the engine's per-plan
+            statistics store ({!cost_store}; populated by profiled runs
+            of the same plan, static priors otherwise):
+
+            - pure conjuncts of fused filters are re-sorted
+              most-selective-first — each reorder is logged as a
+              ["stats-where-reorder"] rewrite and translation-validated
+              like any other rule (statistics pick among provably
+              equivalent plans, they are never trusted for soundness);
+            - an engine-level [Native] dispatch whose estimated input is
+              at most [fused_below] rows stays on [Fused] (an explicit
+              per-call [?backend] always wins, and tiering supersedes
+              this);
+            - [Par]'s auto-partitioned helpers derive their partition
+              count from estimated rows instead of one-chunk-per-worker.
+
+            With [profile] also on, each run's per-operator row deltas
+            feed the store, and a run whose observed selectivities
+            diverge from the preparation's assumptions by more than
+            [drift] retires the stale statistics and re-prepares in the
+            background (hot-swapped atomically, like tier promotion).
+            Decisions surface in {!Prepared.decisions} /
+            {!type-analysis} and the [steno_adaptive_total{decision}]
+            metric family.  [None] (the default) skips the phase
+            entirely. *)
     disk_cache : Config.disk_cache option;
         (** When set, compiled plugins are also published to a
             content-addressed on-disk store ([Pcache]) keyed by the
@@ -356,6 +403,17 @@ module Engine : sig
   val telemetry : t -> Telemetry.sink
 
   val metrics : t -> Metrics.t
+
+  val adaptive_config : t -> Config.adaptive option
+  (** The engine's adaptive policy ([cfg.adaptive]); [Par]'s
+      auto-partitioned helpers read it to decide whether to derive their
+      partition count from the statistics store. *)
+
+  val cost_store : t -> Cost.t
+  (** The engine's per-plan statistics store.  Always allocated (even
+      with [adaptive = None]) and physically shared by derived views of
+      the engine — sessions and [explain_analyze]'s forced-profile copy
+      feed the same store. *)
 
   (** {2 Execution}
 
@@ -498,6 +556,11 @@ module Engine : sig
     a_profile : profile_snapshot;  (** actual rows/calls/time per operator *)
     a_result_rows : int option;
         (** rows in the result; [None] for scalar queries *)
+    a_decisions : string list;
+        (** what the adaptive phase decided for this preparation, e.g.
+            ["reordered: p2 before p1, selectivity 0.03 vs 0.71"] or
+            ["backend: fused (est. 40 rows)"]; empty without
+            [Config.with_adaptive] *)
   }
 
   val explain_analyze : ?backend:backend -> t -> 'a Query.t -> analysis
@@ -512,7 +575,8 @@ module Engine : sig
   val analysis_to_string : analysis -> string
   (** Multi-line rendering: the {!explain_to_string} block followed by a
       per-operator table of actual rows, calls, and (on [Linq])
-      exclusive time — what [stenoc analyze] prints. *)
+      exclusive time, then the adaptive decisions when any — what
+      [stenoc analyze] prints. *)
 end
 
 (** {1 Sessions}
@@ -678,6 +742,11 @@ module Prepared : sig
   val profile : 'a t -> profile_snapshot option
   (** Per-operator counts accumulated over this preparation's runs so
       far; [None] unless the preparing engine had [profile = true]. *)
+
+  val decisions : 'a t -> string list
+  (** What the adaptive phase decided while preparing (predicate
+      reorders, backend downgrades), as display lines; empty without
+      [Config.with_adaptive]. *)
 end
 
 (** Accessors on a prepared scalar query. *)
@@ -690,6 +759,7 @@ module Prepared_scalar : sig
   val rewrite_log : 's t -> string list
   val diagnostics : 's t -> Check.diagnostic list
   val profile : 's t -> profile_snapshot option
+  val decisions : 's t -> string list
 end
 
 (** {1 Inspection} *)
@@ -717,3 +787,9 @@ val cache_size : unit -> int
 val clear_cache : unit -> unit
 
 val native_available : unit -> bool
+
+(** The per-plan statistics store behind {!Config.with_adaptive},
+    re-exported: clients inspect an engine's observations via
+    [Steno.Cost.snapshot (Engine.cost_store eng) ~key] without a direct
+    dependency on the library. *)
+module Cost = Cost

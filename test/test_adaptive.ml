@@ -1,0 +1,434 @@
+(* The cost-based adaptive phase end to end: statistics-driven predicate
+   reordering (translation-validated, with an injected unsound reorder
+   rejected), the empty-source and drift/stale-statistics regressions,
+   cost-based backend choice, partition derivation, and a differential
+   suite pinning adaptive execution to the Reference semantics. *)
+
+module I = Expr.Infix
+
+let ints xs = Query.of_array Ty.Int xs
+
+(* An expensive-looking, practically-always-true predicate the interval
+   analysis cannot discharge (so [where-interval-true] keeps its hands
+   off): an iterated hash compared against a bound one below the modulus
+   range's top. *)
+let hashy x =
+  let h = ref I.(x * Expr.int 131 + Expr.int 7) in
+  for _ = 1 to 3 do
+    h := I.((!h * Expr.int 131 + Expr.int 7) mod Expr.int 1000003)
+  done;
+  I.(!h < Expr.int 1000002)
+
+(* Selective and cheap: true on ~0.1% of values. *)
+let rare x = I.(x mod Expr.int 997 = Expr.int 0)
+
+let even x = I.(x mod Expr.int 2 = Expr.int 0)
+
+let adaptive_engine ?(drift = 2.0) ?fused_below ?(profile = true)
+    ?(backend = Steno.Fused) ?metrics () =
+  let reg = match metrics with Some m -> m | None -> Metrics.create () in
+  Steno.Engine.create
+    Steno.Config.(
+      default |> with_backend backend |> with_profile profile
+      |> with_metrics reg
+      |> with_adaptive ~drift ?fused_below)
+
+let adaptive_count reg decision =
+  Metrics.counter_value
+    (Metrics.counter reg "steno_adaptive" ~labels:[ "decision", decision ])
+
+let verify_count reg result =
+  Metrics.counter_value
+    (Metrics.counter reg "steno_verify" ~labels:[ "result", result ])
+
+(* {2 Statistics-driven reordering} *)
+
+(* Pessimal static order: the always-true predicate first.  The first
+   profiled preparation observes per-conjunct selectivities (the split
+   gives each conjunct its own probe point); the second preparation of
+   the same plan reorders on them. *)
+let test_reorder_from_observations () =
+  let reg = Metrics.create () in
+  let eng = adaptive_engine ~metrics:reg () in
+  let q =
+    ints (Array.init 500 (fun i -> i)) |> Query.where hashy |> Query.where rare
+  in
+  let expected = Reference.to_list q in
+  let p1 = Steno.Engine.prepare eng q in
+  Alcotest.(check (list int))
+    "first prepare (no stats) runs correctly" expected
+    (Array.to_list (Steno.Prepared.run p1));
+  Alcotest.(check (list string))
+    "no reorder without observations" []
+    (List.filter (fun r -> r = "stats-where-reorder")
+       (Steno.Prepared.rewrite_log p1));
+  (* Second preparation: the store now knows hashy ~ 1.0, rare ~ 0.001. *)
+  let p2 = Steno.Engine.prepare eng q in
+  Alcotest.(check bool) "reorder fired" true
+    (List.mem "stats-where-reorder" (Steno.Prepared.rewrite_log p2));
+  (match Steno.Prepared.decisions p2 with
+  | d :: _ ->
+    Alcotest.(check bool)
+      (Printf.sprintf "decision line (%s)" d)
+      true
+      (String.length d > 10 && String.sub d 0 10 = "reordered:")
+  | [] -> Alcotest.fail "expected a reorder decision");
+  Alcotest.(check (list int))
+    "reordered plan computes the same rows" expected
+    (Array.to_list (Steno.Prepared.run p2));
+  Alcotest.(check bool) "reorder counted" true (adaptive_count reg "reorder" >= 1);
+  Alcotest.(check bool) "validated" true (verify_count reg "accepted" >= 1);
+  Alcotest.(check int) "nothing rejected" 0 (verify_count reg "rejected");
+  (* The store's view, through the public API. *)
+  let key =
+    let fused, _ = Opt.query_ev q in
+    Steno.Cost.plan_key ~optimize:true fused
+  in
+  let store = Steno.Engine.cost_store eng in
+  (match
+     Steno.Cost.selectivity store ~key
+       ~digest:(Steno.Cost.pred_digest (Expr.lam "x" Ty.Int hashy))
+   with
+  | Some s -> Alcotest.(check bool) "hashy observed ~always true" true (s > 0.9)
+  | None -> Alcotest.fail "no selectivity recorded for hashy");
+  match
+    Steno.Cost.selectivity store ~key
+      ~digest:(Steno.Cost.pred_digest (Expr.lam "x" Ty.Int rare))
+  with
+  | Some s -> Alcotest.(check bool) "rare observed selective" true (s < 0.1)
+  | None -> Alcotest.fail "no selectivity recorded for rare"
+
+(* {2 An unsound reorder is rejected} *)
+
+(* Swap two filters whose predicates call captured host functions — not
+   provably commutative — with a forged selectivity fact.  The validator
+   re-derives purity on the captured lambdas and must refuse; the engine
+   falls back to the plan as written. *)
+let swap_hook fired =
+  {
+    Opt.h =
+      (fun (type a) (q : a Query.t) : (a Query.t * Opt.event) option ->
+        match q with
+        | Query.Where (Query.Where (q0, p1), p2) ->
+          if !fired then None
+          else begin
+            fired := true;
+            Some
+              ( Query.Where (Query.Where (q0, p2), p1),
+                {
+                  Opt.ev_rule = "stats-where-reorder";
+                  ev_facts = [ Check.Equiv.Stats_selectivity (p2, p1, 0.0, 1.0) ];
+                } )
+          end
+        | _ -> None);
+  }
+
+let impure_query () =
+  let host_even =
+    Expr.capture (Ty.Func (Ty.Int, Ty.Bool)) (fun x -> x mod 2 = 0)
+  in
+  let host_small =
+    Expr.capture (Ty.Func (Ty.Int, Ty.Bool)) (fun x -> x < 8)
+  in
+  ints [| 5; 2; 8; 2; 11; 14; 3; 8; 0; 7 |]
+  |> Query.where (fun x -> Expr.Apply (host_even, x))
+  |> Query.where (fun x -> Expr.Apply (host_small, x))
+
+let test_unsound_reorder_rejected () =
+  let q = impure_query () in
+  let expected = Reference.to_list q in
+  Opt.set_test_hook (Some (swap_hook (ref false)));
+  Fun.protect
+    ~finally:(fun () -> Opt.set_test_hook None)
+    (fun () ->
+      let reg = Metrics.create () in
+      let eng =
+        Steno.Engine.(
+          create { default_config with backend = Steno.Fused; metrics = reg })
+      in
+      let p = Steno.Engine.prepare eng q in
+      Alcotest.(check (list int))
+        "fallback runs the plan as written" expected
+        (Array.to_list (Steno.Prepared.run p));
+      Alcotest.(check (list string))
+        "no rules survive the rejection" [] (Steno.Prepared.rewrite_log p);
+      Alcotest.(check int) "rejected counted" 1 (verify_count reg "rejected");
+      Alcotest.(check bool) "SC012 diagnostic recorded" true
+        (List.exists
+           (fun d -> d.Check.d_code = "SC012")
+           (Steno.Prepared.diagnostics p)))
+
+let test_unsound_reorder_strict_raises () =
+  Opt.set_test_hook (Some (swap_hook (ref false)));
+  Fun.protect
+    ~finally:(fun () -> Opt.set_test_hook None)
+    (fun () ->
+      let eng =
+        Steno.Engine.(
+          create
+            { default_config with backend = Steno.Fused; strict = true })
+      in
+      match Steno.Engine.try_prepare eng (impure_query ()) with
+      | Error (Steno.Engine.Check_error _) -> ()
+      | Error _ -> Alcotest.fail "wrong refusal"
+      | Ok _ -> Alcotest.fail "strict engine accepted an unsound reorder")
+
+(* {2 Empty-source regression} *)
+
+(* A profiled empty-source run records zero rows everywhere: every
+   selectivity read must come back [None] (not NaN), and re-preparation
+   must neither reorder nor divide by the zero observations. *)
+let test_empty_source_profiled () =
+  let eng = adaptive_engine () in
+  let q = ints [||] |> Query.where hashy |> Query.where rare in
+  let p1 = Steno.Engine.prepare eng q in
+  for _ = 1 to 3 do
+    Alcotest.(check (list int)) "empty rows" [] (Array.to_list (Steno.Prepared.run p1))
+  done;
+  let key =
+    let fused, _ = Opt.query_ev q in
+    Steno.Cost.plan_key ~optimize:true fused
+  in
+  let store = Steno.Engine.cost_store eng in
+  Alcotest.(check bool) "runs recorded" true (Steno.Cost.runs store ~key >= 3);
+  Alcotest.(check (option (float 0.0))) "zero-row source averages to 0"
+    (Some 0.0)
+    (Steno.Cost.avg_source_rows store ~key);
+  Alcotest.(check (option (float 0.0))) "untested predicate has no selectivity"
+    None
+    (Steno.Cost.selectivity store ~key
+       ~digest:(Steno.Cost.pred_digest (Expr.lam "x" Ty.Int rare)));
+  let p2 = Steno.Engine.prepare eng q in
+  Alcotest.(check (list string)) "no reorder from zero observations" []
+    (List.filter (fun r -> r = "stats-where-reorder")
+       (Steno.Prepared.rewrite_log p2));
+  Alcotest.(check (list int)) "still empty" []
+    (Array.to_list (Steno.Prepared.run p2))
+
+(* {2 Drift retires stale statistics} *)
+
+let test_drift_retires_stale_stats () =
+  let reg = Metrics.create () in
+  (* Seeding engine: drift effectively off (threshold 2.0). *)
+  let eng = adaptive_engine ~metrics:reg () in
+  let data = Array.init 100 (fun i -> if i < 90 then 1000 + (2 * i) else 1001) in
+  let p_even = even in
+  let p_small x = I.(x < Expr.int 100) in
+  let q = ints data |> Query.where p_even |> Query.where p_small in
+  let key =
+    let fused, _ = Opt.query_ev q in
+    Steno.Cost.plan_key ~optimize:true fused
+  in
+  let store = Steno.Engine.cost_store eng in
+  let digest_of p = Steno.Cost.pred_digest (Expr.lam "x" Ty.Int p) in
+  (* Phase A: even ~ 0.9, small = 0.0. *)
+  let pa = Steno.Engine.prepare eng q in
+  for _ = 1 to 5 do
+    ignore (Steno.Prepared.run pa)
+  done;
+  (match Steno.Cost.selectivity store ~key ~digest:(digest_of p_even) with
+  | Some s -> Alcotest.(check bool) "phase A: even ~0.9" true (s > 0.8)
+  | None -> Alcotest.fail "phase A recorded nothing");
+  Alcotest.(check int) "no retirement yet" 0 (Steno.Cost.epoch store ~key);
+  (* A drift-sensitive session on the same engine (same store). *)
+  let sess =
+    Steno.Session.create eng ~client_id:"drift"
+      ~config:(fun c -> Steno.Config.with_adaptive ~drift:0.3 c)
+  in
+  let pb = Steno.Session.prepare sess q in
+  (* The phase-A statistics reorder [small] (0.0) above [even] (0.9). *)
+  Alcotest.(check bool) "stale stats drove a reorder" true
+    (List.mem "stats-where-reorder" (Steno.Prepared.rewrite_log pb));
+  (* Flip the distribution in place: now everything is small and mostly
+     odd (even 0.1, small 1.0 — both far from the assumptions). *)
+  Array.iteri
+    (fun i _ ->
+      data.(i) <-
+        (if i < 90 then (2 * (i mod 45)) + 1 else 2 * (i mod 45)))
+    data;
+  ignore (Steno.Prepared.run pb);
+  (* The drifted run retires the stale entry and seeds the new epoch
+     with only post-flip observations — never an average of the two
+     distributions (5 stale runs of 0.9 averaged in would leave ~0.77). *)
+  Alcotest.(check int) "entry retired once" 1 (Steno.Cost.epoch store ~key);
+  Alcotest.(check bool) "drift counted" true (adaptive_count reg "drift" >= 1);
+  (match Steno.Cost.selectivity store ~key ~digest:(digest_of p_even) with
+  | Some s ->
+    Alcotest.(check bool)
+      (Printf.sprintf "post-swap selectivity only (%.2f)" s)
+      true (s < 0.3)
+  | None -> Alcotest.fail "post-drift seed missing");
+  (* The background re-preparation lands eventually. *)
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  while
+    adaptive_count reg "reprepare-ok" + adaptive_count reg "reprepare-failed"
+      = 0
+    && Unix.gettimeofday () < deadline
+  do
+    Unix.sleepf 0.01
+  done;
+  Alcotest.(check int) "re-preparation succeeded" 1
+    (adaptive_count reg "reprepare-ok");
+  (* The swapped-in plan keeps computing the right rows. *)
+  Alcotest.(check (list int)) "post-swap rows" (Reference.to_list q)
+    (Array.to_list (Steno.Prepared.run pb));
+  (* A fresh preparation consults only the fresh epoch: even (0.1) is
+     already ahead of small (1.0) in written order, so nothing moves. *)
+  let pc = Steno.Session.prepare sess q in
+  Alcotest.(check (list string)) "no reorder from fresh stats" []
+    (List.filter (fun r -> r = "stats-where-reorder")
+       (Steno.Prepared.rewrite_log pc))
+
+(* {2 Cost-based backend choice} *)
+
+let test_backend_choice () =
+  let reg = Metrics.create () in
+  let eng =
+    adaptive_engine ~metrics:reg ~profile:false ~backend:Steno.Native ()
+  in
+  (* Tiny captured array: the flow prior alone keeps it off Native —
+     no compiler needed, so this branch runs on every host. *)
+  let small = ints (Array.init 10 (fun i -> i)) |> Query.where even in
+  let p = Steno.Engine.prepare eng small in
+  Alcotest.(check bool) "tiny input stays fused" true
+    (Steno.Prepared.backend_used p = Steno.Fused);
+  Alcotest.(check (option (of_pp Fmt.nop))) "not a fallback" None
+    ((Steno.Prepared.compile_info p).Steno.fallback);
+  Alcotest.(check (list string)) "decision surfaced"
+    [ "backend: fused (est. 10 rows)" ]
+    (Steno.Prepared.decisions p);
+  Alcotest.(check int) "counted" 1 (adaptive_count reg "backend-fused");
+  (* A large range keeps the engine-level Native dispatch (whatever
+     fallback then does about a missing compiler). *)
+  let large = Query.range ~start:0 ~count:100_000 |> Query.where even in
+  let p2 = Steno.Engine.prepare eng large in
+  Alcotest.(check (list string)) "no decision on a large input" []
+    (Steno.Prepared.decisions p2);
+  (* An explicit per-call backend always wins over the heuristic. *)
+  let p3 = Steno.Engine.prepare ~backend:Steno.Linq eng small in
+  Alcotest.(check bool) "explicit backend wins" true
+    (Steno.Prepared.backend_used p3 = Steno.Linq);
+  Alcotest.(check (list string)) "no decision either" []
+    (Steno.Prepared.decisions p3)
+
+(* {2 Partition derivation} *)
+
+let test_partitions_for_rows () =
+  let pf = Steno.Cost.partitions_for_rows in
+  Alcotest.(check int) "zero rows" 1 (pf ~workers:8 0);
+  Alcotest.(check int) "negative clamps" 1 (pf ~workers:8 (-5));
+  Alcotest.(check int) "tiny input: one chunk" 1 (pf ~workers:8 100);
+  Alcotest.(check int) "one chunk per 4096 rows" 3 (pf ~workers:8 (3 * 4096));
+  Alcotest.(check int) "capped at workers" 8 (pf ~workers:8 10_000_000);
+  Alcotest.(check int) "workers floor" 1 (pf ~workers:0 10_000);
+  (* Par integration: an adaptive engine's auto helpers stay correct on
+     inputs small enough to collapse to one partition. *)
+  let eng = adaptive_engine ~profile:false () in
+  let sq = ints (Array.init 37 (fun i -> i)) |> Query.sum_int in
+  Alcotest.(check int) "scalar_auto under adaptive" (Reference.scalar sq)
+    (Par.scalar_auto ~engine:eng ~workers:4 sq)
+
+(* {2 Differential: adaptive on/off vs Reference} *)
+
+(* A tiny deterministic generator (no global RNG: runs must be
+   reproducible) over pipelines heavy on stacked filters, the shape the
+   adaptive pass rewrites. *)
+let gen_state = ref 0x2545F49
+
+let rand n =
+  gen_state := ((!gen_state * 1103515245) + 12345) land 0x3FFFFFFF;
+  !gen_state mod n
+
+let gen_pred () =
+  match rand 5 with
+  | 0 -> even
+  | 1 -> rare
+  | 2 -> hashy
+  | 3 -> fun x -> I.(x < Expr.int (rand 30))
+  | _ ->
+    let m = 2 + rand 5 in
+    fun x -> I.(x mod Expr.int m = Expr.int 0)
+
+let gen_op () =
+  match rand 8 with
+  | 0 | 1 | 2 ->
+    let p = gen_pred () in
+    fun q -> Query.where p q
+  | 3 ->
+    let k = rand 7 in
+    fun q -> Query.select (fun x -> I.(x + Expr.int k)) q
+  | 4 ->
+    let n = rand 12 in
+    fun q -> Query.take n q
+  | 5 ->
+    let n = rand 5 in
+    fun q -> Query.skip n q
+  | 6 -> fun q -> Query.distinct q
+  | _ -> fun q -> Query.rev q
+
+let gen_pipeline () =
+  let src = ints (Array.init (rand 41) (fun i -> (i * 7) mod 53)) in
+  let n_ops = 1 + rand 5 in
+  let rec build q n = if n = 0 then q else build (gen_op () q) (n - 1) in
+  build src n_ops
+
+let test_differential () =
+  let mk backend = adaptive_engine ~backend (), adaptive_engine ~backend ~profile:false () in
+  let linq_on, linq_off = mk Steno.Linq in
+  let fused_on, fused_off = mk Steno.Fused in
+  let native =
+    if Steno.native_available () then Some (mk Steno.Native) else None
+  in
+  for i = 1 to 200 do
+    let q = gen_pipeline () in
+    let expected = Reference.to_list q in
+    let check_engine label eng =
+      (* Prepare twice and run twice: the second preparation consumes
+         whatever the first one's profiled runs recorded, so reorders
+         actually engage mid-suite. *)
+      let p1 = Steno.Engine.prepare eng q in
+      let r1 = Array.to_list (Steno.Prepared.run p1) in
+      ignore (Steno.Prepared.run p1);
+      let p2 = Steno.Engine.prepare eng q in
+      let r2 = Array.to_list (Steno.Prepared.run p2) in
+      if r1 <> expected || r2 <> expected then
+        Alcotest.failf "pipeline %d diverged on %s" i label
+    in
+    check_engine "linq+adaptive" linq_on;
+    check_engine "linq" linq_off;
+    check_engine "fused+adaptive" fused_on;
+    check_engine "fused" fused_off;
+    match native with
+    | Some (on, off) when i mod 8 = 0 ->
+      check_engine "native+adaptive" on;
+      check_engine "native" off
+    | _ -> ()
+  done
+
+let () =
+  Alcotest.run "adaptive"
+    [
+      ( "reorder",
+        [
+          Alcotest.test_case "observations drive a reorder" `Quick
+            test_reorder_from_observations;
+          Alcotest.test_case "unsound reorder rejected" `Quick
+            test_unsound_reorder_rejected;
+          Alcotest.test_case "strict refuses unsound reorder" `Quick
+            test_unsound_reorder_strict_raises;
+        ] );
+      ( "regressions",
+        [
+          Alcotest.test_case "empty source profiled" `Quick
+            test_empty_source_profiled;
+          Alcotest.test_case "drift retires stale stats" `Quick
+            test_drift_retires_stale_stats;
+        ] );
+      ( "decisions",
+        [
+          Alcotest.test_case "backend choice" `Quick test_backend_choice;
+          Alcotest.test_case "partitions" `Quick test_partitions_for_rows;
+        ] );
+      ( "differential",
+        [ Alcotest.test_case "200 pipelines" `Slow test_differential ] );
+    ]

@@ -235,6 +235,22 @@ let test_rule_coverage () =
   runq (ints [||] |> Query.select (fun x -> I.(x * x)));
   runsq (Query.range ~start:0 ~count:5 |> Query.any);
   runc (ints data |> Query.rev |> Query.materialize |> Query.rev);
+  (* [stats-where-reorder] only fires from the adaptive entry point: fuse
+     two filters first, then hand the fused plan an estimator that rates
+     the second conjunct more selective. *)
+  let fused, _ =
+    Opt.query_ev
+      (ints data |> Query.where even
+      |> Query.where (fun x -> I.(x < Expr.int 10)))
+  in
+  let calls = ref 0 in
+  let est =
+    { Opt.est = (fun _ -> incr calls; if !calls = 1 then 0.9 else 0.1) }
+  in
+  note
+    (List.map
+       (fun (e : Opt.event) -> e.Opt.ev_rule)
+       (snd (Opt.adaptive_query_ev est ~split:false fused)));
   let missing =
     List.filter (fun r -> not (Hashtbl.mem fired r)) Opt.rule_names
   in

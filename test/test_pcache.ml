@@ -168,6 +168,43 @@ let test_eviction_lru_by_mtime () =
     (Pcache.stats pc).Pcache.st_evictions;
   rm_rf dir
 
+(* Entries published within one second share an mtime on filesystems
+   with whole-second stamps, and [Unix.utimes] with equal times models
+   that exactly: eviction must then pick a deterministic victim (lowest
+   key hash), not whatever order [readdir] happened to return. *)
+let test_eviction_mtime_tie_deterministic () =
+  let keys = [ "tie-a"; "tie-b"; "tie-c" ] in
+  let hash k = Digest.to_hex (Digest.string k) in
+  let survivor_hash k = hash k <> List.hd (List.sort compare (List.map hash keys)) in
+  let run_once () =
+    let dir = fresh_dir () in
+    let payload = Filename.concat dir "payload.bin" in
+    write_file payload "0123456789";
+    let pc = mk_store ~max_entries:3 dir in
+    List.iter (fun k -> ignore (Pcache.store pc ~key:k ~cmxs:payload)) keys;
+    (* Pin every artifact and key file to the same whole-second stamp. *)
+    List.iter
+      (fun k ->
+        match Pcache.find pc ~key:k with
+        | Some p ->
+          Unix.utimes p 1000.0 1000.0;
+          Unix.utimes (Filename.chop_suffix p ".cmxs" ^ ".key") 1000.0 1000.0
+        | None -> Alcotest.fail (k ^ " missing"))
+      keys;
+    ignore (Pcache.store pc ~key:"tie-d" ~cmxs:payload);
+    let surviving = List.filter (fun k -> Pcache.find pc ~key:k <> None) keys in
+    rm_rf dir;
+    surviving
+  in
+  let first = run_once () in
+  Alcotest.(check int) "exactly one tied entry evicted" 2 (List.length first);
+  Alcotest.(check (list string))
+    "victim is the lowest hash, not readdir order"
+    (List.filter survivor_hash keys)
+    first;
+  (* And the choice is reproducible across fresh directories. *)
+  Alcotest.(check (list string)) "stable across runs" first (run_once ())
+
 let test_corrupt_store_never_raises () =
   let dir = fresh_dir () in
   let payload = Filename.concat dir "payload.bin" in
@@ -456,6 +493,8 @@ let () =
           Alcotest.test_case "roundtrip + fingerprints" `Quick
             test_store_roundtrip;
           Alcotest.test_case "key verification" `Quick test_key_verification;
+          Alcotest.test_case "mtime-tie eviction deterministic" `Quick
+            test_eviction_mtime_tie_deterministic;
           Alcotest.test_case "lru-by-mtime eviction" `Quick
             test_eviction_lru_by_mtime;
           Alcotest.test_case "corruption never raises" `Quick

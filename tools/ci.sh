@@ -34,6 +34,22 @@ dune exec bin/stenoc.exe -- verify --all -n 2000
 echo "== translation-validator suite =="
 dune exec test/test_verify.exe
 
+echo "== adaptive-optimization suite (incl. 200-pipeline differential) =="
+dune exec test/test_adaptive.exe
+
+echo "== stenoc cost (profiler-to-optimizer loop) =="
+cost_out=$(dune exec bin/stenoc.exe -- cost needle -n 20000 --reps 3)
+for needle in \
+    'stats-where-reorder' \
+    'reordered: ' \
+    'selectivity'
+do
+  if ! printf '%s\n' "$cost_out" | grep -qF "$needle"; then
+    echo "missing from stenoc cost output: $needle" >&2
+    exit 1
+  fi
+done
+
 echo "== stenoc metrics (OpenMetrics dump) =="
 metrics_dump=$(dune exec bin/stenoc.exe -- metrics -n 2000)
 for family in \
@@ -51,6 +67,8 @@ for family in \
     'TYPE steno_pcache_misses counter' \
     'TYPE steno_pcache_evictions counter' \
     'TYPE steno_tier_promotions counter' \
+    'TYPE steno_adaptive counter' \
+    'steno_adaptive_total{decision="reorder"}' \
     '# EOF'
 do
   if ! printf '%s\n' "$metrics_dump" | grep -qF "$family"; then
@@ -149,6 +167,35 @@ need(any(p["tier"] == "native" for p in curve),
 sys.exit(0 if ok else 1)
 EOF
 fi
+
+echo "== adaptive reorder bench (statically pessimal filter order) =="
+dune exec bench/main.exe -- --scale 0.25 --json-adaptive BENCH_PR10.json
+python3 -m json.tool BENCH_PR10.json > /dev/null
+for key in static_order_ms adaptive_order_ms speedup reordered decisions
+do
+  if ! grep -qF "\"$key\"" BENCH_PR10.json; then
+    echo "missing from BENCH_PR10.json: $key" >&2
+    exit 1
+  fi
+done
+# The adaptive second preparation must actually reorder, and the
+# measured win on the adversarial ordering must be real (the expensive
+# predicate is ~30x the cheap one, so 1.2x is a loose floor).
+python3 - <<'EOF'
+import json, sys
+r = json.load(open("BENCH_PR10.json"))
+ok = True
+def need(cond, msg):
+    global ok
+    if not cond:
+        print("BENCH_PR10.json: " + msg, file=sys.stderr)
+        ok = False
+need(r["reordered"], "adaptive preparation never reordered the filters")
+need(r["speedup"] >= 1.2, "speedup %.2fx < 1.2x floor" % r["speedup"])
+need(any(d.startswith("reordered: ") for d in r["decisions"]),
+     "no reorder decision string surfaced")
+sys.exit(0 if ok else 1)
+EOF
 
 echo "== tracing + ops-plane suite =="
 dune exec test/test_trace.exe
